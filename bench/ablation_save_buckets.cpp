@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: value of NVBit's register-requirement analysis.
+ *
+ * The paper's Code Generator "saves only the minimum amount of general
+ * purpose registers, and the appropriate save routine is selected by
+ * analyzing the register requirements of both the original code and
+ * injected function".  This benchmark compares that design against the
+ * naive alternative (always preserving the full register file) on
+ * instruction-count instrumentation.
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "tools/instr_count.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+
+namespace {
+
+uint64_t
+runInstrumented(const std::string &name, bool full_save)
+{
+    nvbit_set_save_all_registers(full_save);
+    tools::InstrCountTool tool;
+    uint64_t cycles = 0;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = workloads::makeSpecWorkload(name);
+        wl->run(workloads::ProblemSize::Medium);
+        cycles = deviceTotalStats().cycles;
+    });
+    nvbit_set_save_all_registers(false);
+    return cycles;
+}
+
+uint64_t
+runNative(const std::string &name)
+{
+    NvbitTool passive;
+    uint64_t cycles = 0;
+    runApp(passive, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = workloads::makeSpecWorkload(name);
+        wl->run(workloads::ProblemSize::Medium);
+        cycles = deviceTotalStats().cycles;
+    });
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: minimal save/restore buckets vs full "
+                "register-file save (instr-count tool, medium size)\n");
+    std::printf("%-10s %14s %14s %10s\n", "workload", "min-save",
+                "full-save", "penalty");
+
+    double penalty_sum = 0.0;
+    size_t n = 0;
+    for (const std::string &name :
+         {std::string("ostencil"), std::string("palm"),
+          std::string("cg"), std::string("omriq"),
+          std::string("miniGhost")}) {
+        uint64_t native = runNative(name);
+        uint64_t min_save = runInstrumented(name, false);
+        uint64_t full_save = runInstrumented(name, true);
+        double s_min = static_cast<double>(min_save) /
+                       static_cast<double>(native);
+        double s_full = static_cast<double>(full_save) /
+                        static_cast<double>(native);
+        std::printf("%-10s %12.1fx %12.1fx %9.2fx\n", name.c_str(),
+                    s_min, s_full, s_full / s_min);
+        penalty_sum += s_full / s_min;
+        ++n;
+    }
+    std::printf("\nmean slowdown penalty of skipping the analysis: "
+                "%.2fx\n", penalty_sum / static_cast<double>(n));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 7: Top-5 executed-instruction histogram per benchmark (large
+ * problem sizes), collected with the sampling-enabled histogram tool.
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "tools/opcode_histogram.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+using tools::OpcodeHistogramTool;
+
+int
+main()
+{
+    std::printf("Figure 7: Top-5 executed instructions per benchmark "
+                "(%% of thread-level instructions)\n");
+    for (const std::string &name : workloads::specSuiteNames()) {
+        OpcodeHistogramTool tool(
+            OpcodeHistogramTool::Mode::SampleGridDim);
+        runApp(tool, [&] {
+            checkCu(cuInit(0), "cuInit");
+            CUcontext ctx;
+            checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+            auto wl = workloads::makeSpecWorkload(name);
+            wl->run(workloads::ProblemSize::Large);
+        });
+
+        uint64_t total = 0;
+        for (uint64_t v : tool.counts())
+            total += v;
+        std::printf("%-10s:", name.c_str());
+        for (const auto &[op, cnt] : tool.topN(5)) {
+            std::printf(" %s %.1f%%", op.c_str(),
+                        100.0 * static_cast<double>(cnt) /
+                            static_cast<double>(total));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8: slowdown of full instrumentation vs grid-dimension
+ * sampling, relative to native execution (large problem sizes,
+ * instruction-histogram tool — the paper's Section 6.2 experiment).
+ *
+ * Slowdowns are ratios of simulated device cycles, which is the
+ * meaningful cost metric inside the simulator.  Expected shape
+ * (paper): full instrumentation averages ~36x (up to ~112x); sampling
+ * cuts this to ~2.3x.
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "tools/opcode_histogram.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+using tools::OpcodeHistogramTool;
+
+namespace {
+
+uint64_t
+runCycles(const std::string &name, OpcodeHistogramTool *tool)
+{
+    uint64_t cycles = 0;
+    auto app = [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = workloads::makeSpecWorkload(name);
+        wl->run(workloads::ProblemSize::Large);
+        cycles = deviceTotalStats().cycles;
+    };
+    if (tool) {
+        runApp(*tool, app);
+    } else {
+        NvbitTool passive;
+        runApp(passive, app);
+    }
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: slowdown vs native execution "
+                "(simulated cycles)\n");
+    std::printf("%-10s %12s %12s\n", "workload", "full", "sampling");
+
+    double full_sum = 0.0, samp_sum = 0.0, full_max = 0.0;
+    size_t n = 0;
+    for (const std::string &name : workloads::specSuiteNames()) {
+        uint64_t native = runCycles(name, nullptr);
+
+        OpcodeHistogramTool full(OpcodeHistogramTool::Mode::Full);
+        uint64_t full_c = runCycles(name, &full);
+
+        OpcodeHistogramTool sampled(
+            OpcodeHistogramTool::Mode::SampleGridDim);
+        uint64_t samp_c = runCycles(name, &sampled);
+
+        double fs = static_cast<double>(full_c) /
+                    static_cast<double>(native);
+        double ss = static_cast<double>(samp_c) /
+                    static_cast<double>(native);
+        std::printf("%-10s %11.1fx %11.2fx\n", name.c_str(), fs, ss);
+        full_sum += fs;
+        samp_sum += ss;
+        full_max = std::max(full_max, fs);
+        ++n;
+    }
+    std::printf("%-10s %11.1fx %11.2fx\n", "mean",
+                full_sum / static_cast<double>(n),
+                samp_sum / static_cast<double>(n));
+    std::printf("\npaper: full mean 36.4x (max 112x), sampling mean "
+                "2.3x\n");
+    return 0;
+}

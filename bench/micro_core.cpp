@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the substrate and the NVBit
+ * core primitives whose costs compose the paper's Section 5.2
+ * decomposition: encoding/decoding, disassembly, PTX compilation,
+ * module (de)serialisation, code-swap memcpys, cache-model lookups and
+ * raw simulator execution throughput.
+ */
+#include <benchmark/benchmark.h>
+
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "driver/module_image.hpp"
+#include "isa/arch.hpp"
+#include "ptx/compiler.hpp"
+#include "sim/cache.hpp"
+#include "sim/gpu.hpp"
+
+namespace {
+
+using namespace nvbit;
+
+std::vector<isa::Instruction>
+sampleProgram(size_t n)
+{
+    std::vector<isa::Instruction> prog;
+    for (size_t i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0:
+            prog.push_back(isa::makeIAddImm(4, 5, static_cast<int>(i)));
+            break;
+          case 1:
+            prog.push_back(isa::makeLoad(isa::Opcode::LDG, 6, 8,
+                                         static_cast<int>(i) * 4));
+            break;
+          case 2:
+            prog.push_back(isa::makeMovImm(7, 123));
+            break;
+          default:
+            prog.push_back(isa::makeBra(-8, 2, false));
+            break;
+        }
+    }
+    return prog;
+}
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    auto fam = static_cast<isa::ArchFamily>(state.range(0));
+    auto prog = sampleProgram(1024);
+    auto bytes = isa::encodeAll(fam, prog);
+    const size_t ib = isa::instrBytes(fam);
+    for (auto _ : state) {
+        isa::Instruction out;
+        for (size_t i = 0; i < prog.size(); ++i) {
+            isa::decode(fam, bytes.data() + i * ib, out);
+            benchmark::DoNotOptimize(out);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(prog.size()));
+}
+BENCHMARK(BM_EncodeDecode)->Arg(0)->Arg(1);
+
+void
+BM_Disassemble(benchmark::State &state)
+{
+    auto prog = sampleProgram(1024);
+    for (auto _ : state) {
+        for (const auto &in : prog) {
+            std::string s = in.toString();
+            benchmark::DoNotOptimize(s);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(prog.size()));
+}
+BENCHMARK(BM_Disassemble);
+
+const char *kPtxSample = R"(
+.visible .entry k(.param .u64 A, .param .u64 B, .param .u32 n)
+{
+    .reg .u32 %r<8>;
+    .reg .u64 %rd<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [A];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    mul.f32 %f2, %f1, 2.0;
+    ld.param.u64 %rd4, [B];
+    add.u64 %rd5, %rd4, %rd2;
+    st.global.f32 [%rd5], %f2;
+DONE:
+    exit;
+}
+)";
+
+void
+BM_PtxCompile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ptx::CompiledModule m =
+            ptx::compile(kPtxSample, isa::ArchFamily::SM5x);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_PtxCompile);
+
+void
+BM_ModuleSerializeRoundTrip(benchmark::State &state)
+{
+    ptx::CompiledModule m =
+        ptx::compile(kPtxSample, isa::ArchFamily::SM5x);
+    for (auto _ : state) {
+        std::vector<uint8_t> img = cudrv::serializeModule(m);
+        cudrv::ModuleData out;
+        bool ok = cudrv::deserializeModule(img.data(), img.size(), out);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_ModuleSerializeRoundTrip);
+
+void
+BM_CodeSwapMemcpy(benchmark::State &state)
+{
+    // Paper: swap cost == cudaMemcpy of the function's code bytes.
+    sim::GpuConfig cfg;
+    cfg.mem_bytes = 16 << 20;
+    sim::GpuDevice gpu(cfg);
+    size_t bytes = static_cast<size_t>(state.range(0));
+    mem::DevPtr p = gpu.memory().alloc(bytes, 16);
+    std::vector<uint8_t> host(bytes, 0xAB);
+    for (auto _ : state) {
+        gpu.memory().write(p, host.data(), bytes);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_CodeSwapMemcpy)->Arg(1 << 10)->Arg(16 << 10)->Arg(256 << 10);
+
+void
+BM_CacheModel(benchmark::State &state)
+{
+    sim::Cache cache({128 * 1024, 4, 128});
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr += 128 * 7;
+        benchmark::DoNotOptimize(cache.access(addr & ~uint64_t{127}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModel);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Raw warp-instruction execution rate of the SIMT engine.
+    sim::GpuConfig cfg;
+    cfg.mem_bytes = 16 << 20;
+    sim::GpuDevice gpu(cfg);
+    std::vector<isa::Instruction> prog;
+    prog.push_back(isa::makeMovImm(4, 0));
+    // 64 ALU ops in a counted loop of 256 iterations.
+    prog.push_back(isa::makeMovImm(5, 256));
+    size_t loop_start = prog.size();
+    for (int i = 0; i < 64; ++i)
+        prog.push_back(isa::makeIAddImm(4, 4, 1));
+    prog.push_back(isa::makeIAddImm(5, 5, -1));
+    isa::Instruction setp;
+    setp.op = isa::Opcode::ISETP;
+    setp.mod = isa::modSetSetpDType(
+        isa::modSetCmp(isa::kModSetpImm, isa::CmpOp::GT),
+        isa::DType::U32);
+    setp.rd = 0;
+    setp.ra = 5;
+    setp.imm = 0;
+    prog.push_back(setp);
+    int64_t back = -static_cast<int64_t>(
+        (prog.size() + 1 - loop_start) *
+        isa::instrBytes(gpu.family()));
+    prog.push_back(isa::makeBra(back, 0, false));
+    prog.push_back(isa::makeExit());
+
+    auto bytes = isa::encodeAll(gpu.family(), prog);
+    mem::DevPtr entry = gpu.memory().alloc(bytes.size(), 16);
+    gpu.memory().write(entry, bytes.data(), bytes.size());
+
+    sim::LaunchParams lp;
+    lp.entry_pc = entry;
+    lp.block[0] = 256;
+    lp.grid[0] = 4;
+
+    uint64_t warp_instrs = 0;
+    for (auto _ : state) {
+        sim::LaunchStats st = gpu.launch(lp);
+        warp_instrs += st.warp_instrs;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(warp_instrs));
+    state.counters["thread_instr_rate"] = benchmark::Counter(
+        static_cast<double>(warp_instrs) * 32.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

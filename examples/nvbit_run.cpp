@@ -1,0 +1,177 @@
+/**
+ * @file
+ * nvbit_run — general launcher: run any bundled workload under any
+ * bundled NVBit tool (the ergonomic equivalent of
+ * `LD_PRELOAD=libtool.so ./app`).
+ *
+ * Usage:
+ *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample]
+ *             [--size test|medium|large] [--list] WORKLOAD
+ */
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "tools/instr_count.hpp"
+#include "tools/mem_divergence.hpp"
+#include "tools/opcode_histogram.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+
+namespace {
+
+int
+listWorkloads()
+{
+    std::printf("SpecAccel-like suite:");
+    for (const auto &n : workloads::specSuiteNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nML suite:");
+    for (const auto &n : workloads::mlSuiteNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+std::unique_ptr<workloads::Workload>
+makeWorkload(const std::string &name)
+{
+    for (const auto &n : workloads::specSuiteNames())
+        if (n == name)
+            return workloads::makeSpecWorkload(name);
+    for (const auto &n : workloads::mlSuiteNames())
+        if (n == name)
+            return workloads::makeMlWorkload(name);
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tool_name = "icount";
+    std::string size_name = "medium";
+    std::string wl_name;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list")
+            return listWorkloads();
+        if (arg == "--tool" && i + 1 < argc) {
+            tool_name = argv[++i];
+        } else if (arg == "--size" && i + 1 < argc) {
+            size_name = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: nvbit_run [--tool none|icount|"
+                         "icount-bb|mdiv|ohist|ohist-sample] "
+                         "[--size test|medium|large] [--list] "
+                         "WORKLOAD\n");
+            return 2;
+        } else {
+            wl_name = arg;
+        }
+    }
+    if (wl_name.empty()) {
+        std::fprintf(stderr, "nvbit_run: no workload given "
+                             "(try --list)\n");
+        return 2;
+    }
+
+    workloads::ProblemSize size = workloads::ProblemSize::Medium;
+    if (size_name == "test")
+        size = workloads::ProblemSize::Test;
+    else if (size_name == "large")
+        size = workloads::ProblemSize::Large;
+
+    std::unique_ptr<NvbitTool> tool;
+    tools::InstrCountTool *icount = nullptr;
+    tools::MemDivergenceTool *mdiv = nullptr;
+    tools::OpcodeHistogramTool *ohist = nullptr;
+    if (tool_name == "none") {
+        tool = std::make_unique<NvbitTool>();
+    } else if (tool_name == "icount") {
+        auto t = std::make_unique<tools::InstrCountTool>();
+        icount = t.get();
+        tool = std::move(t);
+    } else if (tool_name == "icount-bb") {
+        auto t = std::make_unique<tools::InstrCountTool>(
+            tools::InstrCountTool::Mode::PerBasicBlock);
+        icount = t.get();
+        tool = std::move(t);
+    } else if (tool_name == "mdiv") {
+        auto t = std::make_unique<tools::MemDivergenceTool>();
+        mdiv = t.get();
+        tool = std::move(t);
+    } else if (tool_name == "ohist" || tool_name == "ohist-sample") {
+        auto t = std::make_unique<tools::OpcodeHistogramTool>(
+            tool_name == "ohist"
+                ? tools::OpcodeHistogramTool::Mode::Full
+                : tools::OpcodeHistogramTool::Mode::SampleGridDim);
+        ohist = t.get();
+        tool = std::move(t);
+    } else {
+        std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
+        return 2;
+    }
+
+    runApp(*tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "cuCtxCreate");
+        auto wl = makeWorkload(wl_name);
+        wl->run(size);
+
+        const sim::LaunchStats &st = deviceTotalStats();
+        std::printf("workload %s (%s): %llu thread instrs, "
+                    "%llu cycles (simulated)\n",
+                    wl_name.c_str(), size_name.c_str(),
+                    static_cast<unsigned long long>(st.thread_instrs),
+                    static_cast<unsigned long long>(st.cycles));
+
+        if (icount) {
+            std::printf("icount: %llu thread-level, %llu warp-level "
+                        "instructions\n",
+                        static_cast<unsigned long long>(
+                            icount->threadInstrs()),
+                        static_cast<unsigned long long>(
+                            icount->warpInstrs()));
+        }
+        if (mdiv) {
+            std::printf("mdiv: %.3f avg cache lines per warp-level "
+                        "global memory instruction (%llu accesses)\n",
+                        mdiv->divergence(),
+                        static_cast<unsigned long long>(
+                            mdiv->memInstrs()));
+        }
+        if (ohist) {
+            std::printf("ohist: top-5 of %llu/%llu instrumented "
+                        "launches\n",
+                        static_cast<unsigned long long>(
+                            ohist->instrumentedLaunches()),
+                        static_cast<unsigned long long>(
+                            ohist->totalLaunches()));
+            for (const auto &[op, cnt] : ohist->topN(5))
+                std::printf("  %-8s %12llu\n", op.c_str(),
+                            static_cast<unsigned long long>(cnt));
+        }
+        const JitStats &js = nvbit_get_jit_stats();
+        std::printf("JIT: %.3f ms total (%llu trampolines, %llu "
+                    "functions)\n",
+                    js.totalNs() / 1e6,
+                    static_cast<unsigned long long>(
+                        js.trampolines_generated),
+                    static_cast<unsigned long long>(
+                        js.functions_instrumented));
+    });
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quickstart: the paper's Listing 1 flow end to end.
+ *
+ * An instruction-counting NVBit tool is injected into an application
+ * (the in-process equivalent of LD_PRELOADing the tool's .so); the
+ * application runs a vector-add kernel; at termination the tool prints
+ * the number of thread-level instructions the kernel executed.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "tools/instr_count.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+
+namespace {
+
+const char *kVecAddPtx = R"(
+.visible .entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C,
+                       .param .u32 n)
+{
+    .reg .u32 %r<8>;
+    .reg .u64 %rd<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r4, %r1, %r2, %tid.x;
+    ld.param.u32 %r5, [n];
+    setp.ge.u32 %p1, %r4, %r5;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [C];
+    mul.wide.u32 %rd4, %r4, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    add.u64 %rd6, %rd2, %rd4;
+    ld.global.f32 %f2, [%rd6];
+    add.f32 %f3, %f1, %f2;
+    add.u64 %rd7, %rd3, %rd4;
+    st.global.f32 [%rd7], %f3;
+DONE:
+    exit;
+}
+)";
+
+/** The "application": an ordinary CUDA-driver-API program. */
+void
+appMain()
+{
+    checkCu(cuInit(0), "cuInit");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "cuCtxCreate");
+    CUmodule mod;
+    checkCu(cuModuleLoadData(&mod, kVecAddPtx, 0), "cuModuleLoadData");
+    CUfunction vecadd;
+    checkCu(cuModuleGetFunction(&vecadd, mod, "vecadd"),
+            "cuModuleGetFunction");
+
+    const uint32_t n = 65536;
+    std::vector<float> a(n, 1.5f), b(n, 2.25f), c(n);
+    CUdeviceptr da, db, dc;
+    checkCu(cuMemAlloc(&da, n * 4), "cuMemAlloc");
+    checkCu(cuMemAlloc(&db, n * 4), "cuMemAlloc");
+    checkCu(cuMemAlloc(&dc, n * 4), "cuMemAlloc");
+    checkCu(cuMemcpyHtoD(da, a.data(), n * 4), "cuMemcpyHtoD");
+    checkCu(cuMemcpyHtoD(db, b.data(), n * 4), "cuMemcpyHtoD");
+
+    void *params[] = {&da, &db, &dc, const_cast<uint32_t *>(&n)};
+    checkCu(cuLaunchKernel(vecadd, (n + 127) / 128, 1, 1, 128, 1, 1, 0,
+                           nullptr, params, nullptr),
+            "cuLaunchKernel");
+    checkCu(cuMemcpyDtoH(c.data(), dc, n * 4), "cuMemcpyDtoH");
+
+    std::printf("app: c[0] = %.2f (expected 3.75), %u elements\n", c[0],
+                n);
+}
+
+} // namespace
+
+int
+main()
+{
+    tools::InstrCountTool tool;
+    runApp(tool, [&] {
+        appMain();
+        // The tool reads its device counters while the context lives.
+        std::printf("tool: kernel executed %llu thread-level "
+                    "instructions (%llu warp-level)\n",
+                    static_cast<unsigned long long>(tool.threadInstrs()),
+                    static_cast<unsigned long long>(tool.warpInstrs()));
+        const JitStats &js = nvbit_get_jit_stats();
+        std::printf("tool: JIT overhead %.3f ms (%llu trampolines, "
+                    "%llu bytes swapped)\n",
+                    js.totalNs() / 1e6,
+                    static_cast<unsigned long long>(
+                        js.trampolines_generated),
+                    static_cast<unsigned long long>(js.swap_bytes));
+    });
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * nvdisasm — binary module image inspector (the stand-in for NVIDIA's
+ * nvdisasm, which the paper compares NVBit's inspection facilities to:
+ * "developers can use nvdisasm to observe the SASS code of any GPU
+ * binary").
+ *
+ * Usage: nvdisasm [--lineinfo] IMAGE.bin
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/module_image.hpp"
+#include "isa/arch.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nvbit;
+
+    bool lineinfo = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--lineinfo")
+            lineinfo = true;
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: nvdisasm [--lineinfo] IMAGE.bin\n");
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: nvdisasm [--lineinfo] IMAGE.bin\n");
+        return 2;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "nvdisasm: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::vector<uint8_t> image((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+
+    cudrv::ModuleData mod;
+    if (!cudrv::deserializeModule(image.data(), image.size(), mod)) {
+        std::fprintf(stderr, "nvdisasm: %s is not a module image\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::printf("// module image: %s, family %s, %zu function(s), "
+                "%zu global(s)\n",
+                path.c_str(), isa::archFamilyName(mod.family),
+                mod.functions.size(), mod.globals.size());
+    for (const ptx::GlobalVar &g : mod.globals) {
+        std::printf("// .global %-24s %6llu bytes (bank slot +0x%x)\n",
+                    g.name.c_str(),
+                    static_cast<unsigned long long>(g.size_bytes),
+                    g.addr_slot);
+    }
+
+    const size_t ib = isa::instrBytes(mod.family);
+    for (const cudrv::FuncImage &f : mod.functions) {
+        std::printf("\n%s %s  // %u regs, %u stack bytes, "
+                    "%u shared bytes\n",
+                    f.is_entry ? ".entry" : ".func", f.name.c_str(),
+                    f.num_regs, f.frame_bytes, f.shared_bytes);
+        // Line-info lookup table.
+        size_t li = 0;
+        auto instrs = isa::decodeAll(mod.family, f.code);
+        for (size_t i = 0; i < instrs.size(); ++i) {
+            if (lineinfo) {
+                while (li < f.line_info.size() &&
+                       f.line_info[li].instr_index == i) {
+                    const auto &l = f.line_info[li];
+                    std::printf("        //## File \"%s\", line %u\n",
+                                l.file_index < mod.files.size()
+                                    ? mod.files[l.file_index].c_str()
+                                    : "?",
+                                l.line);
+                    ++li;
+                }
+            }
+            std::string reloc;
+            for (const ptx::CallReloc &r : f.relocs) {
+                if (r.instr_index == i)
+                    reloc = "  // -> " + r.callee;
+            }
+            std::printf("    /*%04zx*/  %-40s%s\n", i * ib,
+                        instrs[i].toString().c_str(), reloc.c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * simBLAS — the cuBLAS stand-in.  Host-side API over kernels shipped
+ * exclusively as a pre-compiled binary module image (built by ptxc at
+ * library build time; no PTX or source reaches the application), which
+ * is what makes it a faithful target for the paper's "instrumenting
+ * proprietary libraries" experiments.
+ */
+#ifndef NVBIT_ACCEL_SIMBLAS_HPP
+#define NVBIT_ACCEL_SIMBLAS_HPP
+
+#include <cstdint>
+
+#include "driver/api.hpp"
+
+namespace nvbit::accel {
+
+class SimBlas
+{
+  public:
+    /** Loads the pre-compiled module into the current context. */
+    SimBlas();
+
+    /** C[MxN] = A[MxK] * B[KxN], row-major. */
+    void sgemm(cudrv::CUdeviceptr a, cudrv::CUdeviceptr b,
+               cudrv::CUdeviceptr c, uint32_t m, uint32_t n,
+               uint32_t k);
+
+    /** C[MxN] = A^T * B with A stored [KxM] row-major. */
+    void sgemmTN(cudrv::CUdeviceptr a, cudrv::CUdeviceptr b,
+                 cudrv::CUdeviceptr c, uint32_t m, uint32_t n,
+                 uint32_t k);
+
+    /** y = alpha * x + y over n floats. */
+    void saxpy(float alpha, cudrv::CUdeviceptr x, cudrv::CUdeviceptr y,
+               uint32_t n);
+
+    /** x *= alpha over n floats. */
+    void sscal(float alpha, cudrv::CUdeviceptr x, uint32_t n);
+
+    /** The library's module (e.g. for instrumentation filters). */
+    cudrv::CUmodule module() const { return mod_; }
+
+  private:
+    cudrv::CUmodule mod_ = nullptr;
+    cudrv::CUfunction sgemm_nn_ = nullptr;
+    cudrv::CUfunction sgemm_tn_ = nullptr;
+    cudrv::CUfunction saxpy_ = nullptr;
+    cudrv::CUfunction sscal_ = nullptr;
+};
+
+} // namespace nvbit::accel
+
+#endif // NVBIT_ACCEL_SIMBLAS_HPP

@@ -1,0 +1,90 @@
+#include "accel/simdnn.hpp"
+
+#include <cstddef>
+
+#include "common/logging.hpp"
+#include "driver/internal.hpp"
+
+extern const unsigned char simdnn_image_sm5x[];
+extern const size_t simdnn_image_sm5x_len;
+extern const unsigned char simdnn_image_sm7x[];
+extern const size_t simdnn_image_sm7x_len;
+
+namespace nvbit::accel {
+
+using namespace cudrv;
+
+namespace {
+
+constexpr uint32_t
+ceilDiv(uint32_t a, uint32_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+SimDnn::SimDnn()
+{
+    const unsigned char *image = simdnn_image_sm5x;
+    size_t len = simdnn_image_sm5x_len;
+    if (device().family() == isa::ArchFamily::SM7x) {
+        image = simdnn_image_sm7x;
+        len = simdnn_image_sm7x_len;
+    }
+    checkCu(cuModuleLoadData(&mod_, image, len), "simDNN module load");
+    checkCu(cuModuleGetFunction(&conv2d_, mod_, "simdnn_conv2d"),
+            "simdnn_conv2d");
+    checkCu(cuModuleGetFunction(&relu_, mod_, "simdnn_relu"),
+            "simdnn_relu");
+    checkCu(cuModuleGetFunction(&bias_, mod_, "simdnn_bias"),
+            "simdnn_bias");
+    checkCu(cuModuleGetFunction(&maxpool_, mod_, "simdnn_maxpool2"),
+            "simdnn_maxpool2");
+}
+
+void
+SimDnn::conv2d(CUdeviceptr in, CUdeviceptr w, CUdeviceptr out,
+               uint32_t h, uint32_t wdt, uint32_t ci, uint32_t co,
+               uint32_t kh, uint32_t kw)
+{
+    NVBIT_ASSERT(h >= kh && wdt >= kw, "conv2d: kernel larger than input");
+    uint32_t oh = h - kh + 1;
+    uint32_t ow = wdt - kw + 1;
+    void *params[] = {&in, &w, &out, &h, &wdt, &ci, &kh, &kw, &oh, &ow};
+    checkCu(cuLaunchKernel(conv2d_, ceilDiv(ow, 64), oh, co, 64, 1, 1,
+                           0, nullptr, params, nullptr),
+            "simdnn_conv2d launch");
+}
+
+void
+SimDnn::relu(CUdeviceptr buf, uint32_t n)
+{
+    void *params[] = {&buf, &n};
+    checkCu(cuLaunchKernel(relu_, ceilDiv(n, 128), 1, 1, 128, 1, 1, 0,
+                           nullptr, params, nullptr),
+            "simdnn_relu launch");
+}
+
+void
+SimDnn::biasAdd(CUdeviceptr buf, CUdeviceptr bias, uint32_t c,
+                uint32_t hw)
+{
+    void *params[] = {&buf, &bias, &hw};
+    checkCu(cuLaunchKernel(bias_, ceilDiv(hw, 128), c, 1, 128, 1, 1, 0,
+                           nullptr, params, nullptr),
+            "simdnn_bias launch");
+}
+
+void
+SimDnn::maxpool2(CUdeviceptr in, CUdeviceptr out, uint32_t c, uint32_t h,
+                 uint32_t w)
+{
+    uint32_t oh = h / 2, ow = w / 2;
+    void *params[] = {&in, &out, &h, &w, &oh, &ow};
+    checkCu(cuLaunchKernel(maxpool_, ceilDiv(ow, 64), oh, c, 64, 1, 1,
+                           0, nullptr, params, nullptr),
+            "simdnn_maxpool2 launch");
+}
+
+} // namespace nvbit::accel

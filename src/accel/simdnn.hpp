@@ -1,0 +1,52 @@
+/**
+ * @file
+ * simDNN — the cuDNN stand-in (pre-compiled binary module only).
+ * Tensors are batch-1, channel-major (C x H x W) float planes.
+ */
+#ifndef NVBIT_ACCEL_SIMDNN_HPP
+#define NVBIT_ACCEL_SIMDNN_HPP
+
+#include <cstdint>
+
+#include "driver/api.hpp"
+
+namespace nvbit::accel {
+
+class SimDnn
+{
+  public:
+    SimDnn();
+
+    /**
+     * Valid (unpadded) convolution:
+     * out[CO x OH x OW] = conv(in[CI x H x W], w[CO x CI x KH x KW]),
+     * OH = H-KH+1, OW = W-KW+1.
+     */
+    void conv2d(cudrv::CUdeviceptr in, cudrv::CUdeviceptr w,
+                cudrv::CUdeviceptr out, uint32_t h, uint32_t wdt,
+                uint32_t ci, uint32_t co, uint32_t kh, uint32_t kw);
+
+    /** In-place ReLU over n floats. */
+    void relu(cudrv::CUdeviceptr buf, uint32_t n);
+
+    /** buf[c][i] += bias[c] over C channels of HW elements each. */
+    void biasAdd(cudrv::CUdeviceptr buf, cudrv::CUdeviceptr bias,
+                 uint32_t c, uint32_t hw);
+
+    /** 2x2 stride-2 max pooling, C channels H x W -> H/2 x W/2. */
+    void maxpool2(cudrv::CUdeviceptr in, cudrv::CUdeviceptr out,
+                  uint32_t c, uint32_t h, uint32_t w);
+
+    cudrv::CUmodule module() const { return mod_; }
+
+  private:
+    cudrv::CUmodule mod_ = nullptr;
+    cudrv::CUfunction conv2d_ = nullptr;
+    cudrv::CUfunction relu_ = nullptr;
+    cudrv::CUfunction bias_ = nullptr;
+    cudrv::CUfunction maxpool_ = nullptr;
+};
+
+} // namespace nvbit::accel
+
+#endif // NVBIT_ACCEL_SIMDNN_HPP

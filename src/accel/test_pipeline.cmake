@@ -1,0 +1,23 @@
+# CTest script: exercise the AOT pipeline end to end —
+# ptxc compiles a kernel library to a binary image, nvdisasm lists it.
+execute_process(
+    COMMAND ${PTXC} --family sm5x -o ${OUT} ${PTX}
+    RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "ptxc failed with ${rc1}")
+endif()
+
+execute_process(
+    COMMAND ${NVDISASM} --lineinfo ${OUT}
+    OUTPUT_VARIABLE listing
+    RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "nvdisasm failed with ${rc2}")
+endif()
+
+foreach(needle ".entry simblas_sgemm_nn" "BAR ;" "LDG" "File \"simblas.cu\"")
+    string(FIND "${listing}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "nvdisasm output missing '${needle}'")
+    endif()
+endforeach()

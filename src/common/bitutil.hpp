@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoders/decoders.
+ */
+#ifndef NVBIT_COMMON_BITUTIL_HPP
+#define NVBIT_COMMON_BITUTIL_HPP
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace nvbit {
+
+/** Extract bits [lo, lo+width) of @p word. */
+constexpr uint64_t
+bitsExtract(uint64_t word, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return word >> lo;
+    return (word >> lo) & ((uint64_t{1} << width) - 1);
+}
+
+/** Insert the low @p width bits of @p value into bits [lo, lo+width). */
+constexpr uint64_t
+bitsInsert(uint64_t word, unsigned lo, unsigned width, uint64_t value)
+{
+    uint64_t mask = (width >= 64) ? ~uint64_t{0}
+                                  : ((uint64_t{1} << width) - 1);
+    return (word & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign_bit = uint64_t{1} << (width - 1);
+    uint64_t mask = (uint64_t{1} << width) - 1;
+    value &= mask;
+    return static_cast<int64_t>((value ^ sign_bit) - sign_bit);
+}
+
+/** @return true if @p value fits in a @p width-bit signed field. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    int64_t lo = -(int64_t{1} << (width - 1));
+    int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** @return true if @p value fits in a @p width-bit unsigned field. */
+constexpr bool
+fitsUnsigned(uint64_t value, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    return value < (uint64_t{1} << width);
+}
+
+} // namespace nvbit
+
+#endif // NVBIT_COMMON_BITUTIL_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error-reporting helpers shared by every module.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this code base), fatal() is for unrecoverable
+ * user errors (bad input, bad configuration), warn()/inform() are
+ * advisory.  All of them accept printf-style format strings.
+ */
+#ifndef NVBIT_COMMON_LOGGING_HPP
+#define NVBIT_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace nvbit {
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Varargs version of strfmt(). */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/**
+ * Report an internal invariant violation and abort.  Never returns.
+ * Use for conditions that indicate a bug in the simulator/framework
+ * itself, never for user errors.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error and exit(1).  Never returns.
+ * Use for bad inputs: malformed PTX, invalid launch configuration, etc.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output globally (warnings are always shown). */
+void setVerbose(bool verbose);
+
+/** @return true if inform() output is enabled. */
+bool verboseEnabled();
+
+} // namespace nvbit
+
+/**
+ * Assert-with-message for internal invariants; active in all build types
+ * (unlike assert(), which vanishes under NDEBUG).
+ */
+#define NVBIT_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::nvbit::panic("assertion '%s' failed at %s:%d: %s", #cond,     \
+                           __FILE__, __LINE__,                              \
+                           ::nvbit::strfmt(__VA_ARGS__).c_str());           \
+        }                                                                   \
+    } while (0)
+
+#endif // NVBIT_COMMON_LOGGING_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Wall-clock timing helpers used for the JIT-overhead decomposition
+ * (paper Section 5.2 / Figure 5).
+ */
+#ifndef NVBIT_COMMON_TIMER_HPP
+#define NVBIT_COMMON_TIMER_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace nvbit {
+
+/** Monotonic timestamp in nanoseconds. */
+inline uint64_t
+nowNs()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * RAII timer that adds the elapsed wall-clock nanoseconds to an
+ * accumulator on destruction.
+ */
+class ScopedTimerNs
+{
+  public:
+    explicit ScopedTimerNs(uint64_t &accum_ns)
+        : accum_(accum_ns), start_(nowNs())
+    {}
+
+    ~ScopedTimerNs() { accum_ += nowNs() - start_; }
+
+    ScopedTimerNs(const ScopedTimerNs &) = delete;
+    ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+
+  private:
+    uint64_t &accum_;
+    uint64_t start_;
+};
+
+} // namespace nvbit
+
+#endif // NVBIT_COMMON_TIMER_HPP

@@ -1,0 +1,177 @@
+#include "core/builtins.hpp"
+
+#include "common/logging.hpp"
+#include "isa/abi.hpp"
+
+namespace nvbit::core {
+
+using isa::Instruction;
+using isa::Opcode;
+
+unsigned
+saveBucketFor(unsigned needed_regs)
+{
+    for (unsigned k : kSaveBuckets)
+        if (k >= needed_regs)
+            return k;
+    return 256;
+}
+
+std::vector<Instruction>
+buildSaveRoutine(unsigned k)
+{
+    std::vector<Instruction> code;
+    const int32_t frame = static_cast<int32_t>(saveFrameBytes(k));
+    code.push_back(
+        isa::makeIAddImm(isa::kAbiSpReg, isa::kAbiSpReg, -frame));
+    // Store R0..R(k-1).  R1's slot receives the already-decremented
+    // stack pointer; the restore routine recomputes it instead of
+    // reloading the slot.
+    for (unsigned r = 0; r < k; ++r) {
+        code.push_back(isa::makeStore(Opcode::STL, isa::kAbiSpReg,
+                                      saveSlotOf(r),
+                                      static_cast<uint8_t>(r)));
+    }
+    // Predicates: R0 is already saved and free as scratch.
+    code.push_back(isa::makeP2R(isa::kAbiScratch0));
+    code.push_back(isa::makeStore(Opcode::STL, isa::kAbiSpReg, 0,
+                                  isa::kAbiScratch0));
+    // Publish the save-area base for the Device API.
+    code.push_back(isa::makeMovReg(isa::kAbiNvbitCtxReg, isa::kAbiSpReg));
+    code.push_back(isa::makeRet());
+    return code;
+}
+
+std::vector<Instruction>
+buildRestoreRoutine(unsigned k)
+{
+    std::vector<Instruction> code;
+    const int32_t frame = static_cast<int32_t>(saveFrameBytes(k));
+    // Predicates first (R0 used as scratch, reloaded afterwards).
+    code.push_back(isa::makeLoad(Opcode::LDL, isa::kAbiScratch0,
+                                 isa::kAbiSpReg, 0));
+    code.push_back(isa::makeR2P(isa::kAbiScratch0));
+    for (unsigned r = 0; r < k; ++r) {
+        if (r == isa::kAbiSpReg)
+            continue; // the SP is recomputed below
+        code.push_back(isa::makeLoad(Opcode::LDL,
+                                     static_cast<uint8_t>(r),
+                                     isa::kAbiSpReg, saveSlotOf(r)));
+    }
+    code.push_back(
+        isa::makeIAddImm(isa::kAbiSpReg, isa::kAbiSpReg, frame));
+    code.push_back(isa::makeRet());
+    return code;
+}
+
+std::map<std::string, std::vector<Instruction>>
+buildDeviceApiRoutines()
+{
+    using isa::kAbiScratch0;
+    using isa::kAbiScratch1;
+    using isa::kAbiNvbitCtxReg;
+    std::map<std::string, std::vector<Instruction>> out;
+
+    // R4 = nvbit_read_reg(R4 = reg number)
+    {
+        std::vector<Instruction> c;
+        Instruction shl;
+        shl.op = Opcode::SHL;
+        shl.mod = isa::kModImmSrc2;
+        shl.rd = kAbiScratch0;
+        shl.ra = isa::kAbiArgReg;
+        shl.imm = 2;
+        c.push_back(shl);
+        c.push_back(isa::makeIAddReg(kAbiScratch0, kAbiScratch0,
+                                     kAbiNvbitCtxReg));
+        c.push_back(isa::makeLoad(Opcode::LDL, isa::kAbiRetReg,
+                                  kAbiScratch0, 4));
+        c.push_back(isa::makeRet());
+        out["nvbit_read_reg"] = std::move(c);
+    }
+
+    // nvbit_write_reg(R4 = reg number, R5 = value)
+    {
+        std::vector<Instruction> c;
+        Instruction shl;
+        shl.op = Opcode::SHL;
+        shl.mod = isa::kModImmSrc2;
+        shl.rd = kAbiScratch0;
+        shl.ra = isa::kAbiArgReg;
+        shl.imm = 2;
+        c.push_back(shl);
+        c.push_back(isa::makeIAddReg(kAbiScratch0, kAbiScratch0,
+                                     kAbiNvbitCtxReg));
+        c.push_back(isa::makeStore(Opcode::STL, kAbiScratch0, 4,
+                                   isa::kAbiArgReg + 1));
+        c.push_back(isa::makeRet());
+        out["nvbit_write_reg"] = std::move(c);
+    }
+
+    // R4 = nvbit_read_pred(R4 = predicate number)
+    {
+        std::vector<Instruction> c;
+        c.push_back(isa::makeLoad(Opcode::LDL, kAbiScratch0,
+                                  kAbiNvbitCtxReg, 0));
+        Instruction shr;
+        shr.op = Opcode::SHR;
+        shr.rd = kAbiScratch0;
+        shr.ra = kAbiScratch0;
+        shr.rb = isa::kAbiArgReg;
+        c.push_back(shr);
+        Instruction andi;
+        andi.op = Opcode::AND;
+        andi.mod = isa::kModImmSrc2;
+        andi.rd = isa::kAbiRetReg;
+        andi.ra = kAbiScratch0;
+        andi.imm = 1;
+        c.push_back(andi);
+        c.push_back(isa::makeRet());
+        out["nvbit_read_pred"] = std::move(c);
+    }
+
+    // nvbit_write_pred(R4 = predicate number, R5 = value 0/1)
+    {
+        std::vector<Instruction> c;
+        c.push_back(isa::makeLoad(Opcode::LDL, kAbiScratch0,
+                                  kAbiNvbitCtxReg, 0));
+        c.push_back(isa::makeMovImm(kAbiScratch1, 1));
+        Instruction shl1;
+        shl1.op = Opcode::SHL;
+        shl1.rd = kAbiScratch1;
+        shl1.ra = kAbiScratch1;
+        shl1.rb = isa::kAbiArgReg;
+        c.push_back(shl1);
+        Instruction notb;
+        notb.op = Opcode::NOT;
+        notb.rd = kAbiScratch1;
+        notb.ra = kAbiScratch1;
+        c.push_back(notb);
+        Instruction andr;
+        andr.op = Opcode::AND;
+        andr.rd = kAbiScratch0;
+        andr.ra = kAbiScratch0;
+        andr.rb = kAbiScratch1;
+        c.push_back(andr);
+        Instruction shlv;
+        shlv.op = Opcode::SHL;
+        shlv.rd = isa::kAbiArgReg + 1;
+        shlv.ra = isa::kAbiArgReg + 1;
+        shlv.rb = isa::kAbiArgReg;
+        c.push_back(shlv);
+        Instruction orr;
+        orr.op = Opcode::OR;
+        orr.rd = kAbiScratch0;
+        orr.ra = kAbiScratch0;
+        orr.rb = isa::kAbiArgReg + 1;
+        c.push_back(orr);
+        c.push_back(isa::makeStore(Opcode::STL, kAbiNvbitCtxReg, 0,
+                                   kAbiScratch0));
+        c.push_back(isa::makeRet());
+        out["nvbit_write_pred"] = std::move(c);
+    }
+
+    return out;
+}
+
+} // namespace nvbit::core

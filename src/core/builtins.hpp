@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NVBit built-in device routines, generated directly as machine code
+ * and embedded in the core (the paper's "pre-built device functions
+ * (embedded in libnvbit.a) such as those used to save and restore
+ * registers before jumping into the user injected functions").
+ *
+ * Save-area layout (base address is held in R3 while tool code runs):
+ *   [base + 0]          predicate mask (P0..P6 in bits 0..6)
+ *   [base + 4 + 4*r]    general-purpose register r, for r in [0, k)
+ *
+ * The save routine decrements the stack pointer by frameBytes(k),
+ * stores the state, and leaves R3 = base; the restore routine reloads
+ * predicates and registers from the same area — which is what makes
+ * Device-API register writes permanent (paper Section 6.3).
+ */
+#ifndef NVBIT_CORE_BUILTINS_HPP
+#define NVBIT_CORE_BUILTINS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace nvbit::core {
+
+/** Fixed save/restore sizes (paper: "a fixed set of save and restore
+ *  functions, each targeting a specific number of registers"). */
+constexpr unsigned kSaveBuckets[] = {8, 16, 32, 64, 128, 256};
+
+/** @return the smallest bucket >= @p needed_regs. */
+unsigned saveBucketFor(unsigned needed_regs);
+
+/** @return stack bytes consumed by save_k (pred word + k registers). */
+constexpr uint32_t
+saveFrameBytes(unsigned k)
+{
+    uint32_t raw = 4 + 4 * k;
+    return (raw + 7u) & ~7u;
+}
+
+/** Byte offset of register @p r inside the save area. */
+constexpr int32_t
+saveSlotOf(unsigned r)
+{
+    return 4 + 4 * static_cast<int32_t>(r);
+}
+
+/** Build the body of __nvbit_save_<k>. */
+std::vector<isa::Instruction> buildSaveRoutine(unsigned k);
+
+/** Build the body of __nvbit_restore_<k>. */
+std::vector<isa::Instruction> buildRestoreRoutine(unsigned k);
+
+/**
+ * Build the Device API functions (paper Listing 7): nvbit_read_reg,
+ * nvbit_write_reg, nvbit_read_pred, nvbit_write_pred.  Each is a
+ * callable routine following the machine ABI (argument in R4 (and R5),
+ * result in R4) that accesses the save area through R3.
+ */
+std::map<std::string, std::vector<isa::Instruction>>
+buildDeviceApiRoutines();
+
+} // namespace nvbit::core
+
+#endif // NVBIT_CORE_BUILTINS_HPP

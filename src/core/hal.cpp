@@ -1,0 +1,34 @@
+#include "core/hal.hpp"
+
+namespace nvbit::core {
+
+Hal::Hal(isa::ArchFamily family)
+    : family_(family), instr_bytes_(isa::instrBytes(family)),
+      alignment_(isa::codeAlignment(family))
+{}
+
+void
+Hal::assemble(const isa::Instruction &in, uint8_t *out) const
+{
+    isa::encode(family_, in, out);
+}
+
+std::vector<uint8_t>
+Hal::assembleAll(std::span<const isa::Instruction> code) const
+{
+    return isa::encodeAll(family_, code);
+}
+
+bool
+Hal::disassemble(const uint8_t *bytes, isa::Instruction &out) const
+{
+    return isa::decode(family_, bytes, out);
+}
+
+std::string
+Hal::toSass(const isa::Instruction &in) const
+{
+    return in.toString();
+}
+
+} // namespace nvbit::core

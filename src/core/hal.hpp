@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware Abstraction Layer (paper Section 5.1).
+ *
+ * "The HAL is initialized when a CUcontext is started on a specific
+ *  device.  During HAL's initialization, device specific information
+ *  is recorded, such as the size of each instruction in bytes,
+ *  alignment requirements, number of registers available per thread,
+ *  and ABI version. ... The HAL also initializes device specific
+ *  assembly/disassembly functions."
+ */
+#ifndef NVBIT_CORE_HAL_HPP
+#define NVBIT_CORE_HAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/arch.hpp"
+
+namespace nvbit::core {
+
+/** Per-device encoding/ABI facts plus assemble/disassemble hooks. */
+class Hal
+{
+  public:
+    explicit Hal(isa::ArchFamily family);
+
+    isa::ArchFamily family() const { return family_; }
+
+    /** Instruction size in bytes (fixed within a family). */
+    size_t instrBytes() const { return instr_bytes_; }
+
+    /** Required alignment of code placements. */
+    size_t codeAlignment() const { return alignment_; }
+
+    /** Registers available per thread (255 named + RZ). */
+    unsigned numRegsPerThread() const { return 255; }
+
+    /**
+     * ABI version: which state must be saved/restored around injected
+     * functions.  Version 2 (SM7x) also carries per-thread convergence
+     * state in its wider encodings; both versions here require GPRs
+     * plus the predicate word.
+     */
+    unsigned abiVersion() const
+    {
+        return family_ == isa::ArchFamily::SM5x ? 1 : 2;
+    }
+
+    /** Assemble one instruction at @p out (instrBytes() long). */
+    void assemble(const isa::Instruction &in, uint8_t *out) const;
+
+    /** Assemble a whole routine. */
+    std::vector<uint8_t>
+    assembleAll(std::span<const isa::Instruction> code) const;
+
+    /** Disassemble one instruction; false on undecodable words. */
+    bool disassemble(const uint8_t *bytes, isa::Instruction &out) const;
+
+    /** Render an instruction as SASS text. */
+    std::string toSass(const isa::Instruction &in) const;
+
+  private:
+    isa::ArchFamily family_;
+    size_t instr_bytes_;
+    size_t alignment_;
+};
+
+} // namespace nvbit::core
+
+#endif // NVBIT_CORE_HAL_HPP

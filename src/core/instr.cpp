@@ -1,0 +1,188 @@
+#include "core/instr.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace nvbit {
+
+using isa::Opcode;
+using isa::OpFormat;
+
+Instr::Instr(const isa::Instruction &decoded, uint32_t idx,
+             uint64_t offset, size_t size_bytes)
+    : decoded_(decoded), idx_(idx), offset_(offset), size_(size_bytes)
+{
+    // Disassemble once; getSass()/getOpcode() are O(1) afterwards.
+    sass_ = decoded_.toString();
+    std::string full = sass_;
+    // Opcode = mnemonic incl. modifiers: strip guard and operands.
+    size_t start = 0;
+    if (full[0] == '@') {
+        size_t sp = full.find(' ');
+        start = (sp == std::string::npos) ? full.size() : sp + 1;
+    }
+    size_t end = full.find(' ', start);
+    opcode_ = full.substr(start, end == std::string::npos
+                                     ? std::string::npos
+                                     : end - start);
+
+    switch (decoded_.memSpace()) {
+      case isa::MemSpace::GLOBAL: mem_op_ = GLOBAL; break;
+      case isa::MemSpace::LOCAL: mem_op_ = LOCAL; break;
+      case isa::MemSpace::SHARED: mem_op_ = SHARED; break;
+      case isa::MemSpace::CONSTANT: mem_op_ = CONSTANT; break;
+      default: mem_op_ = NONE; break;
+    }
+    buildOperands();
+}
+
+const Instr::operand_t *
+Instr::getOperand(int i) const
+{
+    NVBIT_ASSERT(i >= 0 && i < getNumOperands(),
+                 "operand index %d out of range (%d operands)", i,
+                 getNumOperands());
+    return &operands_[i];
+}
+
+bool
+Instr::getLineInfo(const char **file, uint32_t *line) const
+{
+    if (!line_file_)
+        return false;
+    if (file)
+        *file = line_file_->c_str();
+    if (line)
+        *line = line_;
+    return true;
+}
+
+void
+Instr::printDecoded() const
+{
+    std::printf("%4u @0x%06llx  %s\n", idx_,
+                static_cast<unsigned long long>(offset_), sass_.c_str());
+}
+
+void
+Instr::buildOperands()
+{
+    const isa::Instruction &in = decoded_;
+    auto reg = [&](uint8_t r) {
+        operands_.push_back({REG, {r, 0}});
+    };
+    auto imm = [&](int64_t v) {
+        operands_.push_back({IMM, {v, 0}});
+    };
+    auto pred = [&](uint8_t p) {
+        operands_.push_back({PRED, {p, 0}});
+    };
+    auto mref = [&](uint8_t base, int64_t off) {
+        operands_.push_back({MREF, {base, off}});
+    };
+    auto cbank = [&](uint8_t bank, int64_t off) {
+        operands_.push_back({CBANK, {bank, off}});
+    };
+
+    bool imm2 = false;
+    switch (in.info().format) {
+      case OpFormat::Alu1:
+      case OpFormat::Alu2:
+        imm2 = (in.mod & isa::kModImmSrc2) != 0;
+        break;
+      case OpFormat::Setp:
+        imm2 = (in.mod & isa::kModSetpImm) != 0;
+        break;
+      case OpFormat::Shfl:
+        imm2 = (in.mod & isa::kModShflImm) != 0;
+        break;
+      default:
+        break;
+    }
+
+    switch (in.info().format) {
+      case OpFormat::Nullary:
+        break;
+      case OpFormat::Branch:
+      case OpFormat::JumpAbs:
+        imm(in.imm);
+        break;
+      case OpFormat::BranchInd:
+        reg(in.ra);
+        break;
+      case OpFormat::Alu1:
+        reg(in.rd);
+        imm2 ? imm(in.imm) : reg(in.ra);
+        break;
+      case OpFormat::Alu2:
+        reg(in.rd);
+        reg(in.ra);
+        imm2 ? imm(in.imm) : reg(in.rb);
+        break;
+      case OpFormat::Alu3:
+        reg(in.rd);
+        reg(in.ra);
+        reg(in.rb);
+        reg(in.rc);
+        break;
+      case OpFormat::AluSel:
+        reg(in.rd);
+        reg(in.ra);
+        reg(in.rb);
+        pred(isa::modGetSelPred(in.mod));
+        break;
+      case OpFormat::Setp:
+        pred(in.rd & 0x7);
+        reg(in.ra);
+        imm2 ? imm(in.imm) : reg(in.rb);
+        break;
+      case OpFormat::Load:
+        reg(in.rd);
+        mref(in.ra, in.imm);
+        break;
+      case OpFormat::Store:
+        mref(in.ra, in.imm);
+        reg(in.rb);
+        break;
+      case OpFormat::LoadConst:
+        reg(in.rd);
+        cbank(isa::modGetCBank(in.mod), in.imm);
+        break;
+      case OpFormat::Atomic:
+        reg(in.rd);
+        mref(in.ra, in.imm);
+        reg(in.rb);
+        if (isa::modGetAtomOp(in.mod) == isa::AtomOp::CAS)
+            reg(in.rc);
+        break;
+      case OpFormat::Vote:
+        reg(in.rd);
+        pred(isa::modGetVotePred(in.mod));
+        break;
+      case OpFormat::Match:
+        reg(in.rd);
+        reg(in.ra);
+        break;
+      case OpFormat::Shfl:
+        reg(in.rd);
+        reg(in.ra);
+        imm2 ? imm(in.imm) : reg(in.rb);
+        break;
+      case OpFormat::ReadSpec:
+        reg(in.rd);
+        imm(in.imm);
+        break;
+      case OpFormat::PredMove:
+        reg(in.op == Opcode::P2R ? in.rd : in.ra);
+        break;
+      case OpFormat::Proxy:
+        reg(in.rd);
+        reg(in.ra);
+        reg(in.rb);
+        imm(in.imm);
+        break;
+    }
+}
+
+} // namespace nvbit

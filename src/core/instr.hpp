@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Class Instr: the user-facing abstraction of one machine (SASS-level)
+ * instruction, mirroring the paper's Listing 4.
+ *
+ * "NVBit provides a class Instr that abstracts the actual machine
+ *  level SASS instruction (which can vary across GPU families) by
+ *  disassembling and transforming the instructions using a higher
+ *  level user-friendly intermediate representation."
+ */
+#ifndef NVBIT_CORE_INSTR_HPP
+#define NVBIT_CORE_INSTR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace nvbit {
+
+/**
+ * One disassembled instruction of a CUfunction.  Instances are owned
+ * by the NVBit core (one-to-one with machine instructions) and stay
+ * valid until the owning module is unloaded or the core is reset.
+ */
+class Instr
+{
+  public:
+    /** Memory operation types (paper: Instr::GLOBAL etc.). */
+    enum MemOpType : uint8_t {
+        NONE = 0,
+        LOCAL,
+        GLOBAL,
+        SHARED,
+        CONSTANT
+    };
+
+    /** Operand types (paper: Instr::MREF etc.). */
+    enum OperandType : uint8_t {
+        IMM = 0,  ///< immediate: val[0] = value
+        REG,      ///< register: val[0] = register number
+        PRED,     ///< predicate: val[0] = predicate number
+        CBANK,    ///< constant bank: val[0] = bank, val[1] = offset
+        MREF      ///< memory ref: val[0] = base register, val[1] = offset
+    };
+
+    /** One decoded operand. */
+    struct operand_t {
+        OperandType type;
+        int64_t val[2];
+    };
+
+    Instr(const isa::Instruction &decoded, uint32_t idx, uint64_t offset,
+          size_t size_bytes);
+
+    /** @return the full SASS disassembly string of this instruction. */
+    const char *getSass() const { return sass_.c_str(); }
+
+    /** @return index of this instruction within its function. */
+    uint32_t getIdx() const { return idx_; }
+
+    /** @return byte offset of this instruction within its function. */
+    uint64_t getOffset() const { return offset_; }
+
+    /** @return instruction size in bytes (8 on SM5x, 16 on SM7x). */
+    size_t getSize() const { return size_; }
+
+    /** @return the opcode mnemonic with modifiers, e.g. "LDG.64". */
+    const char *getOpcode() const { return opcode_.c_str(); }
+
+    /** @return number of decoded operands. */
+    int getNumOperands() const
+    {
+        return static_cast<int>(operands_.size());
+    }
+
+    /** @return operand @p i (asserts on range). */
+    const operand_t *getOperand(int i) const;
+
+    /** @return the memory space accessed, or MemOpType::NONE. */
+    MemOpType getMemOpType() const { return mem_op_; }
+
+    bool isLoad() const { return decoded_.isLoad(); }
+    bool isStore() const { return decoded_.isStore(); }
+
+    /** @return true if the instruction has a guard predicate. */
+    bool hasPred() const { return !decoded_.alwaysExecutes(); }
+
+    /** @return guard predicate number (7 = PT). */
+    int getPredNum() const { return decoded_.pred; }
+
+    /** @return true if the guard predicate is negated. */
+    bool isPredNeg() const { return decoded_.pred_neg; }
+
+    /**
+     * Source correlation (paper: "provided this information has not
+     * been stripped from the application's binary").
+     * @return true and fills file/line when line info is available.
+     */
+    bool getLineInfo(const char **file, uint32_t *line) const;
+
+    /** Print the decoded form to stdout (debugging aid). */
+    void printDecoded() const;
+
+    /** @return the underlying architecture-level decoded instruction. */
+    const isa::Instruction &decoded() const { return decoded_; }
+
+    // Internal: set by the instruction lifter when debug info exists.
+    void
+    setLineInfo(const std::string *file, uint32_t line)
+    {
+        line_file_ = file;
+        line_ = line;
+    }
+
+  private:
+    void buildOperands();
+
+    isa::Instruction decoded_;
+    uint32_t idx_;
+    uint64_t offset_;
+    size_t size_;
+    std::string sass_;
+    std::string opcode_;
+    MemOpType mem_op_ = NONE;
+    std::vector<operand_t> operands_;
+    const std::string *line_file_ = nullptr;
+    uint32_t line_ = 0;
+};
+
+} // namespace nvbit
+
+#endif // NVBIT_CORE_INSTR_HPP

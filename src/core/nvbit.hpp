@@ -1,0 +1,230 @@
+/**
+ * @file
+ * NVBit user-level API (the equivalent of the paper's nvbit.h).
+ *
+ * An "NVBit tool" subclasses NvbitTool, registers the PTX source of
+ * its device instrumentation functions, and is injected into an
+ * application with nvbit::runApp() — the in-process equivalent of
+ * LD_PRELOADing the tool's shared library (paper Figure 2).
+ *
+ * API categories (paper Section 4):
+ *   - Callback API:        NvbitTool virtual methods
+ *   - Inspection API:      nvbit_get_instrs / nvbit_get_basic_blocks /
+ *                          nvbit_get_related_functions / class Instr
+ *   - Instrumentation API: nvbit_insert_call / nvbit_add_call_arg_* /
+ *                          nvbit_remove_orig
+ *   - Control API:         nvbit_enable_instrumented /
+ *                          nvbit_reset_instrumented
+ *   - Device API:          nvbit_read_reg / nvbit_write_reg /
+ *                          nvbit_read_pred / nvbit_write_pred
+ *                          (callable from tool device functions in PTX)
+ */
+#ifndef NVBIT_CORE_NVBIT_HPP
+#define NVBIT_CORE_NVBIT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instr.hpp"
+#include "driver/callback.hpp"
+
+namespace nvbit {
+
+using cudrv::CUcontext;
+using cudrv::CUfunction;
+using cudrv::CUresult;
+using cudrv::CUdeviceptr;
+using cudrv::CallbackId;
+
+/** Injection point relative to the instrumented instruction. */
+enum ipoint_t { IPOINT_BEFORE = 0, IPOINT_AFTER = 1 };
+
+/**
+ * Base class for NVBit tools.  Override the callbacks you need; call
+ * exportDeviceFunctions() from the constructor to register the PTX
+ * source of the tool's device functions (the analogue of compiling a
+ * .cu tool with NVCC and marking functions NVBIT_EXPORT_DEV_FUNCTION).
+ */
+class NvbitTool
+{
+  public:
+    virtual ~NvbitTool() = default;
+
+    /** Called once before the application starts. */
+    virtual void nvbit_at_init() {}
+
+    /** Called once after the application terminates. */
+    virtual void nvbit_at_term() {}
+
+    /** Called when a CUDA context is created. */
+    virtual void nvbit_at_ctx_init(CUcontext) {}
+
+    /** Called when a CUDA context is destroyed. */
+    virtual void nvbit_at_ctx_term(CUcontext) {}
+
+    /**
+     * Called at entry (is_exit=false) and exit (is_exit=true) of every
+     * CUDA driver API invocation.
+     */
+    virtual void
+    nvbit_at_cuda_driver_call(CUcontext /*ctx*/, bool /*is_exit*/,
+                              CallbackId /*cbid*/, const char * /*name*/,
+                              void * /*params*/, CUresult * /*status*/)
+    {}
+
+    /** PTX source of the tool's device functions (may be empty). */
+    const std::string &deviceFunctionSource() const { return dev_src_; }
+
+  protected:
+    /** Register PTX source containing the tool's device functions. */
+    void
+    exportDeviceFunctions(const std::string &ptx_source)
+    {
+        dev_src_ += ptx_source;
+        dev_src_ += "\n";
+    }
+
+  private:
+    std::string dev_src_;
+};
+
+// --- Application runner ------------------------------------------------
+
+/**
+ * Run @p app_main with @p tool injected: registers the driver
+ * interposer, fires nvbit_at_init / nvbit_at_term, and tears down the
+ * driver afterwards.  Only one tool can be injected at a time (as with
+ * LD_PRELOAD in the paper).
+ */
+void runApp(NvbitTool &tool, const std::function<void()> &app_main);
+
+// --- Inspection API ------------------------------------------------------
+
+/** @return the instructions of @p func in program order (cached). */
+const std::vector<Instr *> &nvbit_get_instrs(CUcontext ctx,
+                                             CUfunction func);
+
+/**
+ * @return the instructions grouped into basic blocks.  When the
+ * function contains indirect control flow (which defeats static basic
+ * block construction), a single block holding the flat view is
+ * returned, per the paper.
+ */
+std::vector<std::vector<Instr *>>
+nvbit_get_basic_blocks(CUcontext ctx, CUfunction func);
+
+/** @return functions potentially called by @p func (transitively). */
+std::vector<CUfunction> nvbit_get_related_functions(CUcontext ctx,
+                                                    CUfunction func);
+
+/** @return the (mangled) name of @p func. */
+const char *nvbit_get_func_name(CUcontext ctx, CUfunction func);
+
+// --- Instrumentation API ---------------------------------------------------
+
+/**
+ * Inject device function @p dev_func_name before/after @p instr.
+ * Multiple calls on the same instruction inject multiple functions in
+ * insertion order.  Arguments are attached with the
+ * nvbit_add_call_arg_* functions immediately after this call.
+ */
+void nvbit_insert_call(const Instr *instr, const char *dev_func_name,
+                       ipoint_t where);
+
+/** Pass the instruction's guard predicate value (0/1). */
+void nvbit_add_call_arg_guard_pred_val(const Instr *instr);
+
+/** Pass the value of a 32-bit register. */
+void nvbit_add_call_arg_reg_val(const Instr *instr, int reg_num);
+
+/** Pass a 32-bit immediate. */
+void nvbit_add_call_arg_imm32(const Instr *instr, uint32_t value);
+
+/** Pass a 64-bit immediate (consumes an aligned register pair). */
+void nvbit_add_call_arg_imm64(const Instr *instr, uint64_t value);
+
+/** Pass a 32-bit value loaded from constant bank @p bank at @p off. */
+void nvbit_add_call_arg_cbank_val(const Instr *instr, int bank, int off);
+
+/** Pass the active mask of the warp at the injection site. */
+void nvbit_add_call_arg_active_mask(const Instr *instr);
+
+/**
+ * Remove the original instruction (paper: "the relocated original
+ * instruction must also be converted into a NOP").  Used for
+ * instruction emulation (Section 6.3).
+ */
+void nvbit_remove_orig(const Instr *instr);
+
+// --- Control API -----------------------------------------------------------
+
+/**
+ * Select whether the instrumented or original version of @p func runs
+ * at the next launch.  Swapping costs one device-memory copy of the
+ * function's code bytes, as in the paper.
+ */
+void nvbit_enable_instrumented(CUcontext ctx, CUfunction func,
+                               bool enable, bool apply_to_related = true);
+
+/** Discard all instrumentation of @p func and restore original code. */
+void nvbit_reset_instrumented(CUcontext ctx, CUfunction func);
+
+// --- Tool helpers ------------------------------------------------------------
+
+/**
+ * @return device address of a .global variable defined in the tool's
+ * device-function PTX (the stand-in for __managed__ tool state).
+ */
+CUdeviceptr nvbit_tool_global(const char *name);
+
+/** Read a tool global into host memory. */
+void nvbit_read_tool_global(const char *name, void *out, size_t bytes);
+
+/** Write a tool global from host memory. */
+void nvbit_write_tool_global(const char *name, const void *in,
+                             size_t bytes);
+
+// --- JIT-overhead introspection (paper Section 5.2 / Figure 5) -------------
+
+/**
+ * Cumulative wall-clock cost of the six JIT-compilation components the
+ * paper decomposes: (1) retrieving original GPU code, (2) disassembly,
+ * (3) conversion to the API format, (4) user callback execution,
+ * (5) code generation, (6) code swap.
+ */
+struct JitStats {
+    uint64_t retrieve_ns = 0;
+    uint64_t disassemble_ns = 0;
+    uint64_t lift_ns = 0;
+    uint64_t user_callback_ns = 0;
+    uint64_t codegen_ns = 0;
+    uint64_t swap_ns = 0;
+    uint64_t swap_bytes = 0;
+    uint64_t trampolines_generated = 0;
+    uint64_t functions_instrumented = 0;
+
+    uint64_t
+    totalNs() const
+    {
+        return retrieve_ns + disassemble_ns + lift_ns +
+               user_callback_ns + codegen_ns + swap_ns;
+    }
+};
+
+/** @return cumulative JIT statistics since tool injection. */
+const JitStats &nvbit_get_jit_stats();
+
+/**
+ * Ablation control (not part of the paper's API): when enabled,
+ * trampolines save/restore the full register file instead of the
+ * minimum derived from register-requirement analysis.  Used by the
+ * save-bucket ablation benchmark to quantify the value of the paper's
+ * "save only the minimum amount of general purpose registers" design.
+ */
+void nvbit_set_save_all_registers(bool enable);
+
+} // namespace nvbit
+
+#endif // NVBIT_CORE_NVBIT_HPP

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Implementation of the nvbit.hpp user-level API in terms of the core.
+ */
+#include "core/nvbit.hpp"
+
+#include "common/logging.hpp"
+#include "core/core.hpp"
+#include "driver/api.hpp"
+
+namespace nvbit {
+
+using core::NvbitCore;
+using core::CallRequest;
+
+void
+runApp(NvbitTool &tool, const std::function<void()> &app_main)
+{
+    NvbitCore &core = NvbitCore::instance();
+    core.inject(&tool);
+    tool.nvbit_at_init();
+    app_main();
+    tool.nvbit_at_term();
+    core.uninject();
+    cudrv::resetDriver();
+}
+
+const std::vector<Instr *> &
+nvbit_get_instrs(CUcontext ctx, CUfunction func)
+{
+    return NvbitCore::instance().getInstrs(ctx, func);
+}
+
+std::vector<std::vector<Instr *>>
+nvbit_get_basic_blocks(CUcontext ctx, CUfunction func)
+{
+    return NvbitCore::instance().getBasicBlocks(ctx, func);
+}
+
+std::vector<CUfunction>
+nvbit_get_related_functions(CUcontext ctx, CUfunction func)
+{
+    return NvbitCore::instance().getRelatedFunctions(ctx, func);
+}
+
+const char *
+nvbit_get_func_name(CUcontext, CUfunction func)
+{
+    return func->name.c_str();
+}
+
+void
+nvbit_insert_call(const Instr *instr, const char *dev_func_name,
+                  ipoint_t where)
+{
+    NvbitCore::instance().insertCall(instr, dev_func_name, where);
+}
+
+void
+nvbit_add_call_arg_guard_pred_val(const Instr *instr)
+{
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::GuardPred, 0, 0});
+}
+
+void
+nvbit_add_call_arg_reg_val(const Instr *instr, int reg_num)
+{
+    NVBIT_ASSERT(reg_num >= 0 && reg_num < 255,
+                 "invalid register number %d", reg_num);
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::RegVal,
+                static_cast<uint64_t>(reg_num), 0});
+}
+
+void
+nvbit_add_call_arg_imm32(const Instr *instr, uint32_t value)
+{
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::Imm32, value, 0});
+}
+
+void
+nvbit_add_call_arg_imm64(const Instr *instr, uint64_t value)
+{
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::Imm64, value, 0});
+}
+
+void
+nvbit_add_call_arg_cbank_val(const Instr *instr, int bank, int off)
+{
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::CBank, static_cast<uint64_t>(bank),
+                static_cast<uint64_t>(off)});
+}
+
+void
+nvbit_add_call_arg_active_mask(const Instr *instr)
+{
+    NvbitCore::instance().addCallArg(
+        instr, {CallRequest::ArgKind::ActiveMask, 0, 0});
+}
+
+void
+nvbit_remove_orig(const Instr *instr)
+{
+    NvbitCore::instance().removeOrig(instr);
+}
+
+void
+nvbit_enable_instrumented(CUcontext ctx, CUfunction func, bool enable,
+                          bool apply_to_related)
+{
+    NvbitCore::instance().enableInstrumented(ctx, func, enable,
+                                             apply_to_related);
+}
+
+void
+nvbit_reset_instrumented(CUcontext ctx, CUfunction func)
+{
+    NvbitCore::instance().resetInstrumented(ctx, func);
+}
+
+CUdeviceptr
+nvbit_tool_global(const char *name)
+{
+    return NvbitCore::instance().toolGlobal(name);
+}
+
+void
+nvbit_read_tool_global(const char *name, void *out, size_t bytes)
+{
+    cudrv::checkCu(cudrv::cuMemcpyDtoH(out, nvbit_tool_global(name),
+                                       bytes),
+                   "nvbit_read_tool_global");
+}
+
+void
+nvbit_write_tool_global(const char *name, const void *in, size_t bytes)
+{
+    cudrv::checkCu(cudrv::cuMemcpyHtoD(nvbit_tool_global(name), in,
+                                       bytes),
+                   "nvbit_write_tool_global");
+}
+
+const JitStats &
+nvbit_get_jit_stats()
+{
+    return NvbitCore::instance().jitStats();
+}
+
+void
+nvbit_set_save_all_registers(bool enable)
+{
+    NvbitCore::instance().setForceFullSave(enable);
+}
+
+} // namespace nvbit

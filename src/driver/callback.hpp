@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Driver-API interposition: CUPTI-style callback IDs and parameter
+ * structs, plus the subscriber registry.
+ *
+ * The paper's Driver Interposer "intercepts the CUDA driver APIs using
+ * the function overloading mechanisms provided by LD_PRELOAD".  In
+ * this in-process reproduction the interception point is explicit: the
+ * driver fires an entry callback before executing each API and an exit
+ * callback after, with a parameter struct specific to the API — the
+ * same shape CUPTI (and NVBit) expose.
+ */
+#ifndef NVBIT_DRIVER_CALLBACK_HPP
+#define NVBIT_DRIVER_CALLBACK_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "driver/api.hpp"
+
+namespace nvbit::cudrv {
+
+/** Callback IDs, one per interposable driver API. */
+enum class CallbackId : uint32_t {
+    Invalid = 0,
+    cuInit,
+    cuCtxCreate,
+    cuCtxDestroy,
+    cuCtxSynchronize,
+    cuModuleLoadData,
+    cuModuleUnload,
+    cuModuleGetFunction,
+    cuModuleGetGlobal,
+    cuMemAlloc,
+    cuMemFree,
+    cuMemcpyHtoD,
+    cuMemcpyDtoH,
+    cuMemcpyDtoD,
+    cuMemsetD8,
+    cuLaunchKernel,
+    NumCallbackIds
+};
+
+/** @return the API name for a callback id (e.g. "cuLaunchKernel"). */
+const char *callbackName(CallbackId id);
+
+// --- Parameter structs (mirroring CUPTI's <api>_params) -------------------
+
+struct cuInit_params {
+    unsigned flags;
+};
+struct cuCtxCreate_params {
+    CUcontext *pctx;
+    unsigned flags;
+    CUdevice dev;
+};
+struct cuCtxDestroy_params {
+    CUcontext ctx;
+};
+struct cuModuleLoadData_params {
+    CUmodule *module;
+    const void *image;
+    size_t image_size;
+};
+struct cuModuleUnload_params {
+    CUmodule module;
+};
+struct cuModuleGetFunction_params {
+    CUfunction *hfunc;
+    CUmodule module;
+    const char *name;
+};
+struct cuModuleGetGlobal_params {
+    CUdeviceptr *dptr;
+    size_t *bytes;
+    CUmodule module;
+    const char *name;
+};
+struct cuMemAlloc_params {
+    CUdeviceptr *dptr;
+    size_t bytesize;
+};
+struct cuMemFree_params {
+    CUdeviceptr dptr;
+};
+struct cuMemcpy_params {
+    CUdeviceptr dst;
+    CUdeviceptr src;
+    const void *src_host;
+    void *dst_host;
+    size_t bytes;
+};
+struct cuMemsetD8_params {
+    CUdeviceptr dst;
+    uint8_t value;
+    size_t bytes;
+};
+struct cuLaunchKernel_params {
+    CUfunction f;
+    unsigned gridDimX, gridDimY, gridDimZ;
+    unsigned blockDimX, blockDimY, blockDimZ;
+    unsigned sharedMemBytes;
+    CUstream hStream;
+    void **kernelParams;
+    void **extra;
+};
+
+/**
+ * Interposer callback.  Fired once with @p is_exit false before the
+ * driver processes the API, and once with @p is_exit true after
+ * (at which point @p status holds the API's result and may be
+ * overridden).
+ */
+using DriverCallback = void (*)(void *user, CUcontext ctx, bool is_exit,
+                                CallbackId cbid, const char *name,
+                                void *params, CUresult *status);
+
+/**
+ * Register the (single) interposer.  In the paper only one NVBit tool
+ * library can be injected per application run; we keep the same
+ * restriction.  Passing nullptr unregisters.
+ */
+void setDriverInterposer(DriverCallback cb, void *user);
+
+/** @return true if an interposer is currently registered. */
+bool driverInterposerActive();
+
+} // namespace nvbit::cudrv
+
+#endif // NVBIT_DRIVER_CALLBACK_HPP

@@ -1,0 +1,774 @@
+#include "driver/internal.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "driver/callback.hpp"
+#include "isa/abi.hpp"
+#include "ptx/compiler.hpp"
+
+namespace nvbit::cudrv {
+
+namespace {
+
+/** Global driver state (the "libcuda" process singleton). */
+struct DriverState {
+    bool initialized = false;
+    sim::GpuConfig pending_cfg;
+    std::unique_ptr<sim::GpuDevice> gpu;
+    std::vector<std::unique_ptr<CUctx_st>> contexts;
+    CUcontext current = nullptr;
+    sim::LaunchStats last_launch;
+    sim::LaunchStats totals;
+    std::map<const CUmod_st *, sim::LaunchStats> module_stats;
+    /** The NVBit tool module, visible to launches from any context
+     *  (device memory and constant bank 2 are device-wide). */
+    CUmod_st *tool_module = nullptr;
+};
+
+DriverState &
+state()
+{
+    static DriverState s;
+    return s;
+}
+
+struct Interposer {
+    DriverCallback cb = nullptr;
+    void *user = nullptr;
+};
+
+Interposer &
+interposer()
+{
+    static Interposer ip;
+    return ip;
+}
+
+const char *kCallbackNames[] = {
+    "invalid",
+    "cuInit",
+    "cuCtxCreate",
+    "cuCtxDestroy",
+    "cuCtxSynchronize",
+    "cuModuleLoadData",
+    "cuModuleUnload",
+    "cuModuleGetFunction",
+    "cuModuleGetGlobal",
+    "cuMemAlloc",
+    "cuMemFree",
+    "cuMemcpyHtoD",
+    "cuMemcpyDtoH",
+    "cuMemcpyDtoD",
+    "cuMemsetD8",
+    "cuLaunchKernel",
+};
+
+static_assert(sizeof(kCallbackNames) / sizeof(kCallbackNames[0]) ==
+                  static_cast<size_t>(CallbackId::NumCallbackIds),
+              "callback names out of sync");
+
+void
+fire(CUcontext ctx, bool is_exit, CallbackId cbid, void *params,
+     CUresult *status)
+{
+    Interposer &ip = interposer();
+    if (ip.cb)
+        ip.cb(ip.user, ctx, is_exit, cbid, callbackName(cbid), params,
+              status);
+}
+
+/** RAII helper firing entry/exit interposer callbacks around an API. */
+class ApiScope
+{
+  public:
+    ApiScope(CallbackId cbid, void *params)
+        : cbid_(cbid), params_(params), ctx_(state().current)
+    {
+        fire(ctx_, false, cbid_, params_, &status_);
+    }
+
+    ~ApiScope() { fire(ctx_, true, cbid_, params_, &status_); }
+
+    CUresult &status() { return status_; }
+
+  private:
+    CallbackId cbid_;
+    void *params_;
+    CUcontext ctx_;
+    CUresult status_ = CUDA_SUCCESS;
+};
+
+/**
+ * Worst-case stack bytes for a call tree rooted at @p f.  Unresolved
+ * callees (e.g. functions supplied by a later module) are charged a
+ * fixed pessimistic amount.
+ */
+uint32_t
+computeTotalStack(CUfunc_st *f, std::vector<CUfunc_st *> &visiting)
+{
+    if (std::find(visiting.begin(), visiting.end(), f) != visiting.end())
+        return f->frame_bytes; // recursion: charge one frame and stop
+    visiting.push_back(f);
+    uint32_t callee_max = 0;
+    for (CUfunc_st *r : f->related)
+        callee_max = std::max(callee_max,
+                              computeTotalStack(r, visiting));
+    if (!f->unresolved_related.empty())
+        callee_max = std::max(callee_max, 256u);
+    visiting.pop_back();
+    return f->frame_bytes + callee_max;
+}
+
+/** Search a context's modules (newest first) for a function by name. */
+CUfunc_st *
+findInContext(CUctx_st *ctx, const std::string &name)
+{
+    for (auto it = ctx->modules.rbegin(); it != ctx->modules.rend();
+         ++it) {
+        if (CUfunc_st *f = (*it)->find(name))
+            return f;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+callbackName(CallbackId id)
+{
+    auto i = static_cast<size_t>(id);
+    NVBIT_ASSERT(i < static_cast<size_t>(CallbackId::NumCallbackIds),
+                 "bad callback id %zu", i);
+    return kCallbackNames[i];
+}
+
+void
+setDriverInterposer(DriverCallback cb, void *user)
+{
+    NVBIT_ASSERT(cb == nullptr || interposer().cb == nullptr,
+                 "only a single driver interposer (NVBit tool) can be "
+                 "registered at a time");
+    interposer().cb = cb;
+    interposer().user = user;
+}
+
+bool
+driverInterposerActive()
+{
+    return interposer().cb != nullptr;
+}
+
+CUfunc_st *
+CUmod_st::find(const std::string &name) const
+{
+    auto it = func_by_name.find(name);
+    return it == func_by_name.end() ? nullptr : it->second;
+}
+
+// --- Init / device --------------------------------------------------------
+
+CUresult
+cuInit(unsigned flags)
+{
+    cuInit_params p{flags};
+    ApiScope scope(CallbackId::cuInit, &p);
+    DriverState &s = state();
+    if (!s.initialized) {
+        s.gpu = std::make_unique<sim::GpuDevice>(s.pending_cfg);
+        s.initialized = true;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuDeviceGetCount(int *count)
+{
+    if (!count)
+        return CUDA_ERROR_INVALID_VALUE;
+    *count = state().initialized ? 1 : 0;
+    return CUDA_SUCCESS;
+}
+
+void
+setDeviceConfig(const sim::GpuConfig &cfg)
+{
+    NVBIT_ASSERT(!state().initialized,
+                 "setDeviceConfig must precede cuInit (or follow "
+                 "resetDriver)");
+    state().pending_cfg = cfg;
+}
+
+void
+resetDriver()
+{
+    DriverState &s = state();
+    s.contexts.clear();
+    s.current = nullptr;
+    s.gpu.reset();
+    s.initialized = false;
+    s.last_launch = sim::LaunchStats{};
+    s.totals = sim::LaunchStats{};
+    s.module_stats.clear();
+    s.tool_module = nullptr;
+}
+
+sim::GpuDevice &
+device()
+{
+    NVBIT_ASSERT(state().initialized, "driver not initialised");
+    return *state().gpu;
+}
+
+CUcontext
+currentContext()
+{
+    return state().current;
+}
+
+// --- Context ---------------------------------------------------------------
+
+CUresult
+cuCtxCreate(CUcontext *ctx, unsigned flags, CUdevice dev)
+{
+    cuCtxCreate_params p{ctx, flags, dev};
+    ApiScope scope(CallbackId::cuCtxCreate, &p);
+    DriverState &s = state();
+    if (!s.initialized)
+        return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (!ctx || dev != 0)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    auto c = std::make_unique<CUctx_st>();
+    c->gpu = s.gpu.get();
+    s.contexts.push_back(std::move(c));
+    *ctx = s.contexts.back().get();
+    s.current = *ctx;
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuCtxDestroy(CUcontext ctx)
+{
+    cuCtxDestroy_params p{ctx};
+    ApiScope scope(CallbackId::cuCtxDestroy, &p);
+    DriverState &s = state();
+    auto it = std::find_if(s.contexts.begin(), s.contexts.end(),
+                           [&](const auto &c) { return c.get() == ctx; });
+    if (it == s.contexts.end())
+        return scope.status() = CUDA_ERROR_INVALID_CONTEXT;
+    if (s.current == ctx)
+        s.current = nullptr;
+    s.contexts.erase(it);
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuCtxGetCurrent(CUcontext *ctx)
+{
+    if (!ctx)
+        return CUDA_ERROR_INVALID_VALUE;
+    *ctx = state().current;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuCtxSetCurrent(CUcontext ctx)
+{
+    state().current = ctx;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuCtxSynchronize()
+{
+    ApiScope scope(CallbackId::cuCtxSynchronize, nullptr);
+    // Launches are synchronous in the simulator; nothing to wait for.
+    return scope.status() = CUDA_SUCCESS;
+}
+
+// --- Modules ----------------------------------------------------------------
+
+namespace {
+
+CUresult
+placeModule(CUctx_st *ctx, const ModuleData &data, bool is_tool_module,
+            const std::map<std::string, CUdeviceptr> *extra_syms,
+            CUmodule *out)
+{
+    sim::GpuDevice &gpu = *ctx->gpu;
+    if (data.family != gpu.family()) {
+        warn("module compiled for %s but device is %s",
+             isa::archFamilyName(data.family),
+             isa::archFamilyName(gpu.family()));
+        return CUDA_ERROR_INVALID_IMAGE;
+    }
+
+    auto mod = std::make_unique<CUmod_st>();
+    mod->ctx = ctx;
+    mod->family = data.family;
+    mod->is_tool_module = is_tool_module;
+    mod->files = data.files;
+    mod->bank1 = data.bank1;
+
+    // Place globals and patch their bank-1 address slots.
+    for (const ptx::GlobalVar &g : data.globals) {
+        mem::DevPtr addr = gpu.memory().tryAlloc(
+            std::max<uint64_t>(g.size_bytes, 1), 256);
+        if (!addr)
+            return CUDA_ERROR_OUT_OF_MEMORY;
+        std::vector<uint8_t> init(g.size_bytes, 0);
+        if (!g.init.empty())
+            std::copy(g.init.begin(), g.init.end(), init.begin());
+        gpu.memory().write(addr, init.data(), init.size());
+        mod->globals[g.name] = {addr, g.size_bytes};
+        NVBIT_ASSERT(g.addr_slot + 8 <= mod->bank1.size(),
+                     "global address slot out of bank range");
+        std::memcpy(mod->bank1.data() + g.addr_slot, &addr, 8);
+    }
+
+    // Place code.
+    const size_t align = isa::codeAlignment(data.family);
+    for (const FuncImage &fi : data.functions) {
+        mem::DevPtr addr =
+            gpu.memory().tryAlloc(std::max<size_t>(fi.code.size(), 1),
+                                  std::max<size_t>(align, 16));
+        if (!addr)
+            return CUDA_ERROR_OUT_OF_MEMORY;
+        gpu.memory().write(addr, fi.code.data(), fi.code.size());
+
+        auto f = std::make_unique<CUfunc_st>();
+        f->mod = mod.get();
+        f->name = fi.name;
+        f->is_entry = fi.is_entry;
+        f->code_addr = addr;
+        f->code_size = fi.code.size();
+        f->num_regs = fi.num_regs;
+        f->frame_bytes = fi.frame_bytes;
+        f->shared_bytes = fi.shared_bytes;
+        f->param_bytes = fi.param_bytes;
+        f->params = fi.params;
+        f->line_info = fi.line_info;
+        f->uses_device_api = fi.uses_device_api;
+        mod->func_by_name[fi.name] = f.get();
+        mod->funcs.push_back(std::move(f));
+    }
+
+    // Resolve relocations: intra-module first, then extra symbols
+    // (NVBit built-ins), then previously loaded modules.
+    const size_t ib = isa::instrBytes(data.family);
+    for (size_t fi_idx = 0; fi_idx < data.functions.size(); ++fi_idx) {
+        const FuncImage &fi = data.functions[fi_idx];
+        CUfunc_st *f = mod->funcs[fi_idx].get();
+
+        for (const std::string &rel : fi.related) {
+            if (CUfunc_st *t = mod->find(rel)) {
+                f->related.push_back(t);
+            } else if (extra_syms && extra_syms->count(rel)) {
+                f->unresolved_related.push_back(rel);
+            } else if (CUfunc_st *t2 = findInContext(ctx, rel)) {
+                f->related.push_back(t2);
+            } else {
+                f->unresolved_related.push_back(rel);
+            }
+        }
+
+        for (const ptx::CallReloc &rl : fi.relocs) {
+            CUdeviceptr target = 0;
+            if (CUfunc_st *t = mod->find(rl.callee)) {
+                target = t->code_addr;
+            } else if (extra_syms) {
+                auto it = extra_syms->find(rl.callee);
+                if (it != extra_syms->end())
+                    target = it->second;
+            }
+            if (!target) {
+                if (CUfunc_st *t = findInContext(ctx, rl.callee))
+                    target = t->code_addr;
+            }
+            if (!target) {
+                warn("unresolved call to '%s' in function '%s'",
+                     rl.callee.c_str(), fi.name.c_str());
+                return CUDA_ERROR_NOT_FOUND;
+            }
+            // Patch the CAL instruction in device memory.
+            mem::DevPtr at = f->code_addr + rl.instr_index * ib;
+            isa::Instruction in;
+            auto bytes = gpu.memory().mutableView(at, ib);
+            bool ok = isa::decode(data.family, bytes.data(), in);
+            NVBIT_ASSERT(ok && in.op == isa::Opcode::CAL,
+                         "call relocation does not point at a CAL");
+            in.imm = static_cast<int64_t>(target / isa::kJmpScale);
+            isa::encode(data.family, in, bytes.data());
+        }
+    }
+
+    // Transitive stack requirements.
+    for (auto &f : mod->funcs) {
+        std::vector<CUfunc_st *> visiting;
+        f->total_stack = computeTotalStack(f.get(), visiting);
+        f->launch_num_regs = f->num_regs;
+        f->launch_stack_bytes = f->total_stack;
+    }
+
+    ctx->modules.push_back(std::move(mod));
+    *out = ctx->modules.back().get();
+    if (is_tool_module) {
+        ctx->tool_module = *out;
+        state().tool_module = *out;
+    }
+    return CUDA_SUCCESS;
+}
+
+} // namespace
+
+CUresult
+loadModuleInternal(CUmodule *out, CUcontext ctx, const void *image,
+                   size_t size, bool fire_callbacks, bool is_tool_module,
+                   const std::map<std::string, CUdeviceptr> *extra_syms)
+{
+    if (!out || !image || !ctx)
+        return CUDA_ERROR_INVALID_VALUE;
+    (void)fire_callbacks; // callbacks are handled by the public wrapper
+
+    ModuleData data;
+    if (isBinaryImage(image, size)) {
+        if (!deserializeModule(image, size, data))
+            return CUDA_ERROR_INVALID_IMAGE;
+    } else {
+        // JIT path: treat the image as PTX text.
+        std::string src(static_cast<const char *>(image),
+                        size ? size : std::strlen(
+                                          static_cast<const char *>(image)));
+        try {
+            ptx::CompiledModule cm =
+                ptx::compile(src, ctx->gpu->family());
+            data = fromCompiled(cm);
+        } catch (const ptx::CompileError &e) {
+            warn("driver JIT failed at line %d: %s", e.line,
+                 e.message.c_str());
+            return CUDA_ERROR_INVALID_IMAGE;
+        }
+    }
+    return placeModule(ctx, data, is_tool_module, extra_syms, out);
+}
+
+CUresult
+cuModuleLoadData(CUmodule *mod, const void *image, size_t image_size)
+{
+    cuModuleLoadData_params p{mod, image, image_size};
+    ApiScope scope(CallbackId::cuModuleLoadData, &p);
+    CUcontext ctx = state().current;
+    if (!ctx)
+        return scope.status() = CUDA_ERROR_INVALID_CONTEXT;
+    return scope.status() = loadModuleInternal(mod, ctx, image,
+                                               image_size, false, false,
+                                               nullptr);
+}
+
+CUresult
+cuModuleUnload(CUmodule mod)
+{
+    cuModuleUnload_params p{mod};
+    ApiScope scope(CallbackId::cuModuleUnload, &p);
+    CUcontext ctx = state().current;
+    if (!ctx || !mod)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    auto it = std::find_if(ctx->modules.begin(), ctx->modules.end(),
+                           [&](const auto &m) { return m.get() == mod; });
+    if (it == ctx->modules.end())
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    // Free device resources.
+    for (auto &f : mod->funcs)
+        ctx->gpu->memory().free(f->code_addr);
+    for (auto &[name, g] : mod->globals)
+        ctx->gpu->memory().free(g.first);
+    if (ctx->tool_module == mod)
+        ctx->tool_module = nullptr;
+    if (state().tool_module == mod)
+        state().tool_module = nullptr;
+    ctx->modules.erase(it);
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuModuleGetFunction(CUfunction *fn, CUmodule mod, const char *name)
+{
+    cuModuleGetFunction_params p{fn, mod, name};
+    ApiScope scope(CallbackId::cuModuleGetFunction, &p);
+    if (!fn || !mod || !name)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    CUfunc_st *f = mod->find(name);
+    if (!f)
+        return scope.status() = CUDA_ERROR_NOT_FOUND;
+    *fn = f;
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuModuleGetGlobal(CUdeviceptr *ptr, size_t *bytes, CUmodule mod,
+                  const char *name)
+{
+    cuModuleGetGlobal_params p{ptr, bytes, mod, name};
+    ApiScope scope(CallbackId::cuModuleGetGlobal, &p);
+    if (!mod || !name)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    auto it = mod->globals.find(name);
+    if (it == mod->globals.end())
+        return scope.status() = CUDA_ERROR_NOT_FOUND;
+    if (ptr)
+        *ptr = it->second.first;
+    if (bytes)
+        *bytes = it->second.second;
+    return scope.status() = CUDA_SUCCESS;
+}
+
+// --- Memory -----------------------------------------------------------------
+
+CUresult
+cuMemAlloc(CUdeviceptr *ptr, size_t bytes)
+{
+    cuMemAlloc_params p{ptr, bytes};
+    ApiScope scope(CallbackId::cuMemAlloc, &p);
+    if (!state().initialized)
+        return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (!ptr)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    mem::DevPtr a = state().gpu->memory().tryAlloc(bytes, 256);
+    if (!a)
+        return scope.status() = CUDA_ERROR_OUT_OF_MEMORY;
+    *ptr = a;
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemFree(CUdeviceptr ptr)
+{
+    cuMemFree_params p{ptr};
+    ApiScope scope(CallbackId::cuMemFree, &p);
+    if (!state().initialized)
+        return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    state().gpu->memory().free(ptr);
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemcpyHtoD(CUdeviceptr dst, const void *src, size_t bytes)
+{
+    cuMemcpy_params p{dst, 0, src, nullptr, bytes};
+    ApiScope scope(CallbackId::cuMemcpyHtoD, &p);
+    try {
+        state().gpu->memory().write(dst, src, bytes);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemcpyDtoH(void *dst, CUdeviceptr src, size_t bytes)
+{
+    cuMemcpy_params p{0, src, nullptr, dst, bytes};
+    ApiScope scope(CallbackId::cuMemcpyDtoH, &p);
+    try {
+        state().gpu->memory().read(src, dst, bytes);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t bytes)
+{
+    cuMemcpy_params p{dst, src, nullptr, nullptr, bytes};
+    ApiScope scope(CallbackId::cuMemcpyDtoD, &p);
+    try {
+        std::vector<uint8_t> tmp(bytes);
+        state().gpu->memory().read(src, tmp.data(), bytes);
+        state().gpu->memory().write(dst, tmp.data(), bytes);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemsetD8(CUdeviceptr dst, uint8_t value, size_t bytes)
+{
+    cuMemsetD8_params p{dst, value, bytes};
+    ApiScope scope(CallbackId::cuMemsetD8, &p);
+    try {
+        std::vector<uint8_t> tmp(bytes, value);
+        state().gpu->memory().write(dst, tmp.data(), bytes);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuMemsetD32(CUdeviceptr dst, uint32_t value, size_t count)
+{
+    if (!state().initialized)
+        return CUDA_ERROR_NOT_INITIALIZED;
+    try {
+        std::vector<uint32_t> tmp(count, value);
+        state().gpu->memory().write(dst, tmp.data(), count * 4);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        return CUDA_ERROR_ILLEGAL_ADDRESS;
+    }
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuMemGetInfo(size_t *free_bytes, size_t *total_bytes)
+{
+    if (!state().initialized)
+        return CUDA_ERROR_NOT_INITIALIZED;
+    const mem::DeviceMemory &m = state().gpu->memory();
+    if (total_bytes)
+        *total_bytes = m.size();
+    if (free_bytes)
+        *free_bytes = m.size() - m.bytesAllocated();
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuFuncGetAttribute(int *value, CUfunction_attribute attrib,
+                   CUfunction fn)
+{
+    if (!value || !fn)
+        return CUDA_ERROR_INVALID_VALUE;
+    switch (attrib) {
+      case CU_FUNC_ATTRIBUTE_NUM_REGS:
+        *value = static_cast<int>(fn->num_regs);
+        return CUDA_SUCCESS;
+      case CU_FUNC_ATTRIBUTE_SHARED_SIZE_BYTES:
+        *value = static_cast<int>(fn->shared_bytes);
+        return CUDA_SUCCESS;
+      case CU_FUNC_ATTRIBUTE_LOCAL_SIZE_BYTES:
+        *value = static_cast<int>(fn->total_stack);
+        return CUDA_SUCCESS;
+      case CU_FUNC_ATTRIBUTE_MAX_THREADS_PER_BLOCK:
+        *value = 1024;
+        return CUDA_SUCCESS;
+    }
+    return CUDA_ERROR_INVALID_VALUE;
+}
+
+// --- Launch -----------------------------------------------------------------
+
+CUresult
+cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
+               unsigned grid_z, unsigned block_x, unsigned block_y,
+               unsigned block_z, unsigned shared_bytes, CUstream stream,
+               void **params, void **extra)
+{
+    cuLaunchKernel_params p{fn, grid_x, grid_y, grid_z,
+                            block_x, block_y, block_z,
+                            shared_bytes, stream, params, extra};
+    ApiScope scope(CallbackId::cuLaunchKernel, &p);
+    DriverState &s = state();
+    if (!s.initialized)
+        return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (!fn || !fn->is_entry)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    if (grid_x == 0 || grid_y == 0 || grid_z == 0 || block_x == 0 ||
+        block_y == 0 || block_z == 0 ||
+        block_x * block_y * block_z > 1024) {
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    }
+
+    sim::LaunchParams lp;
+    lp.entry_pc = fn->code_addr;
+    lp.grid[0] = grid_x;
+    lp.grid[1] = grid_y;
+    lp.grid[2] = grid_z;
+    lp.block[0] = block_x;
+    lp.block[1] = block_y;
+    lp.block[2] = block_z;
+    lp.num_regs = fn->launch_num_regs;
+    lp.local_bytes = fn->launch_stack_bytes + kLaunchStackMargin;
+    lp.shared_bytes = fn->shared_bytes + shared_bytes;
+    lp.bank1 = fn->mod->bank1;
+    if (s.tool_module)
+        lp.bank2 = s.tool_module->bank1;
+
+    // Build constant bank 0 from the parameter pointers.
+    if (!fn->params.empty()) {
+        if (!params)
+            return scope.status() = CUDA_ERROR_INVALID_VALUE;
+        lp.bank0.resize(fn->param_bytes, 0);
+        for (size_t i = 0; i < fn->params.size(); ++i) {
+            const ptx::ParamInfo &pi = fn->params[i];
+            if (!params[i])
+                return scope.status() = CUDA_ERROR_INVALID_VALUE;
+            std::memcpy(lp.bank0.data() + pi.bank0_offset, params[i],
+                        ptx::paramBytes(pi.kind));
+        }
+    }
+
+    try {
+        sim::LaunchStats st = s.gpu->launch(lp);
+        s.last_launch = st;
+        s.totals.merge(st);
+        s.module_stats[fn->mod].merge(st);
+        ++fn->launch_count;
+    } catch (const sim::SimTrap &t) {
+        warn("kernel '%s' trapped at pc 0x%llx: %s", fn->name.c_str(),
+             static_cast<unsigned long long>(t.pc), t.reason.c_str());
+        return scope.status() = CUDA_ERROR_LAUNCH_FAILED;
+    }
+    return scope.status() = CUDA_SUCCESS;
+}
+
+const sim::LaunchStats &
+lastLaunchStats()
+{
+    return state().last_launch;
+}
+
+const sim::LaunchStats &
+deviceTotalStats()
+{
+    return state().totals;
+}
+
+const std::map<const CUmod_st *, sim::LaunchStats> &
+perModuleStats()
+{
+    return state().module_stats;
+}
+
+const char *
+resultName(CUresult r)
+{
+    switch (r) {
+      case CUDA_SUCCESS: return "CUDA_SUCCESS";
+      case CUDA_ERROR_INVALID_VALUE: return "CUDA_ERROR_INVALID_VALUE";
+      case CUDA_ERROR_OUT_OF_MEMORY: return "CUDA_ERROR_OUT_OF_MEMORY";
+      case CUDA_ERROR_NOT_INITIALIZED:
+        return "CUDA_ERROR_NOT_INITIALIZED";
+      case CUDA_ERROR_DEINITIALIZED: return "CUDA_ERROR_DEINITIALIZED";
+      case CUDA_ERROR_INVALID_IMAGE: return "CUDA_ERROR_INVALID_IMAGE";
+      case CUDA_ERROR_INVALID_CONTEXT:
+        return "CUDA_ERROR_INVALID_CONTEXT";
+      case CUDA_ERROR_NOT_FOUND: return "CUDA_ERROR_NOT_FOUND";
+      case CUDA_ERROR_LAUNCH_FAILED: return "CUDA_ERROR_LAUNCH_FAILED";
+      case CUDA_ERROR_ILLEGAL_ADDRESS:
+        return "CUDA_ERROR_ILLEGAL_ADDRESS";
+      case CUDA_ERROR_ILLEGAL_INSTRUCTION:
+        return "CUDA_ERROR_ILLEGAL_INSTRUCTION";
+      default: return "CUDA_ERROR_UNKNOWN";
+    }
+}
+
+void
+checkCu(CUresult r, const char *what)
+{
+    if (r != CUDA_SUCCESS)
+        fatal("%s failed: %s", what, resultName(r));
+}
+
+} // namespace nvbit::cudrv

@@ -1,0 +1,163 @@
+#include "isa/abi.hpp"
+
+#include <algorithm>
+
+namespace nvbit::isa {
+
+std::optional<std::vector<AbiArgSlot>>
+abiAssignArgRegs(const std::vector<bool> &arg_is64)
+{
+    std::vector<AbiArgSlot> slots;
+    unsigned next = kAbiArgReg;
+    for (bool is64 : arg_is64) {
+        if (is64) {
+            if (next % 2 != 0)
+                ++next; // pairs are even-aligned
+            if (next + 1 >= kAbiArgReg + kAbiNumArgRegs)
+                return std::nullopt;
+            slots.push_back({static_cast<uint8_t>(next), true});
+            next += 2;
+        } else {
+            if (next >= kAbiArgReg + kAbiNumArgRegs)
+                return std::nullopt;
+            slots.push_back({static_cast<uint8_t>(next), false});
+            next += 1;
+        }
+    }
+    return slots;
+}
+
+namespace {
+
+/** Track the maximum GPR index, treating RZ as "no register". */
+void
+track(int &max_reg, uint8_t r, unsigned width_regs = 1)
+{
+    if (r == kRegZ)
+        return;
+    max_reg = std::max(max_reg, static_cast<int>(r + width_regs - 1));
+}
+
+} // namespace
+
+int
+maxRegUsed(const Instruction &in)
+{
+    int max_reg = -1;
+    const bool imm2 = (in.mod & kModImmSrc2) != 0;
+    const bool wide = modGetDType(in.mod) == DType::U64;
+    const unsigned mem_regs = in.memAccessBytes() == 8 ? 2 : 1;
+
+    switch (in.info().format) {
+      case OpFormat::Nullary:
+      case OpFormat::Branch:
+      case OpFormat::JumpAbs:
+        break;
+      case OpFormat::BranchInd:
+        track(max_reg, in.ra);
+        break;
+      case OpFormat::Alu1:
+        if (in.op == Opcode::MOV && wide) {
+            track(max_reg, in.rd, 2);
+            if (!imm2)
+                track(max_reg, in.ra, 2);
+        } else {
+            track(max_reg, in.rd);
+            if (!imm2)
+                track(max_reg, in.ra);
+        }
+        break;
+      case OpFormat::Alu2: {
+        unsigned w = wide ? 2 : 1;
+        // Shifts take a 32-bit shift amount even in the wide form.
+        bool shift = in.op == Opcode::SHL || in.op == Opcode::SHR;
+        track(max_reg, in.rd, w);
+        track(max_reg, in.ra, w);
+        if (!imm2)
+            track(max_reg, in.rb, shift ? 1 : w);
+        break;
+      }
+      case OpFormat::Alu3:
+        if (in.op == Opcode::IMAD && wide) {
+            track(max_reg, in.rd, 2);
+            track(max_reg, in.ra);
+            track(max_reg, in.rb);
+            track(max_reg, in.rc, 2);
+        } else {
+            track(max_reg, in.rd);
+            track(max_reg, in.ra);
+            track(max_reg, in.rb);
+            track(max_reg, in.rc);
+        }
+        break;
+      case OpFormat::AluSel:
+        track(max_reg, in.rd);
+        track(max_reg, in.ra);
+        track(max_reg, in.rb);
+        break;
+      case OpFormat::Setp:
+        track(max_reg, in.ra,
+              modGetSetpDType(in.mod) == DType::U64 ? 2 : 1);
+        if (!(in.mod & kModSetpImm))
+            track(max_reg, in.rb,
+                  modGetSetpDType(in.mod) == DType::U64 ? 2 : 1);
+        break;
+      case OpFormat::Load:
+        track(max_reg, in.rd, mem_regs);
+        track(max_reg, in.ra, in.memSpace() == MemSpace::GLOBAL ? 2 : 1);
+        break;
+      case OpFormat::Store:
+        track(max_reg, in.ra, in.memSpace() == MemSpace::GLOBAL ? 2 : 1);
+        track(max_reg, in.rb, mem_regs);
+        break;
+      case OpFormat::LoadConst:
+        track(max_reg, in.rd, mem_regs);
+        break;
+      case OpFormat::Atomic: {
+        unsigned w = modGetAtomDType(in.mod) == DType::U64 ? 2 : 1;
+        track(max_reg, in.rd, w);
+        track(max_reg, in.ra, 2);
+        track(max_reg, in.rb, w);
+        if (modGetAtomOp(in.mod) == AtomOp::CAS)
+            track(max_reg, in.rc, w);
+        break;
+      }
+      case OpFormat::Vote:
+        track(max_reg, in.rd);
+        break;
+      case OpFormat::Match:
+        track(max_reg, in.rd);
+        track(max_reg, in.ra, (in.mod & kModSize64) ? 2 : 1);
+        break;
+      case OpFormat::Shfl:
+        track(max_reg, in.rd);
+        track(max_reg, in.ra);
+        if (!(in.mod & kModShflImm))
+            track(max_reg, in.rb);
+        break;
+      case OpFormat::ReadSpec:
+        track(max_reg, in.rd);
+        break;
+      case OpFormat::PredMove:
+        track(max_reg, in.op == Opcode::P2R ? in.rd : in.ra);
+        break;
+      case OpFormat::Proxy:
+        // Conservative: assume 64-bit pairs in and out.
+        track(max_reg, in.rd, 2);
+        track(max_reg, in.ra, 2);
+        track(max_reg, in.rb);
+        break;
+    }
+    return max_reg;
+}
+
+uint32_t
+regsUsed(std::span<const Instruction> code)
+{
+    int max_reg = -1;
+    for (const Instruction &in : code)
+        max_reg = std::max(max_reg, maxRegUsed(in));
+    return static_cast<uint32_t>(max_reg + 1);
+}
+
+} // namespace nvbit::isa

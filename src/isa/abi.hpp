@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The machine ABI shared by the back-end compiler, the driver and the
+ * NVBit core (paper Section 2.2: "GPU compute programs adhere to a
+ * well-defined application binary interface").
+ *
+ * Rules:
+ *  - R1 is the stack pointer, initialised by the driver at launch to
+ *    the top of the thread's local-memory window; stacks grow down.
+ *  - R0 and R2 are assembler/trampoline scratch; compiled code never
+ *    allocates them but may clobber them freely.
+ *  - R3 carries the NVBit device-API context (saved-state pointer) and
+ *    is never allocated by the compiler.
+ *  - Arguments go in R4..R15 (32-bit each, 64-bit values in
+ *    even-aligned pairs); the return value is in R4.
+ *  - Everything is caller-saved: a call may clobber any register except
+ *    R1 and R3.  NVBit's trampolines perform the saving when injecting
+ *    functions into code that does not expect calls.
+ */
+#ifndef NVBIT_ISA_ABI_HPP
+#define NVBIT_ISA_ABI_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace nvbit::isa {
+
+/** First register the compiler's allocator may assign. */
+constexpr uint8_t kAbiFirstAllocatable = 4;
+/** NVBit device-API context register (never allocated). */
+constexpr uint8_t kAbiNvbitCtxReg = 3;
+/** Scratch registers usable by generated glue code. */
+constexpr uint8_t kAbiScratch0 = 0;
+constexpr uint8_t kAbiScratch1 = 2;
+
+/** Assignment of one argument to registers. */
+struct AbiArgSlot {
+    uint8_t reg;  ///< first register (pair base for 64-bit)
+    bool is64;
+};
+
+/**
+ * Assign argument registers for the given argument widths.
+ * @return one slot per argument, or std::nullopt if the arguments do
+ *         not fit in R4..R15 (stack-passed arguments are unsupported).
+ */
+std::optional<std::vector<AbiArgSlot>>
+abiAssignArgRegs(const std::vector<bool> &arg_is64);
+
+/**
+ * @return the highest general-purpose register index read or written
+ * by @p in (accounting for 64-bit register pairs), or -1 if the
+ * instruction touches no GPR.  RZ does not count.
+ *
+ * This is the primitive behind NVBit's register-requirement analysis:
+ * the paper's Code Generator "analyzes the register requirements of
+ * both the original code and injected function" to pick a save/restore
+ * routine.
+ */
+int maxRegUsed(const Instruction &in);
+
+/** @return max over @p code of maxRegUsed() + 1 (i.e. registers used). */
+uint32_t regsUsed(std::span<const Instruction> code);
+
+} // namespace nvbit::isa
+
+#endif // NVBIT_ISA_ABI_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Architecture families and binary instruction encodings.
+ *
+ * Two families are modelled, mirroring the paper's observation that
+ * "Kepler, Maxwell, and Pascal have 64-bit-wide encodings, while Volta
+ * has 128-bit-wide encodings":
+ *
+ *   SM5x — 64-bit encoding:
+ *     [63:58] opcode  [57:54] guard pred (neg|idx)  [53:46] rd
+ *     [45:38] ra      [37:30] rb                    [29:24] mod
+ *     [23:0]  imm (signed 24-bit); Alu3/ATOM.CAS carry rc in imm[7:0]
+ *
+ *   SM7x — 128-bit encoding (two little-endian 64-bit words):
+ *     word0: [63:52] opcode  [51:48] pred  [47:40] rd  [39:32] ra
+ *            [31:24] rb      [23:16] rc    [15:0] mod
+ *     word1: imm (signed 64-bit)
+ *
+ * NVBit's Hardware Abstraction Layer (core/hal.hpp) is built on top of
+ * these primitives.
+ */
+#ifndef NVBIT_ISA_ARCH_HPP
+#define NVBIT_ISA_ARCH_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace nvbit::isa {
+
+/** GPU architecture families with distinct binary encodings. */
+enum class ArchFamily : uint8_t {
+    SM5x,   ///< 64-bit instruction words (Kepler/Maxwell/Pascal-like)
+    SM7x    ///< 128-bit instruction words (Volta-like)
+};
+
+/** @return human-readable family name ("SM5x"/"SM7x"). */
+const char *archFamilyName(ArchFamily fam);
+
+/** @return instruction width in bytes for @p fam (8 or 16). */
+constexpr size_t
+instrBytes(ArchFamily fam)
+{
+    return fam == ArchFamily::SM5x ? 8 : 16;
+}
+
+/** Required alignment of code regions (equal to the instruction width). */
+constexpr size_t
+codeAlignment(ArchFamily fam)
+{
+    return instrBytes(fam);
+}
+
+/**
+ * Encode @p instr into @p out (exactly instrBytes(fam) bytes).
+ * Calls panic() if a field does not fit its encoding slot (e.g. a
+ * relocated branch offset overflowing the 24-bit SM5x immediate).
+ */
+void encode(ArchFamily fam, const Instruction &instr, uint8_t *out);
+
+/** Encode a whole function body; returns the raw code bytes. */
+std::vector<uint8_t> encodeAll(ArchFamily fam,
+                               std::span<const Instruction> instrs);
+
+/**
+ * Decode one instruction from @p bytes (at least instrBytes(fam) long).
+ * @return false if the opcode field is out of range (corrupt code).
+ */
+bool decode(ArchFamily fam, const uint8_t *bytes, Instruction &out);
+
+/** Decode a whole code region; panics on undecodable words. */
+std::vector<Instruction> decodeAll(ArchFamily fam,
+                                   std::span<const uint8_t> bytes);
+
+/**
+ * @return true if @p instr can be encoded for @p fam without loss
+ * (all immediates fit).  encode() panics where this returns false.
+ */
+bool encodable(ArchFamily fam, const Instruction &instr);
+
+} // namespace nvbit::isa
+
+#endif // NVBIT_ISA_ARCH_HPP

@@ -1,0 +1,486 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace nvbit::isa {
+
+namespace {
+
+/** Split "IADD.U32.MAX" into upper-case dotted parts. */
+std::vector<std::string>
+splitDots(const std::string &s)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t dot = s.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(s.substr(start));
+            break;
+        }
+        parts.push_back(s.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return parts;
+}
+
+/** Tokenize operands: registers, predicates, immediates, [mem], c[][]. */
+struct OperandTok {
+    enum class Kind { Reg, Pred, Imm, Mem, CBank, Special } kind;
+    uint8_t reg = 0;       // Reg / Mem base
+    uint8_t pred = 0;
+    bool pred_neg = false;
+    int64_t imm = 0;       // Imm value / Mem offset / CBank offset
+    uint8_t bank = 0;
+    std::string special;   // SR_* name
+};
+
+bool
+parseInt(const std::string &s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    size_t i = 0;
+    bool neg = false;
+    if (s[0] == '-') {
+        neg = true;
+        i = 1;
+    }
+    if (i >= s.size())
+        return false;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str() + i, &end, 0);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = neg ? -v : v;
+    return true;
+}
+
+bool
+parseReg(const std::string &s, uint8_t &out)
+{
+    if (s == "RZ") {
+        out = kRegZ;
+        return true;
+    }
+    if (s.size() < 2 || s[0] != 'R')
+        return false;
+    int64_t v;
+    if (!parseInt(s.substr(1), v) || v < 0 || v > 255)
+        return false;
+    out = static_cast<uint8_t>(v);
+    return true;
+}
+
+bool
+parsePred(const std::string &s, uint8_t &idx, bool &neg)
+{
+    std::string t = s;
+    neg = false;
+    if (!t.empty() && t[0] == '!') {
+        neg = true;
+        t = t.substr(1);
+    }
+    if (t == "PT") {
+        idx = kPredT;
+        return true;
+    }
+    if (t.size() == 2 && t[0] == 'P' && std::isdigit(t[1])) {
+        idx = static_cast<uint8_t>(t[1] - '0');
+        return idx < kNumPred;
+    }
+    return false;
+}
+
+bool
+parseOperand(const std::string &raw, OperandTok &out)
+{
+    std::string s = raw;
+    if (s.empty())
+        return false;
+    if (s[0] == '[') {
+        // [Rn] or [Rn+imm] or [Rn+-imm]
+        size_t close = s.find(']');
+        if (close == std::string::npos)
+            return false;
+        std::string inner = s.substr(1, close - 1);
+        out.kind = OperandTok::Kind::Mem;
+        size_t plus = inner.find('+');
+        std::string base = plus == std::string::npos
+                               ? inner
+                               : inner.substr(0, plus);
+        if (!parseReg(base, out.reg))
+            return false;
+        out.imm = 0;
+        if (plus != std::string::npos) {
+            if (!parseInt(inner.substr(plus + 1), out.imm))
+                return false;
+        }
+        return true;
+    }
+    if (s[0] == 'c' && s.size() > 1 && s[1] == '[') {
+        // c[0xB][0xOFF]
+        size_t b1 = s.find(']');
+        if (b1 == std::string::npos)
+            return false;
+        int64_t bank;
+        if (!parseInt(s.substr(2, b1 - 2), bank))
+            return false;
+        size_t o0 = s.find('[', b1);
+        size_t o1 = s.find(']', o0);
+        if (o0 == std::string::npos || o1 == std::string::npos)
+            return false;
+        int64_t off;
+        if (!parseInt(s.substr(o0 + 1, o1 - o0 - 1), off))
+            return false;
+        out.kind = OperandTok::Kind::CBank;
+        out.bank = static_cast<uint8_t>(bank);
+        out.imm = off;
+        return true;
+    }
+    if (s.rfind("SR_", 0) == 0) {
+        out.kind = OperandTok::Kind::Special;
+        out.special = s;
+        return true;
+    }
+    if (parseReg(s, out.reg)) {
+        out.kind = OperandTok::Kind::Reg;
+        return true;
+    }
+    if (parsePred(s, out.pred, out.pred_neg)) {
+        out.kind = OperandTok::Kind::Pred;
+        return true;
+    }
+    if (parseInt(s, out.imm)) {
+        out.kind = OperandTok::Kind::Imm;
+        return true;
+    }
+    return false;
+}
+
+template <typename Enum>
+int
+nameIndex(const char *const *names, size_t n, const std::string &s)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (s == names[i])
+            return static_cast<int>(i);
+    return -1;
+}
+
+const char *kCmpNames[] = {"LT", "EQ", "LE", "GT", "NE", "GE"};
+const char *kAtomNames[] = {"ADD", "MIN", "MAX", "EXCH", "CAS",
+                            "AND", "OR", "XOR"};
+const char *kMufuNames[] = {"RCP", "SQRT", "RSQ", "EX2", "LG2", "SIN",
+                            "COS"};
+const char *kVoteNames[] = {"ALL", "ANY", "BALLOT"};
+const char *kShflNames[] = {"IDX", "UP", "DOWN", "BFLY"};
+const char *kDTypeNames[] = {"U32", "S32", "F32", "U64"};
+
+} // namespace
+
+std::optional<Instruction>
+assembleLine(const std::string &line)
+{
+    // Tokenise: strip trailing ';', split guard, mnemonic, operands.
+    std::string s = line;
+    if (size_t c = s.find("//"); c != std::string::npos)
+        s = s.substr(0, c);
+    // Remove trailing semicolon and whitespace.
+    while (!s.empty() &&
+           (std::isspace(static_cast<unsigned char>(s.back())) ||
+            s.back() == ';'))
+        s.pop_back();
+    size_t start = 0;
+    while (start < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[start])))
+        ++start;
+    s = s.substr(start);
+    if (s.empty())
+        return std::nullopt;
+
+    Instruction in;
+
+    // Guard predicate.
+    if (s[0] == '@') {
+        size_t sp = s.find(' ');
+        if (sp == std::string::npos)
+            return std::nullopt;
+        uint8_t p;
+        bool neg;
+        if (!parsePred(s.substr(1, sp - 1), p, neg))
+            return std::nullopt;
+        in.pred = p;
+        in.pred_neg = neg;
+        s = s.substr(sp + 1);
+    }
+
+    // Mnemonic.
+    size_t sp = s.find(' ');
+    std::string mnemonic = sp == std::string::npos ? s : s.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : s.substr(sp + 1);
+    std::vector<std::string> parts = splitDots(mnemonic);
+
+    // Operands, comma separated.
+    std::vector<OperandTok> ops;
+    {
+        std::string cur;
+        int depth = 0;
+        auto flush = [&] {
+            // trim
+            size_t a = cur.find_first_not_of(' ');
+            size_t b = cur.find_last_not_of(' ');
+            if (a == std::string::npos) {
+                cur.clear();
+                return true;
+            }
+            OperandTok tok;
+            if (!parseOperand(cur.substr(a, b - a + 1), tok))
+                return false;
+            ops.push_back(tok);
+            cur.clear();
+            return true;
+        };
+        for (char ch : rest) {
+            if (ch == '[')
+                ++depth;
+            if (ch == ']')
+                --depth;
+            if (ch == ',' && depth == 0) {
+                if (!flush())
+                    return std::nullopt;
+            } else {
+                cur += ch;
+            }
+        }
+        if (!flush())
+            return std::nullopt;
+    }
+
+    // Opcode lookup by mnemonic head.
+    int opv = -1;
+    for (unsigned o = 0; o < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++o) {
+        if (parts[0] == opcodeName(static_cast<Opcode>(o))) {
+            opv = static_cast<int>(o);
+            break;
+        }
+    }
+    if (opv < 0)
+        return std::nullopt;
+    in.op = static_cast<Opcode>(opv);
+
+    // Modifier suffixes.
+    bool size64 = false;
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &p = parts[i];
+        if (p == "64") {
+            size64 = true;
+            in.mod |= kModSize64;
+        } else if (int d = nameIndex<DType>(kDTypeNames, 4, p); d >= 0) {
+            if (in.op == Opcode::ISETP || in.op == Opcode::FSETP)
+                in.mod = modSetSetpDType(in.mod, static_cast<DType>(d));
+            else if (in.op == Opcode::ATOM)
+                in.mod = modSetAtomDType(in.mod, static_cast<DType>(d));
+            else if (in.op == Opcode::MATCH)
+                in.mod = d == 3 ? (in.mod | kModSize64) : in.mod;
+            else
+                in.mod = modSetDType(in.mod, static_cast<DType>(d));
+        } else if (p == "MIN" || p == "MAX") {
+            if (in.op == Opcode::ATOM) {
+                in.mod = modSetAtomOp(in.mod, p == "MIN" ? AtomOp::MIN
+                                                         : AtomOp::MAX);
+            } else if (p == "MAX") {
+                in.mod |= kModMnmxMax;
+            }
+        } else if (int c = nameIndex<CmpOp>(kCmpNames, 6, p); c >= 0) {
+            in.mod = modSetCmp(in.mod, static_cast<CmpOp>(c));
+        } else if (in.op == Opcode::ATOM) {
+            if (int a = nameIndex<AtomOp>(kAtomNames, 8, p); a >= 0)
+                in.mod = modSetAtomOp(in.mod, static_cast<AtomOp>(a));
+        } else if (in.op == Opcode::MUFU) {
+            if (int m = nameIndex<MufuOp>(kMufuNames, 7, p); m >= 0)
+                in.mod = modSetMufu(in.mod, static_cast<MufuOp>(m));
+        } else if (in.op == Opcode::VOTE) {
+            if (int v = nameIndex<VoteMode>(kVoteNames, 3, p); v >= 0)
+                in.mod = modSetVoteMode(in.mod, static_cast<VoteMode>(v));
+        } else if (in.op == Opcode::SHFL) {
+            if (int m = nameIndex<ShflMode>(kShflNames, 4, p); m >= 0)
+                in.mod = modSetShflMode(in.mod, static_cast<ShflMode>(m));
+        } else if (p == "ANY") {
+            // MATCH.ANY — the only mode supported.
+        } else {
+            return std::nullopt;
+        }
+    }
+
+    auto reg = [&](size_t i, uint8_t &dst) {
+        if (i >= ops.size() || ops[i].kind != OperandTok::Kind::Reg)
+            return false;
+        dst = ops[i].reg;
+        return true;
+    };
+    auto immOrReg = [&](size_t i, uint8_t &rdst, uint8_t imm_flag) {
+        if (i >= ops.size())
+            return false;
+        if (ops[i].kind == OperandTok::Kind::Reg) {
+            rdst = ops[i].reg;
+            return true;
+        }
+        if (ops[i].kind == OperandTok::Kind::Imm) {
+            in.mod |= imm_flag;
+            in.imm = ops[i].imm;
+            return true;
+        }
+        return false;
+    };
+    auto mem = [&](size_t i) {
+        if (i >= ops.size() || ops[i].kind != OperandTok::Kind::Mem)
+            return false;
+        in.ra = ops[i].reg;
+        in.imm = ops[i].imm;
+        return true;
+    };
+
+    switch (in.info().format) {
+      case OpFormat::Nullary:
+        return in;
+      case OpFormat::Branch:
+        if (ops.size() != 1 || ops[0].kind != OperandTok::Kind::Imm)
+            return std::nullopt;
+        in.imm = ops[0].imm;
+        return in;
+      case OpFormat::JumpAbs:
+        if (ops.size() != 1 || ops[0].kind != OperandTok::Kind::Imm ||
+            ops[0].imm % static_cast<int64_t>(kJmpScale) != 0)
+            return std::nullopt;
+        in.imm = ops[0].imm / static_cast<int64_t>(kJmpScale);
+        return in;
+      case OpFormat::BranchInd:
+        if (!reg(0, in.ra))
+            return std::nullopt;
+        return in;
+      case OpFormat::Alu1:
+        if (!reg(0, in.rd) || !immOrReg(1, in.ra, kModImmSrc2))
+            return std::nullopt;
+        return in;
+      case OpFormat::Alu2:
+        if (!reg(0, in.rd) || !reg(1, in.ra) ||
+            !immOrReg(2, in.rb, kModImmSrc2))
+            return std::nullopt;
+        return in;
+      case OpFormat::Alu3:
+        if (!reg(0, in.rd) || !reg(1, in.ra) || !reg(2, in.rb) ||
+            !reg(3, in.rc))
+            return std::nullopt;
+        return in;
+      case OpFormat::AluSel:
+        if (!reg(0, in.rd) || !reg(1, in.ra) || !reg(2, in.rb) ||
+            ops.size() != 4 || ops[3].kind != OperandTok::Kind::Pred)
+            return std::nullopt;
+        in.mod = modSetSelPred(in.mod, ops[3].pred, ops[3].pred_neg);
+        return in;
+      case OpFormat::Setp:
+        if (ops.size() != 3 || ops[0].kind != OperandTok::Kind::Pred)
+            return std::nullopt;
+        in.rd = ops[0].pred;
+        if (!reg(1, in.ra) || !immOrReg(2, in.rb, kModSetpImm))
+            return std::nullopt;
+        return in;
+      case OpFormat::Load:
+        if (!reg(0, in.rd) || !mem(1))
+            return std::nullopt;
+        return in;
+      case OpFormat::Store:
+        if (!mem(0) || !reg(1, in.rb))
+            return std::nullopt;
+        return in;
+      case OpFormat::LoadConst:
+        if (!reg(0, in.rd) || ops.size() != 2 ||
+            ops[1].kind != OperandTok::Kind::CBank)
+            return std::nullopt;
+        in.mod = modSetCBank(size64 ? kModSize64 : 0, ops[1].bank);
+        in.imm = ops[1].imm;
+        return in;
+      case OpFormat::Atomic:
+        if (!reg(0, in.rd) || !mem(1) || !reg(2, in.rb))
+            return std::nullopt;
+        if (modGetAtomOp(in.mod) == AtomOp::CAS) {
+            if (!reg(3, in.rc) || in.imm != 0)
+                return std::nullopt;
+        }
+        return in;
+      case OpFormat::Vote:
+        if (!reg(0, in.rd) || ops.size() != 2 ||
+            ops[1].kind != OperandTok::Kind::Pred)
+            return std::nullopt;
+        in.mod = modSetVotePred(in.mod, ops[1].pred, ops[1].pred_neg);
+        return in;
+      case OpFormat::Match:
+        if (!reg(0, in.rd) || !reg(1, in.ra))
+            return std::nullopt;
+        return in;
+      case OpFormat::Shfl:
+        if (!reg(0, in.rd) || !reg(1, in.ra) ||
+            !immOrReg(2, in.rb, kModShflImm))
+            return std::nullopt;
+        return in;
+      case OpFormat::ReadSpec: {
+        if (!reg(0, in.rd) || ops.size() != 2 ||
+            ops[1].kind != OperandTok::Kind::Special)
+            return std::nullopt;
+        for (unsigned r = 0;
+             r < static_cast<unsigned>(SpecialReg::NumSpecialRegs);
+             ++r) {
+            if (ops[1].special ==
+                specialRegName(static_cast<SpecialReg>(r))) {
+                in.imm = r;
+                return in;
+            }
+        }
+        return std::nullopt;
+      }
+      case OpFormat::PredMove:
+        if (ops.size() != 1 || ops[0].kind != OperandTok::Kind::Reg)
+            return std::nullopt;
+        if (in.op == Opcode::P2R)
+            in.rd = ops[0].reg;
+        else
+            in.ra = ops[0].reg;
+        return in;
+      case OpFormat::Proxy:
+        if (!reg(0, in.rd) || !reg(1, in.ra) || !reg(2, in.rb) ||
+            ops.size() != 4 || ops[3].kind != OperandTok::Kind::Imm)
+            return std::nullopt;
+        in.imm = ops[3].imm;
+        return in;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<Instruction>>
+assembleListing(const std::string &text, std::string *error)
+{
+    std::vector<Instruction> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        // Skip blank/comment-only lines.
+        std::string t = line;
+        size_t a = t.find_first_not_of(" \t");
+        if (a == std::string::npos || t.compare(a, 2, "//") == 0)
+            continue;
+        auto in = assembleLine(line);
+        if (!in) {
+            if (error)
+                *error = line;
+            return std::nullopt;
+        }
+        out.push_back(*in);
+    }
+    return out;
+}
+
+} // namespace nvbit::isa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Textual SASS assembler: parses the exact syntax produced by
+ * Instruction::toString() back into decoded instructions, completing
+ * the assemble/disassemble pair the HAL exposes (paper Section 5.1:
+ * "The HAL also initializes device specific assembly/disassembly
+ * functions").
+ */
+#ifndef NVBIT_ISA_ASSEMBLER_HPP
+#define NVBIT_ISA_ASSEMBLER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace nvbit::isa {
+
+/**
+ * Parse one SASS-text instruction (e.g. "@!P0 LDG.64 R4, [R8+0x10] ;").
+ * @return std::nullopt on malformed input.
+ */
+std::optional<Instruction> assembleLine(const std::string &line);
+
+/**
+ * Parse a multi-line listing; empty lines and "//" comments are
+ * skipped.  @return std::nullopt if any line fails, with the offending
+ * line reported through @p error when provided.
+ */
+std::optional<std::vector<Instruction>>
+assembleListing(const std::string &text, std::string *error = nullptr);
+
+} // namespace nvbit::isa
+
+#endif // NVBIT_ISA_ASSEMBLER_HPP

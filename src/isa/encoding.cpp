@@ -1,0 +1,202 @@
+#include "isa/arch.hpp"
+
+#include <cstring>
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace nvbit::isa {
+
+namespace {
+
+/** @return true if this instruction carries rc in the SM5x imm field. */
+bool
+carriesRcInImm(const Instruction &in)
+{
+    OpFormat fmt = in.info().format;
+    if (fmt == OpFormat::Alu3)
+        return true;
+    if (fmt == OpFormat::Atomic && modGetAtomOp(in.mod) == AtomOp::CAS)
+        return true;
+    return false;
+}
+
+// --- SM5x: single 64-bit word ---------------------------------------------
+
+uint64_t
+encodeSM5x(const Instruction &in)
+{
+    uint64_t w = 0;
+    w = bitsInsert(w, 58, 6, static_cast<uint64_t>(in.op));
+    w = bitsInsert(w, 57, 1, in.pred_neg ? 1 : 0);
+    w = bitsInsert(w, 54, 3, in.pred);
+    w = bitsInsert(w, 46, 8, in.rd);
+    w = bitsInsert(w, 38, 8, in.ra);
+    w = bitsInsert(w, 30, 8, in.rb);
+    w = bitsInsert(w, 24, 6, in.mod);
+    uint64_t imm_field;
+    if (carriesRcInImm(in)) {
+        NVBIT_ASSERT(in.imm == 0,
+                     "%s cannot carry both rc and an immediate on SM5x",
+                     opcodeName(in.op));
+        imm_field = in.rc;
+    } else {
+        imm_field = static_cast<uint64_t>(in.imm);
+    }
+    w = bitsInsert(w, 0, 24, imm_field);
+    return w;
+}
+
+bool
+decodeSM5x(uint64_t w, Instruction &out)
+{
+    uint64_t opv = bitsExtract(w, 58, 6);
+    if (opv >= static_cast<uint64_t>(Opcode::NumOpcodes))
+        return false;
+    out = Instruction{};
+    out.op = static_cast<Opcode>(opv);
+    out.pred_neg = bitsExtract(w, 57, 1) != 0;
+    out.pred = static_cast<uint8_t>(bitsExtract(w, 54, 3));
+    out.rd = static_cast<uint8_t>(bitsExtract(w, 46, 8));
+    out.ra = static_cast<uint8_t>(bitsExtract(w, 38, 8));
+    out.rb = static_cast<uint8_t>(bitsExtract(w, 30, 8));
+    out.mod = static_cast<uint8_t>(bitsExtract(w, 24, 6));
+    uint64_t imm_field = bitsExtract(w, 0, 24);
+    if (carriesRcInImm(out)) {
+        out.rc = static_cast<uint8_t>(imm_field & 0xFF);
+        out.imm = 0;
+    } else if (out.info().format == OpFormat::JumpAbs ||
+               out.info().format == OpFormat::ReadSpec ||
+               out.info().format == OpFormat::LoadConst) {
+        out.imm = static_cast<int64_t>(imm_field); // unsigned fields
+    } else {
+        out.imm = signExtend(imm_field, 24);
+    }
+    return true;
+}
+
+// --- SM7x: two 64-bit words ------------------------------------------------
+
+void
+encodeSM7x(const Instruction &in, uint64_t &w0, uint64_t &w1)
+{
+    w0 = 0;
+    w0 = bitsInsert(w0, 52, 12, static_cast<uint64_t>(in.op));
+    w0 = bitsInsert(w0, 51, 1, in.pred_neg ? 1 : 0);
+    w0 = bitsInsert(w0, 48, 3, in.pred);
+    w0 = bitsInsert(w0, 40, 8, in.rd);
+    w0 = bitsInsert(w0, 32, 8, in.ra);
+    w0 = bitsInsert(w0, 24, 8, in.rb);
+    w0 = bitsInsert(w0, 16, 8, in.rc);
+    w0 = bitsInsert(w0, 0, 16, in.mod);
+    w1 = static_cast<uint64_t>(in.imm);
+}
+
+bool
+decodeSM7x(uint64_t w0, uint64_t w1, Instruction &out)
+{
+    uint64_t opv = bitsExtract(w0, 52, 12);
+    if (opv >= static_cast<uint64_t>(Opcode::NumOpcodes))
+        return false;
+    out = Instruction{};
+    out.op = static_cast<Opcode>(opv);
+    out.pred_neg = bitsExtract(w0, 51, 1) != 0;
+    out.pred = static_cast<uint8_t>(bitsExtract(w0, 48, 3));
+    out.rd = static_cast<uint8_t>(bitsExtract(w0, 40, 8));
+    out.ra = static_cast<uint8_t>(bitsExtract(w0, 32, 8));
+    out.rb = static_cast<uint8_t>(bitsExtract(w0, 24, 8));
+    out.rc = static_cast<uint8_t>(bitsExtract(w0, 16, 8));
+    out.mod = static_cast<uint8_t>(bitsExtract(w0, 0, 16));
+    out.imm = static_cast<int64_t>(w1);
+    return true;
+}
+
+} // namespace
+
+const char *
+archFamilyName(ArchFamily fam)
+{
+    return fam == ArchFamily::SM5x ? "SM5x" : "SM7x";
+}
+
+bool
+encodable(ArchFamily fam, const Instruction &in)
+{
+    if (static_cast<size_t>(in.op) >=
+        static_cast<size_t>(Opcode::NumOpcodes)) {
+        return false;
+    }
+    if (fam == ArchFamily::SM7x)
+        return true;
+    if (in.mod >= (1u << 6))
+        return false;
+    if (carriesRcInImm(in))
+        return in.imm == 0;
+    switch (in.info().format) {
+      case OpFormat::JumpAbs:
+      case OpFormat::ReadSpec:
+      case OpFormat::LoadConst:
+        return fitsUnsigned(static_cast<uint64_t>(in.imm), 24);
+      default:
+        return fitsSigned(in.imm, 24);
+    }
+}
+
+void
+encode(ArchFamily fam, const Instruction &in, uint8_t *out)
+{
+    NVBIT_ASSERT(encodable(fam, in),
+                 "instruction not encodable on %s: %s",
+                 archFamilyName(fam), in.toString().c_str());
+    if (fam == ArchFamily::SM5x) {
+        uint64_t w = encodeSM5x(in);
+        std::memcpy(out, &w, sizeof(w));
+    } else {
+        uint64_t w0, w1;
+        encodeSM7x(in, w0, w1);
+        std::memcpy(out, &w0, sizeof(w0));
+        std::memcpy(out + 8, &w1, sizeof(w1));
+    }
+}
+
+std::vector<uint8_t>
+encodeAll(ArchFamily fam, std::span<const Instruction> instrs)
+{
+    const size_t ib = instrBytes(fam);
+    std::vector<uint8_t> out(instrs.size() * ib);
+    for (size_t i = 0; i < instrs.size(); ++i)
+        encode(fam, instrs[i], out.data() + i * ib);
+    return out;
+}
+
+bool
+decode(ArchFamily fam, const uint8_t *bytes, Instruction &out)
+{
+    if (fam == ArchFamily::SM5x) {
+        uint64_t w;
+        std::memcpy(&w, bytes, sizeof(w));
+        return decodeSM5x(w, out);
+    }
+    uint64_t w0, w1;
+    std::memcpy(&w0, bytes, sizeof(w0));
+    std::memcpy(&w1, bytes + 8, sizeof(w1));
+    return decodeSM7x(w0, w1, out);
+}
+
+std::vector<Instruction>
+decodeAll(ArchFamily fam, std::span<const uint8_t> bytes)
+{
+    const size_t ib = instrBytes(fam);
+    NVBIT_ASSERT(bytes.size() % ib == 0,
+                 "code size %zu not a multiple of the %zu-byte "
+                 "instruction width", bytes.size(), ib);
+    std::vector<Instruction> out(bytes.size() / ib);
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (!decode(fam, bytes.data() + i * ib, out[i])) {
+            panic("undecodable instruction word at offset %zu", i * ib);
+        }
+    }
+    return out;
+}
+
+} // namespace nvbit::isa

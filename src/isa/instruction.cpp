@@ -1,0 +1,414 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nvbit::isa {
+
+namespace {
+
+std::string
+regName(uint8_t r)
+{
+    if (r == kRegZ)
+        return "RZ";
+    return strfmt("R%u", r);
+}
+
+std::string
+predName(uint8_t p, bool neg)
+{
+    std::string base = (p == kPredT) ? "PT" : strfmt("P%u", p);
+    return neg ? "!" + base : base;
+}
+
+const char *kCmpNames[] = {"LT", "EQ", "LE", "GT", "NE", "GE"};
+const char *kAtomNames[] = {"ADD", "MIN", "MAX", "EXCH", "CAS",
+                            "AND", "OR", "XOR"};
+const char *kMufuNames[] = {"RCP", "SQRT", "RSQ", "EX2", "LG2", "SIN", "COS"};
+const char *kVoteNames[] = {"ALL", "ANY", "BALLOT"};
+const char *kShflNames[] = {"IDX", "UP", "DOWN", "BFLY"};
+const char *kDTypeNames[] = {"U32", "S32", "F32", "U64"};
+
+std::string
+immStr(int64_t v)
+{
+    if (v < 0)
+        return strfmt("-0x%llx", static_cast<unsigned long long>(-v));
+    return strfmt("0x%llx", static_cast<unsigned long long>(v));
+}
+
+std::string
+mrefStr(const Instruction &in)
+{
+    if (in.imm == 0)
+        return strfmt("[%s]", regName(in.ra).c_str());
+    return strfmt("[%s+%s]", regName(in.ra).c_str(),
+                  immStr(in.imm).c_str());
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    if (!alwaysExecutes())
+        os << "@" << predName(pred, pred_neg) << " ";
+
+    const OpcodeInfo &oi = info();
+    os << oi.name;
+
+    bool imm_src2 = false;
+    switch (oi.format) {
+      case OpFormat::Alu1:
+      case OpFormat::Alu2:
+        imm_src2 = (mod & kModImmSrc2) != 0;
+        break;
+      case OpFormat::Setp:
+        imm_src2 = (mod & kModSetpImm) != 0;
+        break;
+      case OpFormat::Shfl:
+        imm_src2 = (mod & kModShflImm) != 0;
+        break;
+      default:
+        break;
+    }
+
+    // Opcode suffixes.
+    switch (op) {
+      case Opcode::IADD: case Opcode::ISUB: case Opcode::IMUL:
+      case Opcode::IMAD: case Opcode::SHR: case Opcode::IMNMX:
+      case Opcode::I2F: case Opcode::F2I:
+        os << "." << kDTypeNames[static_cast<int>(modGetDType(mod))];
+        if (op == Opcode::IMNMX)
+            os << ((mod & kModMnmxMax) ? ".MAX" : ".MIN");
+        break;
+      case Opcode::FMNMX:
+        os << ((mod & kModMnmxMax) ? ".MAX" : ".MIN");
+        break;
+      case Opcode::ISETP: case Opcode::FSETP:
+        os << "." << kCmpNames[static_cast<int>(modGetCmp(mod))];
+        if (op == Opcode::ISETP)
+            os << "."
+               << kDTypeNames[static_cast<int>(modGetSetpDType(mod))];
+        break;
+      case Opcode::ATOM:
+        os << "." << kAtomNames[static_cast<int>(modGetAtomOp(mod))] << "."
+           << kDTypeNames[static_cast<int>(modGetAtomDType(mod))];
+        break;
+      case Opcode::MUFU:
+        os << "." << kMufuNames[static_cast<int>(modGetMufu(mod))];
+        break;
+      case Opcode::VOTE:
+        os << "." << kVoteNames[static_cast<int>(modGetVoteMode(mod))];
+        break;
+      case Opcode::SHFL:
+        os << "." << kShflNames[static_cast<int>(modGetShflMode(mod))];
+        break;
+      case Opcode::MATCH:
+        os << ".ANY." << ((mod & kModSize64) ? "U64" : "U32");
+        break;
+      case Opcode::LDG: case Opcode::STG: case Opcode::LDL:
+      case Opcode::STL: case Opcode::LDS: case Opcode::STS:
+      case Opcode::LDC:
+        if (mod & kModSize64)
+            os << ".64";
+        break;
+      default:
+        break;
+    }
+
+    switch (oi.format) {
+      case OpFormat::Nullary:
+        break;
+      case OpFormat::Branch:
+        os << " " << immStr(imm);
+        break;
+      case OpFormat::JumpAbs:
+        os << " " << immStr(imm * static_cast<int64_t>(kJmpScale));
+        break;
+      case OpFormat::BranchInd:
+        os << " " << regName(ra);
+        break;
+      case OpFormat::Alu1:
+        os << " " << regName(rd) << ", "
+           << (imm_src2 ? immStr(imm) : regName(ra));
+        break;
+      case OpFormat::Alu2:
+        os << " " << regName(rd) << ", " << regName(ra) << ", "
+           << (imm_src2 ? immStr(imm) : regName(rb));
+        break;
+      case OpFormat::Alu3:
+        os << " " << regName(rd) << ", " << regName(ra) << ", "
+           << regName(rb) << ", " << regName(rc);
+        break;
+      case OpFormat::AluSel:
+        os << " " << regName(rd) << ", " << regName(ra) << ", "
+           << regName(rb) << ", "
+           << predName(modGetSelPred(mod), modGetSelPredNeg(mod));
+        break;
+      case OpFormat::Setp:
+        os << " " << predName(rd & 0x7, false) << ", " << regName(ra)
+           << ", " << (imm_src2 ? immStr(imm) : regName(rb));
+        break;
+      case OpFormat::Load:
+        os << " " << regName(rd) << ", " << mrefStr(*this);
+        break;
+      case OpFormat::Store:
+        os << " " << mrefStr(*this) << ", " << regName(rb);
+        break;
+      case OpFormat::LoadConst:
+        os << " " << regName(rd) << ", "
+           << strfmt("c[0x%x][%s]", modGetCBank(mod),
+                     immStr(imm).c_str());
+        break;
+      case OpFormat::Atomic:
+        os << " " << regName(rd) << ", " << mrefStr(*this) << ", "
+           << regName(rb);
+        if (modGetAtomOp(mod) == AtomOp::CAS)
+            os << ", " << regName(rc);
+        break;
+      case OpFormat::Vote:
+        os << " " << regName(rd) << ", "
+           << predName(modGetVotePred(mod), modGetVotePredNeg(mod));
+        break;
+      case OpFormat::Match:
+        os << " " << regName(rd) << ", " << regName(ra);
+        break;
+      case OpFormat::Shfl:
+        os << " " << regName(rd) << ", " << regName(ra) << ", "
+           << (imm_src2 ? immStr(imm) : regName(rb));
+        break;
+      case OpFormat::ReadSpec:
+        os << " " << regName(rd) << ", "
+           << specialRegName(static_cast<SpecialReg>(imm));
+        break;
+      case OpFormat::PredMove:
+        os << " " << regName(op == Opcode::P2R ? rd : ra);
+        break;
+      case OpFormat::Proxy:
+        os << " " << regName(rd) << ", " << regName(ra) << ", "
+           << regName(rb) << ", " << immStr(imm);
+        break;
+    }
+    os << " ;";
+    return os.str();
+}
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+makeExit()
+{
+    Instruction in;
+    in.op = Opcode::EXIT;
+    return in;
+}
+
+Instruction
+makeRet()
+{
+    Instruction in;
+    in.op = Opcode::RET;
+    return in;
+}
+
+Instruction
+makeBar()
+{
+    Instruction in;
+    in.op = Opcode::BAR;
+    return in;
+}
+
+Instruction
+makeBra(int64_t byte_off, uint8_t pred, bool pred_neg)
+{
+    Instruction in;
+    in.op = Opcode::BRA;
+    in.pred = pred;
+    in.pred_neg = pred_neg;
+    in.imm = byte_off;
+    return in;
+}
+
+Instruction
+makeJmpAbs(uint64_t target)
+{
+    NVBIT_ASSERT(target % kJmpScale == 0,
+                 "JMP target 0x%llx not %llu-byte aligned",
+                 static_cast<unsigned long long>(target),
+                 static_cast<unsigned long long>(kJmpScale));
+    Instruction in;
+    in.op = Opcode::JMP;
+    in.imm = static_cast<int64_t>(target / kJmpScale);
+    return in;
+}
+
+Instruction
+makeCalAbs(uint64_t target)
+{
+    NVBIT_ASSERT(target % kJmpScale == 0,
+                 "CAL target 0x%llx not %llu-byte aligned",
+                 static_cast<unsigned long long>(target),
+                 static_cast<unsigned long long>(kJmpScale));
+    Instruction in;
+    in.op = Opcode::CAL;
+    in.imm = static_cast<int64_t>(target / kJmpScale);
+    return in;
+}
+
+Instruction
+makeBrx(uint8_t ra)
+{
+    Instruction in;
+    in.op = Opcode::BRX;
+    in.ra = ra;
+    return in;
+}
+
+Instruction
+makeMovReg(uint8_t rd, uint8_t ra)
+{
+    Instruction in;
+    in.op = Opcode::MOV;
+    in.rd = rd;
+    in.ra = ra;
+    return in;
+}
+
+Instruction
+makeMovImm(uint8_t rd, int32_t value)
+{
+    Instruction in;
+    in.op = Opcode::MOV;
+    in.rd = rd;
+    in.mod = kModImmSrc2;
+    in.imm = value;
+    return in;
+}
+
+Instruction
+makeLui(uint8_t rd, uint16_t upper16)
+{
+    Instruction in;
+    in.op = Opcode::LUI;
+    in.rd = rd;
+    in.mod = kModImmSrc2;
+    in.imm = upper16;
+    return in;
+}
+
+Instruction
+makeOrImm(uint8_t rd, uint8_t ra, uint32_t low16)
+{
+    NVBIT_ASSERT(low16 <= 0xFFFFu, "OR immediate exceeds 16 bits: %u",
+                 low16);
+    Instruction in;
+    in.op = Opcode::OR;
+    in.rd = rd;
+    in.ra = ra;
+    in.mod = kModImmSrc2;
+    in.imm = low16;
+    return in;
+}
+
+Instruction
+makeIAddImm(uint8_t rd, uint8_t ra, int32_t value)
+{
+    Instruction in;
+    in.op = Opcode::IADD;
+    in.rd = rd;
+    in.ra = ra;
+    in.mod = kModImmSrc2;
+    in.imm = value;
+    return in;
+}
+
+Instruction
+makeIAddReg(uint8_t rd, uint8_t ra, uint8_t rb)
+{
+    Instruction in;
+    in.op = Opcode::IADD;
+    in.rd = rd;
+    in.ra = ra;
+    in.rb = rb;
+    return in;
+}
+
+Instruction
+makeLoad(Opcode ld, uint8_t rd, uint8_t ra, int32_t offset, bool size64)
+{
+    NVBIT_ASSERT(opcodeInfo(ld).format == OpFormat::Load,
+                 "%s is not a load", opcodeName(ld));
+    Instruction in;
+    in.op = ld;
+    in.rd = rd;
+    in.ra = ra;
+    in.imm = offset;
+    if (size64)
+        in.mod |= kModSize64;
+    return in;
+}
+
+Instruction
+makeStore(Opcode st, uint8_t ra, int32_t offset, uint8_t rb, bool size64)
+{
+    NVBIT_ASSERT(opcodeInfo(st).format == OpFormat::Store,
+                 "%s is not a store", opcodeName(st));
+    Instruction in;
+    in.op = st;
+    in.ra = ra;
+    in.rb = rb;
+    in.imm = offset;
+    if (size64)
+        in.mod |= kModSize64;
+    return in;
+}
+
+Instruction
+makeLdc(uint8_t rd, uint8_t bank, uint32_t offset, bool size64)
+{
+    Instruction in;
+    in.op = Opcode::LDC;
+    in.rd = rd;
+    in.mod = modSetCBank(size64 ? kModSize64 : 0, bank);
+    in.imm = offset;
+    return in;
+}
+
+Instruction
+makeP2R(uint8_t rd)
+{
+    Instruction in;
+    in.op = Opcode::P2R;
+    in.rd = rd;
+    return in;
+}
+
+Instruction
+makeR2P(uint8_t ra)
+{
+    Instruction in;
+    in.op = Opcode::R2P;
+    in.ra = ra;
+    return in;
+}
+
+Instruction
+makeS2R(uint8_t rd, SpecialReg sr)
+{
+    Instruction in;
+    in.op = Opcode::S2R;
+    in.rd = rd;
+    in.imm = static_cast<int64_t>(sr);
+    return in;
+}
+
+} // namespace nvbit::isa

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Decoded machine instruction representation.
+ *
+ * An Instruction is the architecture-independent decoded form of one
+ * fixed-width machine word (SM5x: 64-bit, SM7x: 128-bit).  The binary
+ * encoders/decoders in arch.hpp convert between this and raw bytes.
+ */
+#ifndef NVBIT_ISA_INSTRUCTION_HPP
+#define NVBIT_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hpp"
+
+namespace nvbit::isa {
+
+// --- Register-file constants ----------------------------------------------
+
+/** Number of encodable general-purpose register names (R0..R254 + RZ). */
+constexpr unsigned kNumRegNames = 256;
+/** RZ: reads as zero, writes are discarded. */
+constexpr uint8_t kRegZ = 255;
+/** Highest allocatable GPR (R254). */
+constexpr uint8_t kMaxGpr = 254;
+/** Number of predicate registers P0..P6 (PT is the constant-true name). */
+constexpr unsigned kNumPred = 7;
+/** PT: constant-true predicate. */
+constexpr uint8_t kPredT = 7;
+
+// --- ABI constants (shared by compiler, driver and NVBit core) -------------
+
+/** Stack pointer register; initialised by the driver at launch. */
+constexpr uint8_t kAbiSpReg = 1;
+/** First argument register; arguments are assigned upward from here. */
+constexpr uint8_t kAbiArgReg = 4;
+/** Number of argument registers (R4..R15); excess goes to the stack. */
+constexpr unsigned kAbiNumArgRegs = 12;
+/** Return-value register (also first argument register). */
+constexpr uint8_t kAbiRetReg = 4;
+
+/**
+ * One decoded instruction.  Field meaning depends on the opcode's
+ * OpFormat (see opcodes.hpp); unused fields must be zero so that
+ * encode(decode(x)) == x holds.
+ */
+struct Instruction {
+    Opcode op = Opcode::NOP;
+    uint8_t pred = kPredT;   ///< guard predicate index (kPredT = always)
+    bool pred_neg = false;   ///< negate guard predicate
+    uint8_t rd = 0;          ///< destination register / Pd for SETP
+    uint8_t ra = 0;          ///< source register A
+    uint8_t rb = 0;          ///< source register B
+    uint8_t rc = 0;          ///< source register C (FFMA/IMAD/ATOM.CAS)
+    uint8_t mod = 0;         ///< class-specific modifier bits (6 bits)
+    int64_t imm = 0;         ///< immediate / offset / target field
+
+    bool operator==(const Instruction &) const = default;
+
+    /** @return static info for this opcode. */
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    /** @return true if the guard predicate is statically always-true. */
+    bool alwaysExecutes() const { return pred == kPredT && !pred_neg; }
+
+    /** @return true for any instruction that may redirect the PC. */
+    bool isControlFlow() const { return info().is_control_flow; }
+
+    /** @return true for the PC-relative branch (needs relocation fixup). */
+    bool isRelativeBranch() const { return op == Opcode::BRA; }
+
+    /** @return true for indirect control flow (BRX). */
+    bool isIndirectBranch() const { return op == Opcode::BRX; }
+
+    /** @return memory space touched, or MemSpace::NONE. */
+    MemSpace memSpace() const { return info().space; }
+
+    bool isLoad() const { return info().is_load; }
+    bool isStore() const { return info().is_store; }
+
+    /** @return access size in bytes for memory operations (4 or 8). */
+    unsigned memAccessBytes() const { return (mod & kModSize64) ? 8 : 4; }
+
+    /** Render in SASS-like text, e.g. "@!P0 LDG.64 R4, [R8+0x10]". */
+    std::string toString() const;
+};
+
+// --- Convenience builders (used by the compiler, trampoline generator,
+//     save/restore routine builder, and tests) ------------------------------
+
+Instruction makeNop();
+Instruction makeExit();
+Instruction makeRet();
+Instruction makeBar();
+/** BRA with signed byte offset relative to the next instruction's PC. */
+Instruction makeBra(int64_t byte_off, uint8_t pred = kPredT,
+                    bool pred_neg = false);
+/** JMP to an absolute byte address (must be kJmpScale-aligned). */
+Instruction makeJmpAbs(uint64_t target);
+/** CAL to an absolute byte address (must be kJmpScale-aligned). */
+Instruction makeCalAbs(uint64_t target);
+Instruction makeBrx(uint8_t ra);
+Instruction makeMovReg(uint8_t rd, uint8_t ra);
+Instruction makeMovImm(uint8_t rd, int32_t value);
+Instruction makeLui(uint8_t rd, uint16_t upper16);
+Instruction makeOrImm(uint8_t rd, uint8_t ra, uint32_t low16);
+Instruction makeIAddImm(uint8_t rd, uint8_t ra, int32_t value);
+Instruction makeIAddReg(uint8_t rd, uint8_t ra, uint8_t rb);
+Instruction makeLoad(Opcode ld, uint8_t rd, uint8_t ra, int32_t offset,
+                     bool size64 = false);
+Instruction makeStore(Opcode st, uint8_t ra, int32_t offset, uint8_t rb,
+                      bool size64 = false);
+Instruction makeLdc(uint8_t rd, uint8_t bank, uint32_t offset,
+                    bool size64 = false);
+Instruction makeP2R(uint8_t rd);
+Instruction makeR2P(uint8_t ra);
+Instruction makeS2R(uint8_t rd, SpecialReg sr);
+
+/**
+ * Emit a (possibly two-instruction) sequence that materialises an
+ * arbitrary 32-bit constant into @p rd, appending to @p out.
+ * Single MOV when the value fits the signed immediate field.
+ */
+template <typename Vec>
+void
+emitMaterialize32(Vec &out, uint8_t rd, uint32_t value)
+{
+    int32_t sval = static_cast<int32_t>(value);
+    if (sval >= -(1 << 23) && sval < (1 << 23)) {
+        out.push_back(makeMovImm(rd, sval));
+    } else {
+        out.push_back(makeLui(rd, static_cast<uint16_t>(value >> 16)));
+        out.push_back(makeOrImm(rd, rd, value & 0xFFFFu));
+    }
+}
+
+} // namespace nvbit::isa
+
+#endif // NVBIT_ISA_INSTRUCTION_HPP

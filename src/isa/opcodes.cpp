@@ -1,0 +1,113 @@
+#include "isa/opcodes.hpp"
+
+#include "common/logging.hpp"
+
+namespace nvbit::isa {
+
+namespace {
+
+// Indexed by Opcode value; order must match the enum.
+const OpcodeInfo kOpcodeTable[] = {
+    // name     format               space              ld     st     cf
+    {"NOP",    OpFormat::Nullary,   MemSpace::NONE,     false, false, false},
+    {"EXIT",   OpFormat::Nullary,   MemSpace::NONE,     false, false, true},
+    {"BRA",    OpFormat::Branch,    MemSpace::NONE,     false, false, true},
+    {"JMP",    OpFormat::JumpAbs,   MemSpace::NONE,     false, false, true},
+    {"BRX",    OpFormat::BranchInd, MemSpace::NONE,     false, false, true},
+    {"CAL",    OpFormat::JumpAbs,   MemSpace::NONE,     false, false, true},
+    {"RET",    OpFormat::Nullary,   MemSpace::NONE,     false, false, true},
+    {"BAR",    OpFormat::Nullary,   MemSpace::NONE,     false, false, false},
+
+    {"MOV",    OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+    {"LUI",    OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+    {"SEL",    OpFormat::AluSel,    MemSpace::NONE,     false, false, false},
+    {"SHL",    OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"SHR",    OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"AND",    OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"OR",     OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"XOR",    OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"NOT",    OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+
+    {"IADD",   OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"ISUB",   OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"IMUL",   OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"IMAD",   OpFormat::Alu3,      MemSpace::NONE,     false, false, false},
+    {"IMNMX",  OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"POPC",   OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+
+    {"FADD",   OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"FMUL",   OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"FFMA",   OpFormat::Alu3,      MemSpace::NONE,     false, false, false},
+    {"FMNMX",  OpFormat::Alu2,      MemSpace::NONE,     false, false, false},
+    {"MUFU",   OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+    {"I2F",    OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+    {"F2I",    OpFormat::Alu1,      MemSpace::NONE,     false, false, false},
+
+    {"ISETP",  OpFormat::Setp,      MemSpace::NONE,     false, false, false},
+    {"FSETP",  OpFormat::Setp,      MemSpace::NONE,     false, false, false},
+    {"P2R",    OpFormat::PredMove,  MemSpace::NONE,     false, false, false},
+    {"R2P",    OpFormat::PredMove,  MemSpace::NONE,     false, false, false},
+
+    {"LDG",    OpFormat::Load,      MemSpace::GLOBAL,   true,  false, false},
+    {"STG",    OpFormat::Store,     MemSpace::GLOBAL,   false, true,  false},
+    {"LDL",    OpFormat::Load,      MemSpace::LOCAL,    true,  false, false},
+    {"STL",    OpFormat::Store,     MemSpace::LOCAL,    false, true,  false},
+    {"LDS",    OpFormat::Load,      MemSpace::SHARED,   true,  false, false},
+    {"STS",    OpFormat::Store,     MemSpace::SHARED,   false, true,  false},
+    {"LDC",    OpFormat::LoadConst, MemSpace::CONSTANT, true,  false, false},
+    {"ATOM",   OpFormat::Atomic,    MemSpace::GLOBAL,   true,  true,  false},
+
+    {"VOTE",   OpFormat::Vote,      MemSpace::NONE,     false, false, false},
+    {"MATCH",  OpFormat::Match,     MemSpace::NONE,     false, false, false},
+    {"SHFL",   OpFormat::Shfl,      MemSpace::NONE,     false, false, false},
+    {"S2R",    OpFormat::ReadSpec,  MemSpace::NONE,     false, false, false},
+
+    {"PROXY",  OpFormat::Proxy,     MemSpace::NONE,     false, false, false},
+};
+
+static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+const char *kSpecialRegNames[] = {
+    "SR_TID.X", "SR_TID.Y", "SR_TID.Z",
+    "SR_NTID.X", "SR_NTID.Y", "SR_NTID.Z",
+    "SR_CTAID.X", "SR_CTAID.Y", "SR_CTAID.Z",
+    "SR_NCTAID.X", "SR_NCTAID.Y", "SR_NCTAID.Z",
+    "SR_LANEID",
+    "SR_WARPID",
+    "SR_SMID",
+    "SR_CLOCKLO",
+};
+
+static_assert(sizeof(kSpecialRegNames) / sizeof(kSpecialRegNames[0]) ==
+                  static_cast<size_t>(SpecialReg::NumSpecialRegs),
+              "special register names out of sync");
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    NVBIT_ASSERT(idx < static_cast<size_t>(Opcode::NumOpcodes),
+                 "opcode out of range: %zu", idx);
+    return kOpcodeTable[idx];
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+const char *
+specialRegName(SpecialReg sr)
+{
+    auto idx = static_cast<size_t>(sr);
+    NVBIT_ASSERT(idx < static_cast<size_t>(SpecialReg::NumSpecialRegs),
+                 "special register out of range: %zu", idx);
+    return kSpecialRegNames[idx];
+}
+
+} // namespace nvbit::isa

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Opcode and modifier definitions for the SASS-like machine ISA.
+ *
+ * The ISA is a stand-in for NVIDIA SASS with the structural properties
+ * NVBit's mechanisms depend on: fixed-width encodings per architecture
+ * family, guard predicates on every instruction, relative branches
+ * (whose offsets must be relocated when instructions move into
+ * trampolines), absolute jumps/calls (used by trampolines themselves),
+ * indirect branches (which defeat static basic-block construction),
+ * register-pair 64-bit values, warp-wide operations, and atomics.
+ */
+#ifndef NVBIT_ISA_OPCODES_HPP
+#define NVBIT_ISA_OPCODES_HPP
+
+#include <cstdint>
+
+namespace nvbit::isa {
+
+/** Machine opcodes.  Must fit in 6 bits for the SM5x encoding. */
+enum class Opcode : uint8_t {
+    NOP = 0,
+    EXIT,   ///< terminate thread
+    BRA,    ///< relative branch, signed byte offset from next PC
+    JMP,    ///< absolute jump, target = imm * kJmpScale bytes
+    BRX,    ///< indirect branch, target = Ra (absolute byte address)
+    CAL,    ///< absolute call, pushes return PC on hardware stack
+    RET,    ///< return, pops hardware return stack
+    BAR,    ///< CTA-wide barrier
+
+    MOV,    ///< Rd = Ra or sign-extended imm (IMM_SRC2)
+    LUI,    ///< Rd = imm << 16 (materialise upper constant half)
+    SEL,    ///< Rd = psel ? Ra : Rb (predicate index in mod)
+    SHL,    ///< Rd = Ra << (Rb|imm)
+    SHR,    ///< Rd = Ra >> (Rb|imm), arithmetic when dtype == S32
+    AND,    ///< bitwise
+    OR,     ///< bitwise
+    XOR,    ///< bitwise
+    NOT,    ///< Rd = ~Ra
+
+    IADD,   ///< Rd = Ra + (Rb|imm); dtype U64 adds register pairs
+    ISUB,   ///< Rd = Ra - (Rb|imm); dtype U64 on register pairs
+    IMUL,   ///< Rd = low32(Ra * (Rb|imm))
+    IMAD,   ///< Rd = Ra * Rb + Rc; dtype U64 => wide: pair = a*b + pair
+    IMNMX,  ///< Rd = min(Ra, Rb|imm) : max(...) (MIN when mod NEG clear)
+    POPC,   ///< Rd = population count of Ra
+
+    FADD,   ///< f32
+    FMUL,   ///< f32
+    FFMA,   ///< f32 fused multiply-add: Rd = Ra * Rb + Rc
+    FMNMX,  ///< f32 min/max
+    MUFU,   ///< multi-function unit: rcp/sqrt/rsq/ex2/lg2/sin/cos
+    I2F,    ///< int (dtype) -> f32
+    F2I,    ///< f32 -> int (dtype), truncating
+
+    ISETP,  ///< Pd = cmp(Ra, Rb|imm) integer
+    FSETP,  ///< Pd = cmp(Ra, Rb|imm) f32
+    P2R,    ///< Rd = {P6..P0} as bitmask (predicate save)
+    R2P,    ///< {P6..P0} = Ra bits 0..6 (predicate restore)
+
+    LDG,    ///< load global:  Rd = [Ra.pair + imm]
+    STG,    ///< store global: [Ra.pair + imm] = Rb
+    LDL,    ///< load local:   Rd = [Ra + imm] (32-bit local window)
+    STL,    ///< store local
+    LDS,    ///< load shared
+    STS,    ///< store shared
+    LDC,    ///< load constant: Rd = c[bank][imm]
+    ATOM,   ///< global atomic: Rd = old; [Ra.pair+imm] op= Rb (Rc for CAS)
+
+    VOTE,   ///< warp vote: Rd = ballot(psrc) / any / all
+    MATCH,  ///< Rd = mask of active lanes with equal Ra (pair when U64)
+    SHFL,   ///< warp shuffle: Rd = Ra from lane f(Rb|imm)
+    S2R,    ///< read special register: Rd = SR[imm]
+
+    PROXY,  ///< hypothetical-instruction carrier (paper section 6.3);
+            ///< traps unless an NVBit tool emulates and removes it
+
+    NumOpcodes
+};
+
+/** Scale factor applied to JMP/CAL absolute immediate targets. */
+constexpr uint64_t kJmpScale = 8;
+
+/** Data type modifier for ALU/SETP/memory-adjacent operations. */
+enum class DType : uint8_t { U32 = 0, S32 = 1, F32 = 2, U64 = 3 };
+
+/** Comparison operators for ISETP/FSETP (3 bits of mod). */
+enum class CmpOp : uint8_t { LT = 0, EQ, LE, GT, NE, GE };
+
+/** Atomic sub-operations (3 bits of mod). */
+enum class AtomOp : uint8_t { ADD = 0, MIN, MAX, EXCH, CAS, AND, OR, XOR };
+
+/** MUFU sub-functions (3 bits of mod). */
+enum class MufuOp : uint8_t { RCP = 0, SQRT, RSQ, EX2, LG2, SIN, COS };
+
+/** VOTE modes (2 bits of mod). */
+enum class VoteMode : uint8_t { ALL = 0, ANY, BALLOT };
+
+/** SHFL modes (2 bits of mod). */
+enum class ShflMode : uint8_t { IDX = 0, UP, DOWN, BFLY };
+
+/** Special registers readable via S2R. */
+enum class SpecialReg : uint8_t {
+    TID_X = 0, TID_Y, TID_Z,
+    NTID_X, NTID_Y, NTID_Z,
+    CTAID_X, CTAID_Y, CTAID_Z,
+    NCTAID_X, NCTAID_Y, NCTAID_Z,
+    LANEID,
+    WARPID,
+    SMID,
+    CLOCKLO,
+    NumSpecialRegs
+};
+
+/** Memory spaces (user-facing; mirrors the paper's Instr::GLOBAL etc.). */
+enum class MemSpace : uint8_t { NONE = 0, GLOBAL, LOCAL, SHARED, CONSTANT };
+
+/**
+ * Operand-layout classes.  Each opcode belongs to exactly one; the
+ * encoder/decoder and the instruction lifter use this to interpret the
+ * rd/ra/rb/rc/mod/imm fields.
+ */
+enum class OpFormat : uint8_t {
+    Nullary,   ///< NOP, EXIT, RET, BAR
+    Branch,    ///< BRA: imm = relative byte offset
+    JumpAbs,   ///< JMP/CAL: imm = absolute target / kJmpScale
+    BranchInd, ///< BRX: ra = absolute target
+    Alu1,      ///< MOV/NOT/POPC/I2F/F2I/MUFU/LUI: rd, (ra|imm)
+    Alu2,      ///< rd, ra, (rb|imm)
+    Alu3,      ///< FFMA/IMAD: rd, ra, rb, rc
+    AluSel,    ///< SEL: rd, ra, rb, pred-in-mod
+    Setp,      ///< pd(in rd), ra, (rb|imm)
+    Load,      ///< rd, [ra + imm]
+    Store,     ///< [ra + imm], rb
+    LoadConst, ///< rd, c[bank][imm]
+    Atomic,    ///< rd, [ra + imm], rb (, rc when CAS)
+    Vote,      ///< rd, psrc-in-mod
+    Match,     ///< rd, ra
+    Shfl,      ///< rd, ra, (rb|imm)
+    ReadSpec,  ///< rd, sr-index-in-imm
+    PredMove,  ///< P2R: rd / R2P: ra
+    Proxy      ///< rd, ra, rb, imm = proxy id
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo {
+    const char *name;      ///< SASS-style mnemonic
+    OpFormat format;       ///< operand layout
+    MemSpace space;        ///< memory space touched (NONE if not memory)
+    bool is_load;          ///< reads memory
+    bool is_store;         ///< writes memory (ATOM sets both)
+    bool is_control_flow;  ///< may redirect the PC
+};
+
+/** @return the static description of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** @return mnemonic of @p op (e.g. "LDG"). */
+const char *opcodeName(Opcode op);
+
+/** @return textual name of special register @p sr (e.g. "SR_TID.X"). */
+const char *specialRegName(SpecialReg sr);
+
+// --- Modifier bit layout helpers -----------------------------------------
+//
+// The modifier field is 6 bits wide on SM5x (the narrowest family), so
+// every class must fit in 6 bits:
+//   ALU:   [0] IMM_SRC2, [2:1] dtype
+//   SETP:  [2:0] cmp, [3] IMM_SRC2, [5:4] dtype
+//   MEM:   [0] SIZE64
+//   LDC:   [0] SIZE64, [2:1] bank
+//   ATOM:  [2:0] atom op, [4:3] dtype
+//   VOTE:  [1:0] mode, [4:2] src pred, [5] src pred negate
+//   SEL:   [2:0] sel pred, [3] negate
+//   MUFU:  [2:0] function
+//   SHFL:  [1:0] mode, [2] IMM_SRC2
+//   MATCH: [0] U64
+//   IMNMX: [0] IMM_SRC2, [2:1] dtype, [3] MAX (vs MIN)
+
+constexpr uint8_t kModImmSrc2 = 1u << 0;
+
+constexpr uint8_t modSetDType(uint8_t mod, DType t)
+{ return static_cast<uint8_t>((mod & ~0x06u) | (uint8_t(t) << 1)); }
+constexpr DType modGetDType(uint8_t mod)
+{ return static_cast<DType>((mod >> 1) & 0x3u); }
+
+constexpr uint8_t kModSetpImm = 1u << 3;
+constexpr uint8_t modSetCmp(uint8_t mod, CmpOp c)
+{ return static_cast<uint8_t>((mod & ~0x07u) | uint8_t(c)); }
+constexpr CmpOp modGetCmp(uint8_t mod)
+{ return static_cast<CmpOp>(mod & 0x7u); }
+constexpr uint8_t modSetSetpDType(uint8_t mod, DType t)
+{ return static_cast<uint8_t>((mod & ~0x30u) | (uint8_t(t) << 4)); }
+constexpr DType modGetSetpDType(uint8_t mod)
+{ return static_cast<DType>((mod >> 4) & 0x3u); }
+
+constexpr uint8_t kModSize64 = 1u << 0;
+constexpr uint8_t modSetCBank(uint8_t mod, uint8_t bank)
+{ return static_cast<uint8_t>((mod & ~0x06u) | ((bank & 0x3u) << 1)); }
+constexpr uint8_t modGetCBank(uint8_t mod) { return (mod >> 1) & 0x3u; }
+
+constexpr uint8_t modSetAtomOp(uint8_t mod, AtomOp o)
+{ return static_cast<uint8_t>((mod & ~0x07u) | uint8_t(o)); }
+constexpr AtomOp modGetAtomOp(uint8_t mod)
+{ return static_cast<AtomOp>(mod & 0x7u); }
+constexpr uint8_t modSetAtomDType(uint8_t mod, DType t)
+{ return static_cast<uint8_t>((mod & ~0x18u) | (uint8_t(t) << 3)); }
+constexpr DType modGetAtomDType(uint8_t mod)
+{ return static_cast<DType>((mod >> 3) & 0x3u); }
+
+constexpr uint8_t modSetVoteMode(uint8_t mod, VoteMode m)
+{ return static_cast<uint8_t>((mod & ~0x03u) | uint8_t(m)); }
+constexpr VoteMode modGetVoteMode(uint8_t mod)
+{ return static_cast<VoteMode>(mod & 0x3u); }
+constexpr uint8_t modSetVotePred(uint8_t mod, uint8_t p, bool neg)
+{
+    return static_cast<uint8_t>((mod & ~0x3Cu) | ((p & 0x7u) << 2) |
+                                (neg ? 0x20u : 0u));
+}
+constexpr uint8_t modGetVotePred(uint8_t mod) { return (mod >> 2) & 0x7u; }
+constexpr bool modGetVotePredNeg(uint8_t mod) { return (mod & 0x20u) != 0; }
+
+constexpr uint8_t modSetSelPred(uint8_t mod, uint8_t p, bool neg)
+{
+    return static_cast<uint8_t>((mod & ~0x0Fu) | (p & 0x7u) |
+                                (neg ? 0x08u : 0u));
+}
+constexpr uint8_t modGetSelPred(uint8_t mod) { return mod & 0x7u; }
+constexpr bool modGetSelPredNeg(uint8_t mod) { return (mod & 0x08u) != 0; }
+
+constexpr uint8_t modSetMufu(uint8_t mod, MufuOp f)
+{ return static_cast<uint8_t>((mod & ~0x07u) | uint8_t(f)); }
+constexpr MufuOp modGetMufu(uint8_t mod)
+{ return static_cast<MufuOp>(mod & 0x7u); }
+
+constexpr uint8_t modSetShflMode(uint8_t mod, ShflMode m)
+{ return static_cast<uint8_t>((mod & ~0x03u) | uint8_t(m)); }
+constexpr ShflMode modGetShflMode(uint8_t mod)
+{ return static_cast<ShflMode>(mod & 0x3u); }
+constexpr uint8_t kModShflImm = 1u << 2;
+
+constexpr uint8_t kModMnmxMax = 1u << 3;
+
+} // namespace nvbit::isa
+
+#endif // NVBIT_ISA_OPCODES_HPP

@@ -1,0 +1,159 @@
+#include "mem/device_memory.hpp"
+
+#include "common/logging.hpp"
+
+namespace nvbit::mem {
+
+namespace {
+
+constexpr DevPtr kFirstUsable = 4096; // keep page 0 unmapped
+
+DevPtr
+alignUp(DevPtr p, size_t align)
+{
+    return (p + align - 1) & ~static_cast<DevPtr>(align - 1);
+}
+
+} // namespace
+
+DeviceMemory::DeviceMemory(size_t size)
+    : storage_(size, 0)
+{
+    NVBIT_ASSERT(size > kFirstUsable, "device memory too small: %zu", size);
+    free_blocks_[kFirstUsable] = size - kFirstUsable;
+}
+
+DevPtr
+DeviceMemory::tryAlloc(size_t bytes, size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    NVBIT_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                 "alignment %zu is not a power of two", align);
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+        DevPtr start = it->first;
+        size_t avail = it->second;
+        DevPtr aligned = alignUp(start, align);
+        size_t pad = aligned - start;
+        if (avail < pad || avail - pad < bytes)
+            continue;
+        // Carve [aligned, aligned+bytes) out of the free block.
+        size_t tail = avail - pad - bytes;
+        free_blocks_.erase(it);
+        if (pad > 0)
+            free_blocks_[start] = pad;
+        if (tail > 0)
+            free_blocks_[aligned + bytes] = tail;
+        live_blocks_[aligned] = bytes;
+        bytes_allocated_ += bytes;
+        return aligned;
+    }
+    return 0;
+}
+
+DevPtr
+DeviceMemory::alloc(size_t bytes, size_t align)
+{
+    DevPtr p = tryAlloc(bytes, align);
+    NVBIT_ASSERT(p != 0, "device memory exhausted allocating %zu bytes "
+                 "(%zu already allocated)", bytes, bytes_allocated_);
+    return p;
+}
+
+void
+DeviceMemory::free(DevPtr addr)
+{
+    auto it = live_blocks_.find(addr);
+    NVBIT_ASSERT(it != live_blocks_.end(),
+                 "free of unallocated device address 0x%llx",
+                 static_cast<unsigned long long>(addr));
+    size_t bytes = it->second;
+    live_blocks_.erase(it);
+    bytes_allocated_ -= bytes;
+
+    // Insert and coalesce with neighbours.
+    auto [fit, inserted] = free_blocks_.emplace(addr, bytes);
+    NVBIT_ASSERT(inserted, "free list corruption at 0x%llx",
+                 static_cast<unsigned long long>(addr));
+    // Coalesce with next block.
+    auto next = std::next(fit);
+    if (next != free_blocks_.end() && fit->first + fit->second == next->first) {
+        fit->second += next->second;
+        free_blocks_.erase(next);
+    }
+    // Coalesce with previous block.
+    if (fit != free_blocks_.begin()) {
+        auto prev = std::prev(fit);
+        if (prev->first + prev->second == fit->first) {
+            prev->second += fit->second;
+            free_blocks_.erase(fit);
+        }
+    }
+}
+
+void
+DeviceMemory::checkRange(DevPtr addr, size_t bytes, bool is_write) const
+{
+    if (addr < kFirstUsable || addr + bytes > storage_.size() ||
+        addr + bytes < addr) {
+        throw MemFault{addr, bytes, is_write};
+    }
+}
+
+void
+DeviceMemory::read(DevPtr addr, void *out, size_t bytes) const
+{
+    checkRange(addr, bytes, false);
+    std::memcpy(out, storage_.data() + addr, bytes);
+}
+
+void
+DeviceMemory::write(DevPtr addr, const void *in, size_t bytes)
+{
+    checkRange(addr, bytes, true);
+    std::memcpy(storage_.data() + addr, in, bytes);
+}
+
+uint32_t
+DeviceMemory::read32(DevPtr addr) const
+{
+    uint32_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+uint64_t
+DeviceMemory::read64(DevPtr addr) const
+{
+    uint64_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+DeviceMemory::write32(DevPtr addr, uint32_t v)
+{
+    write(addr, &v, sizeof(v));
+}
+
+void
+DeviceMemory::write64(DevPtr addr, uint64_t v)
+{
+    write(addr, &v, sizeof(v));
+}
+
+std::span<const uint8_t>
+DeviceMemory::view(DevPtr addr, size_t bytes) const
+{
+    checkRange(addr, bytes, false);
+    return {storage_.data() + addr, bytes};
+}
+
+std::span<uint8_t>
+DeviceMemory::mutableView(DevPtr addr, size_t bytes)
+{
+    checkRange(addr, bytes, true);
+    return {storage_.data() + addr, bytes};
+}
+
+} // namespace nvbit::mem

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulated GPU device memory with a first-fit allocator.
+ *
+ * All device addresses are plain 64-bit offsets into one flat region.
+ * Address 0 is never handed out so that null-pointer dereferences trap.
+ * Code for kernels and NVBit trampolines is allocated from the same
+ * region; the SM5x JMP encoding can address up to 128 MiB, so the
+ * default device size stays below that bound.
+ */
+#ifndef NVBIT_MEM_DEVICE_MEMORY_HPP
+#define NVBIT_MEM_DEVICE_MEMORY_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace nvbit::mem {
+
+/** Device address type (mirrors CUdeviceptr). */
+using DevPtr = uint64_t;
+
+/**
+ * Flat simulated device memory plus allocator.
+ *
+ * Loads/stores are bounds-checked; out-of-range accesses throw
+ * MemFault so the simulator can surface them as the GPU equivalent of
+ * an illegal-address error.
+ */
+class DeviceMemory
+{
+  public:
+    /** Thrown on out-of-bounds device accesses. */
+    struct MemFault {
+        DevPtr addr;
+        size_t bytes;
+        bool is_write;
+    };
+
+    /** Default device size: 96 MiB (< 128 MiB JMP reach on SM5x). */
+    static constexpr size_t kDefaultSize = 96ull << 20;
+
+    explicit DeviceMemory(size_t size = kDefaultSize);
+
+    size_t size() const { return storage_.size(); }
+
+    /**
+     * Allocate @p bytes with the given alignment.
+     * @return the device address; panics when out of memory (the
+     * driver layer translates a failed tryAlloc into CUresult instead).
+     */
+    DevPtr alloc(size_t bytes, size_t align = 256);
+
+    /** Like alloc() but returns 0 on exhaustion instead of panicking. */
+    DevPtr tryAlloc(size_t bytes, size_t align = 256);
+
+    /** Free a block previously returned by alloc(). */
+    void free(DevPtr addr);
+
+    /** Total bytes currently allocated. */
+    size_t bytesAllocated() const { return bytes_allocated_; }
+
+    // --- Bounds-checked access ---------------------------------------
+
+    void read(DevPtr addr, void *out, size_t bytes) const;
+    void write(DevPtr addr, const void *in, size_t bytes);
+
+    uint32_t read32(DevPtr addr) const;
+    uint64_t read64(DevPtr addr) const;
+    void write32(DevPtr addr, uint32_t v);
+    void write64(DevPtr addr, uint64_t v);
+
+    /**
+     * Raw view of a range (e.g. for the disassembler/lifter reading a
+     * whole function body).  Throws MemFault if out of range.
+     */
+    std::span<const uint8_t> view(DevPtr addr, size_t bytes) const;
+    std::span<uint8_t> mutableView(DevPtr addr, size_t bytes);
+
+  private:
+    void checkRange(DevPtr addr, size_t bytes, bool is_write) const;
+
+    std::vector<uint8_t> storage_;
+    /** free list: start -> size, coalesced on free() */
+    std::map<DevPtr, size_t> free_blocks_;
+    /** live allocations: start -> size */
+    std::map<DevPtr, size_t> live_blocks_;
+    size_t bytes_allocated_ = 0;
+};
+
+} // namespace nvbit::mem
+
+#endif // NVBIT_MEM_DEVICE_MEMORY_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internal interface between the module-level compiler driver and the
+ * per-function code generator.
+ */
+#ifndef NVBIT_PTX_CODEGEN_HPP
+#define NVBIT_PTX_CODEGEN_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ptx/ast.hpp"
+#include "ptx/compiler.hpp"
+
+namespace nvbit::ptx {
+
+/** Module-wide symbol layout shared by all functions. */
+struct ModuleLayout {
+    /** .const variable name -> byte offset in the module bank. */
+    std::map<std::string, uint32_t> const_off;
+    /** .global variable name -> address-slot offset in the bank. */
+    std::map<std::string, uint32_t> global_slot;
+    /** AST .file index -> index into CompiledModule::files. */
+    std::map<int, uint32_t> file_index;
+    /** Constant bank carrying the module data (1 = app, 2 = tool). */
+    uint8_t const_bank = 1;
+};
+
+/** Compile one function.  @throws CompileError. */
+CompiledFunction compileFunction(const FuncDecl &fn,
+                                 const ModuleLayout &layout,
+                                 isa::ArchFamily family);
+
+} // namespace nvbit::ptx
+
+#endif // NVBIT_PTX_CODEGEN_HPP

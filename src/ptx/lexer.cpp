@@ -1,0 +1,172 @@
+#include "ptx/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "ptx/compiler.hpp"
+
+namespace nvbit::ptx {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '%' || c == '.' || c == '$';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+
+    auto error = [&](const std::string &msg) {
+        throw CompileError{msg, line};
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                error("unterminated block comment");
+            i += 2;
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            size_t start = ++i;
+            while (i < n && src[i] != '"')
+                ++i;
+            if (i >= n)
+                error("unterminated string literal");
+            toks.push_back({TokKind::StrLit, src.substr(start, i - start),
+                            0, 0.0f, line});
+            ++i;
+            continue;
+        }
+        // Numeric literal (possibly negative).
+        bool neg_num = (c == '-' && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(src[i + 1])));
+        if (std::isdigit(static_cast<unsigned char>(c)) || neg_num) {
+            size_t start = i;
+            if (neg_num)
+                ++i;
+            // PTX hex-float: 0fXXXXXXXX
+            if (src[i] == '0' && i + 1 < n &&
+                (src[i + 1] == 'f' || src[i + 1] == 'F') && i + 2 < n &&
+                std::isxdigit(static_cast<unsigned char>(src[i + 2]))) {
+                i += 2;
+                size_t hstart = i;
+                while (i < n &&
+                       std::isxdigit(static_cast<unsigned char>(src[i])))
+                    ++i;
+                if (i - hstart != 8)
+                    error("hex float literal must have 8 hex digits");
+                uint32_t bits = static_cast<uint32_t>(
+                    std::strtoul(src.substr(hstart, 8).c_str(), nullptr,
+                                 16));
+                float f;
+                std::memcpy(&f, &bits, sizeof(f));
+                if (neg_num)
+                    f = -f;
+                toks.push_back(
+                    {TokKind::FloatLit, src.substr(start, i - start), 0, f,
+                     line});
+                continue;
+            }
+            bool hex = (src[i] == '0' && i + 1 < n &&
+                        (src[i + 1] == 'x' || src[i + 1] == 'X'));
+            if (hex)
+                i += 2;
+            size_t dstart = i;
+            bool is_float = false;
+            while (i < n) {
+                char d = src[i];
+                if (hex ? std::isxdigit(static_cast<unsigned char>(d))
+                        : std::isdigit(static_cast<unsigned char>(d))) {
+                    ++i;
+                } else if (!hex && (d == '.' || d == 'e' || d == 'E')) {
+                    is_float = true;
+                    ++i;
+                    if (i < n && (src[i] == '+' || src[i] == '-') &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E'))
+                        ++i;
+                } else {
+                    break;
+                }
+            }
+            if (i == dstart)
+                error("malformed numeric literal");
+            std::string text = src.substr(start, i - start);
+            if (is_float) {
+                toks.push_back({TokKind::FloatLit, text, 0,
+                                std::strtof(text.c_str(), nullptr), line});
+            } else {
+                int64_t v = static_cast<int64_t>(
+                    std::strtoll(text.c_str(), nullptr, 0));
+                toks.push_back({TokKind::IntLit, text, v, 0.0f, line});
+            }
+            continue;
+        }
+        // Identifier / directive / register / mnemonic.
+        if (isIdentStart(c)) {
+            size_t start = i++;
+            while (i < n && isIdentChar(src[i]))
+                ++i;
+            toks.push_back({TokKind::Ident, src.substr(start, i - start),
+                            0, 0.0f, line});
+            continue;
+        }
+        // Punctuation.
+        switch (c) {
+          case '{': case '}': case '(': case ')': case '[': case ']':
+          case ',': case ';': case ':': case '@': case '!': case '=':
+          case '+': case '<': case '>': case '|': case '-':
+            toks.push_back(
+                {TokKind::Punct, std::string(1, c), 0, 0.0f, line});
+            ++i;
+            continue;
+          default:
+            error(std::string("unexpected character '") + c + "'");
+        }
+    }
+    toks.push_back({TokKind::End, "", 0, 0.0f, line});
+    return toks;
+}
+
+} // namespace nvbit::ptx

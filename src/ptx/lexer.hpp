@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tokenizer for the PTX dialect.
+ */
+#ifndef NVBIT_PTX_LEXER_HPP
+#define NVBIT_PTX_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvbit::ptx {
+
+enum class TokKind : uint8_t {
+    Ident,      ///< foo, .reg, %r1, %tid.x, add.u32  (dots kept inside)
+    IntLit,     ///< 42, -7, 0x1F
+    FloatLit,   ///< 1.5, -0.25, 0f3F800000
+    StrLit,     ///< "file.cu"
+    Punct,      ///< { } ( ) [ ] , ; : @ ! = + < >
+    End
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;   ///< identifier / punct text
+    int64_t ival = 0;   ///< IntLit value
+    float fval = 0.0f;  ///< FloatLit value
+    int line = 0;       ///< 1-based source line
+};
+
+/**
+ * Tokenize @p src.  Comments (// and / * * /) are skipped.
+ * @throws CompileError on malformed literals.
+ */
+std::vector<Token> tokenize(const std::string &src);
+
+} // namespace nvbit::ptx
+
+#endif // NVBIT_PTX_LEXER_HPP

@@ -1,0 +1,329 @@
+#include "ptx/vinstr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "isa/abi.hpp"
+#include "ptx/compiler.hpp"
+
+namespace nvbit::ptx {
+
+namespace {
+
+/** Defs and uses of one VInstr in terms of vreg ids. */
+void
+defsUses(const VInstr &vi, std::vector<int> &defs, std::vector<int> &uses)
+{
+    defs.clear();
+    uses.clear();
+    auto use = [&](int v) {
+        if (v >= 0)
+            uses.push_back(v);
+    };
+    auto def = [&](int v) {
+        if (v >= 0)
+            defs.push_back(v);
+    };
+    use(vi.vpg);
+    switch (vi.kind) {
+      case VInstr::Kind::Label:
+        break;
+      case VInstr::Kind::Bra:
+        break;
+      case VInstr::Kind::Call:
+        for (int a : vi.args)
+            use(a);
+        def(vi.ret_vreg);
+        break;
+      case VInstr::Kind::Widen:
+      case VInstr::Kind::WidenSigned:
+      case VInstr::Kind::Narrow:
+        use(vi.vra);
+        def(vi.vrd);
+        break;
+      case VInstr::Kind::Op:
+        use(vi.vra);
+        use(vi.vrb);
+        use(vi.vrc);
+        use(vi.vps);
+        def(vi.vrd);
+        def(vi.vpd);
+        break;
+    }
+}
+
+struct Interval {
+    int vreg = -1;
+    int start = -1;
+    int end = -1;
+};
+
+} // namespace
+
+RegAlloc
+allocateRegisters(const std::vector<VInstr> &code,
+                  const std::vector<VRegInfo> &vregs)
+{
+    const size_t n = code.size();
+    const size_t nv = vregs.size();
+
+    // ---- Build basic blocks -------------------------------------------
+    // Leaders: index 0, label positions, and positions after control
+    // flow (Bra / RET / EXIT / JMP / BRX).
+    std::vector<uint32_t> leader(n + 1, 0);
+    leader[0] = 1;
+    std::map<int, size_t> label_pos;
+    for (size_t i = 0; i < n; ++i) {
+        const VInstr &vi = code[i];
+        if (vi.kind == VInstr::Kind::Label) {
+            leader[i] = 1;
+            label_pos[vi.label] = i;
+        }
+        bool is_cf = vi.kind == VInstr::Kind::Bra ||
+                     (vi.kind == VInstr::Kind::Op &&
+                      vi.templ.isControlFlow() &&
+                      vi.templ.op != isa::Opcode::CAL);
+        if (is_cf && i + 1 < n)
+            leader[i + 1] = 1;
+    }
+    std::vector<size_t> block_start; // block id -> first index
+    std::vector<int> block_of(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        if (leader[i])
+            block_start.push_back(i);
+        block_of[i] = static_cast<int>(block_start.size()) - 1;
+    }
+    const size_t nb = block_start.size();
+    auto block_end = [&](size_t b) {
+        return b + 1 < nb ? block_start[b + 1] : n;
+    };
+
+    // Successors.
+    std::vector<std::vector<int>> succ(nb);
+    for (size_t b = 0; b < nb; ++b) {
+        size_t last = block_end(b) - 1;
+        if (block_end(b) <= block_start[b])
+            continue;
+        const VInstr &vi = code[last];
+        bool fallthrough = true;
+        if (vi.kind == VInstr::Kind::Bra) {
+            auto it = label_pos.find(vi.label);
+            NVBIT_ASSERT(it != label_pos.end(),
+                         "undefined branch label %d", vi.label);
+            succ[b].push_back(block_of[it->second]);
+            fallthrough = vi.vpg >= 0; // unconditional branch: no FT
+        } else if (vi.kind == VInstr::Kind::Op &&
+                   vi.templ.isControlFlow() &&
+                   vi.templ.op != isa::Opcode::CAL) {
+            // RET / EXIT / JMP / BRX terminate or leave the function.
+            fallthrough = vi.vpg >= 0 || !vi.templ.alwaysExecutes();
+        }
+        if (fallthrough && b + 1 < nb)
+            succ[b].push_back(static_cast<int>(b + 1));
+    }
+
+    // ---- Iterative liveness -------------------------------------------
+    const size_t words = (nv + 63) / 64;
+    auto bitGet = [&](const std::vector<uint64_t> &bs, size_t v) {
+        return (bs[v / 64] >> (v % 64)) & 1;
+    };
+    auto bitSet = [&](std::vector<uint64_t> &bs, size_t v) {
+        bs[v / 64] |= uint64_t{1} << (v % 64);
+    };
+
+    std::vector<std::vector<uint64_t>> live_in(
+        nb, std::vector<uint64_t>(words, 0));
+    std::vector<std::vector<uint64_t>> live_out(
+        nb, std::vector<uint64_t>(words, 0));
+
+    std::vector<int> defs, uses;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = nb; bi-- > 0;) {
+            // out = union of successors' in
+            std::vector<uint64_t> out(words, 0);
+            for (int s : succ[bi])
+                for (size_t w = 0; w < words; ++w)
+                    out[w] |= live_in[s][w];
+            // in = (out - defs) + uses, walked backwards
+            std::vector<uint64_t> in = out;
+            for (size_t i = block_end(bi); i-- > block_start[bi];) {
+                defsUses(code[i], defs, uses);
+                for (int d : defs)
+                    in[d / 64] &= ~(uint64_t{1} << (d % 64));
+                for (int u : uses)
+                    bitSet(in, u);
+            }
+            if (out != live_out[bi] || in != live_in[bi]) {
+                live_out[bi] = std::move(out);
+                live_in[bi] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    // ---- Intervals ------------------------------------------------------
+    std::vector<Interval> iv(nv);
+    for (size_t v = 0; v < nv; ++v)
+        iv[v].vreg = static_cast<int>(v);
+    auto extend = [&](size_t v, int pos) {
+        if (iv[v].start < 0 || pos < iv[v].start)
+            iv[v].start = pos;
+        if (pos > iv[v].end)
+            iv[v].end = pos;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        defsUses(code[i], defs, uses);
+        for (int d : defs)
+            extend(d, static_cast<int>(i));
+        for (int u : uses)
+            extend(u, static_cast<int>(i));
+    }
+    for (size_t b = 0; b < nb; ++b) {
+        for (size_t v = 0; v < nv; ++v) {
+            if (bitGet(live_in[b], v))
+                extend(v, static_cast<int>(block_start[b]));
+            if (bitGet(live_out[b], v))
+                extend(v, static_cast<int>(block_end(b)) - 1);
+        }
+    }
+
+    // ---- Parameter barrier ----------------------------------------------
+    // Function parameters arrive in R4..R15 and are copied into vregs
+    // by the first instructions; until the last such copy has executed
+    // no vreg may be assigned an argument register.
+    int param_barrier = -1;
+    for (size_t i = 0; i < n; ++i) {
+        if (code[i].ra_is_phys &&
+            code[i].phys_ra >= isa::kAbiArgReg &&
+            code[i].phys_ra < isa::kAbiArgReg + isa::kAbiNumArgRegs) {
+            param_barrier = static_cast<int>(i);
+        } else {
+            break;
+        }
+    }
+
+    // ---- Linear scan ------------------------------------------------------
+    RegAlloc ra;
+    ra.gpr_of.assign(nv, 0);
+    ra.pred_of.assign(nv, 0);
+
+    std::vector<Interval> order;
+    for (size_t v = 0; v < nv; ++v)
+        if (iv[v].start >= 0)
+            order.push_back(iv[v]);
+    std::sort(order.begin(), order.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.vreg < b.vreg);
+              });
+
+    // GPR pool: R4..R253 (R254 kept free so pairs never touch RZ).
+    std::array<int, isa::kNumRegNames> reg_free_at{};
+    reg_free_at.fill(-1); // position after which the reg is free
+    for (unsigned r = 0; r < isa::kAbiFirstAllocatable; ++r)
+        reg_free_at[r] = INT32_MAX; // reserved forever
+    reg_free_at[254] = INT32_MAX;
+    reg_free_at[255] = INT32_MAX;
+
+    // Predicate pool: P0..P6.
+    std::array<int, isa::kNumPred> pred_free_at{};
+    pred_free_at.fill(-1);
+
+    int max_gpr = -1;
+    for (const Interval &itv : order) {
+        const VRegInfo &info = vregs[itv.vreg];
+        if (info.cls == RegClass::Pred) {
+            int chosen = -1;
+            for (unsigned p = 0; p < isa::kNumPred; ++p) {
+                if (pred_free_at[p] < itv.start) {
+                    chosen = static_cast<int>(p);
+                    break;
+                }
+            }
+            if (chosen < 0) {
+                throw CompileError{
+                    strfmt("out of predicate registers for '%s'",
+                           info.name.c_str()),
+                    0};
+            }
+            pred_free_at[chosen] = itv.end;
+            ra.pred_of[itv.vreg] = static_cast<uint8_t>(chosen);
+            continue;
+        }
+        const bool pair = info.cls == RegClass::B64;
+        int chosen = -1;
+        for (unsigned r = isa::kAbiFirstAllocatable; r <= isa::kMaxGpr;
+             r += pair ? 2 : 1) {
+            if (pair && (r % 2) != 0)
+                continue;
+            if (itv.start <= param_barrier && r >= isa::kAbiArgReg &&
+                r < isa::kAbiArgReg + isa::kAbiNumArgRegs) {
+                continue; // parameter registers still hold arguments
+            }
+            if (reg_free_at[r] >= itv.start)
+                continue;
+            if (pair && reg_free_at[r + 1] >= itv.start)
+                continue;
+            chosen = static_cast<int>(r);
+            break;
+        }
+        if (chosen < 0) {
+            throw CompileError{
+                strfmt("out of registers allocating '%s'",
+                       info.name.c_str()),
+                0};
+        }
+        reg_free_at[chosen] = itv.end;
+        if (pair)
+            reg_free_at[chosen + 1] = itv.end;
+        ra.gpr_of[itv.vreg] = static_cast<uint8_t>(chosen);
+        max_gpr = std::max(max_gpr, chosen + (pair ? 1 : 0));
+    }
+    ra.max_gpr_plus1 = static_cast<uint32_t>(max_gpr + 1);
+
+    // ---- Call sites: save/restore sets ----------------------------------
+    for (size_t i = 0; i < n; ++i) {
+        if (code[i].kind != VInstr::Kind::Call)
+            continue;
+        RegAlloc::CallSite cs;
+        cs.vindex = static_cast<uint32_t>(i);
+        int pos = static_cast<int>(i);
+        for (const Interval &itv : order) {
+            const VRegInfo &info = vregs[itv.vreg];
+            if (info.cls == RegClass::Pred)
+                continue;
+            if (itv.start > pos || itv.end < pos)
+                continue;
+            bool is_arg = std::find(code[i].args.begin(),
+                                    code[i].args.end(),
+                                    itv.vreg) != code[i].args.end();
+            if (itv.vreg == code[i].ret_vreg && !is_arg)
+                continue; // defined by the call itself
+            uint8_t base = ra.gpr_of[itv.vreg];
+            unsigned width = info.cls == RegClass::B64 ? 2 : 1;
+            for (unsigned k = 0; k < width; ++k) {
+                cs.save_regs.push_back(static_cast<uint8_t>(base + k));
+                if (itv.end > pos) {
+                    cs.restore_regs.push_back(
+                        static_cast<uint8_t>(base + k));
+                }
+            }
+        }
+        std::sort(cs.save_regs.begin(), cs.save_regs.end());
+        cs.save_regs.erase(
+            std::unique(cs.save_regs.begin(), cs.save_regs.end()),
+            cs.save_regs.end());
+        std::sort(cs.restore_regs.begin(), cs.restore_regs.end());
+        cs.restore_regs.erase(
+            std::unique(cs.restore_regs.begin(), cs.restore_regs.end()),
+            cs.restore_regs.end());
+        ra.call_sites.push_back(std::move(cs));
+    }
+
+    return ra;
+}
+
+} // namespace nvbit::ptx

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Virtual-register intermediate representation used between PTX
+ * instruction selection and register allocation.
+ */
+#ifndef NVBIT_PTX_VINSTR_HPP
+#define NVBIT_PTX_VINSTR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "ptx/ast.hpp"
+
+namespace nvbit::ptx {
+
+/** One virtual register. */
+struct VRegInfo {
+    RegClass cls = RegClass::B32;
+    std::string name; ///< source name, for diagnostics
+};
+
+/**
+ * One IR instruction.  Register fields in @ref templ are placeholders;
+ * the lowering pass fills them from the allocation of the v* ids.
+ * A v* id of -1 means "slot unused"; *_is_phys selects a fixed
+ * physical register instead (e.g. the SP for local address-of).
+ */
+struct VInstr {
+    enum class Kind : uint8_t {
+        Op,          ///< one machine instruction
+        Label,       ///< label marker (emits nothing)
+        Bra,         ///< relative branch to @ref label
+        Call,        ///< ABI call: save-live / marshal / CAL / restore
+        Widen,       ///< B64 dst = zero-extend B32 src (2 instrs)
+        WidenSigned, ///< B64 dst = sign-extend B32 src (2 instrs)
+        Narrow       ///< B32 dst = low half of B64 src
+    };
+
+    Kind kind = Kind::Op;
+    isa::Instruction templ;
+
+    int vrd = -1, vra = -1, vrb = -1, vrc = -1; ///< GPR-class vregs
+    int vpd = -1;             ///< predicate destination (SETP)
+    int vpg = -1;             ///< guard predicate (-1 = always)
+    bool pg_neg = false;
+    int vps = -1;             ///< predicate source operand (VOTE/SEL)
+    bool ps_neg = false;
+
+    bool rd_is_phys = false;  ///< write fixed phys reg (st.param -> R4)
+    uint8_t phys_rd = 0;
+    bool ra_is_phys = false;  ///< read fixed phys reg (SP / RZ base)
+    uint8_t phys_ra = 0;
+
+    int label = -1;           ///< Label id (Kind::Label / Kind::Bra)
+
+    // Kind::Call:
+    std::string callee;
+    std::vector<int> args;    ///< argument vregs, in order
+    int ret_vreg = -1;
+
+    int src_line = 0;         ///< PTX source line (diagnostics)
+    int loc_file = -1;        ///< .loc correlation
+    int loc_line = 0;
+};
+
+/** Result of register allocation. */
+struct RegAlloc {
+    /** vreg id -> physical base register (pair base for B64). */
+    std::vector<uint8_t> gpr_of;
+    /** vreg id -> predicate register (Pred class only). */
+    std::vector<uint8_t> pred_of;
+    /** For every Kind::Call site: 32-bit phys regs to save/restore. */
+    struct CallSite {
+        uint32_t vindex;
+        std::vector<uint8_t> save_regs;    ///< live at the call
+        std::vector<uint8_t> restore_regs; ///< live across the call
+    };
+    std::vector<CallSite> call_sites;
+    /** Highest GPR assigned + 1 (before glue code is added). */
+    uint32_t max_gpr_plus1 = 0;
+};
+
+/**
+ * Liveness analysis + linear-scan allocation.
+ * @throws CompileError when registers or predicates are exhausted.
+ */
+RegAlloc allocateRegisters(const std::vector<VInstr> &code,
+                           const std::vector<VRegInfo> &vregs);
+
+} // namespace nvbit::ptx
+
+#endif // NVBIT_PTX_VINSTR_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Set-associative cache model (LRU) used for the per-SM L1s and the
+ * shared L2 of the simulated device.
+ */
+#ifndef NVBIT_SIM_CACHE_HPP
+#define NVBIT_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace nvbit::sim {
+
+/** Outcome of a cache-hierarchy access. */
+enum class CacheLevel : uint8_t { L1, L2, Memory };
+
+/** One set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Look up @p line_addr (already line-aligned); fills on miss. */
+    bool access(uint64_t line_addr);
+
+    /** Drop all contents (e.g. between benchmark repetitions). */
+    void invalidateAll();
+
+    unsigned lineBytes() const { return line_bytes_; }
+
+  private:
+    struct Way {
+        uint64_t tag = ~0ull;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    unsigned line_bytes_;
+    unsigned assoc_;
+    size_t num_sets_;
+    uint64_t tick_ = 0;
+    std::vector<Way> ways_; // num_sets_ * assoc_
+};
+
+/**
+ * The device cache hierarchy: one L1 per SM in front of a shared L2.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const GpuConfig &cfg);
+
+    /** Access one line from SM @p sm; returns the level that served it. */
+    CacheLevel access(unsigned sm, uint64_t line_addr);
+
+    void invalidateAll();
+
+    unsigned lineBytes() const { return line_bytes_; }
+
+  private:
+    unsigned line_bytes_;
+    std::vector<Cache> l1s_;
+    Cache l2_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_CACHE_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Configuration of the simulated GPU device.
+ */
+#ifndef NVBIT_SIM_CONFIG_HPP
+#define NVBIT_SIM_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/arch.hpp"
+#include "mem/device_memory.hpp"
+
+namespace nvbit::sim {
+
+/** Threads per warp (fixed by the architecture, as on real NVIDIA GPUs). */
+constexpr unsigned kWarpSize = 32;
+
+/** Maximum hardware return-stack depth per thread (CAL/RET nesting). */
+constexpr unsigned kMaxCallDepth = 64;
+
+/** Geometry/latency parameters of one cache level. */
+struct CacheConfig {
+    size_t size_bytes;
+    unsigned assoc;
+    unsigned line_bytes;
+};
+
+/**
+ * Parameters of the simulated device.  Defaults approximate a mid-size
+ * part; the benchmarks only depend on ratios, not absolute values.
+ */
+struct GpuConfig {
+    isa::ArchFamily family = isa::ArchFamily::SM5x;
+    unsigned num_sms = 16;
+    size_t mem_bytes = mem::DeviceMemory::kDefaultSize;
+
+    unsigned max_warps_per_sm = 64;
+    unsigned regfile_per_sm = 64 * 1024;  ///< 32-bit registers per SM
+    size_t smem_per_sm = 96 * 1024;
+
+    CacheConfig l1{128 * 1024, 4, 128};   ///< per SM
+    CacheConfig l2{4 * 1024 * 1024, 16, 128};
+
+    /** Extra cycles charged per line on an L1 miss that hits in L2. */
+    unsigned l1_miss_penalty = 4;
+    /** Extra cycles charged per line on an L2 miss (DRAM access). */
+    unsigned l2_miss_penalty = 20;
+
+    /** Watchdog: abort launches that exceed this many warp-instructions. */
+    uint64_t max_warp_instrs_per_launch = 1ull << 33;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_CONFIG_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Functional + timing SIMT GPU simulator.
+ *
+ * The simulator executes binary machine code resident in simulated
+ * device memory.  This property is essential for NVBit: the framework
+ * patches code bytes (jump-to-trampoline rewrites, code swapping) and
+ * the simulator, like real hardware, simply fetches whatever bytes are
+ * at the PC.
+ *
+ * Divergence is handled with per-thread PCs and min-PC scheduling
+ * (threads whose PC is smallest execute first), which reconverges
+ * structured control flow and supports arbitrary code layouts —
+ * including NVBit trampolines placed far from the original function.
+ *
+ * Timing model: each SM issues one warp-instruction per cycle;
+ * global-memory instructions add per-unique-line penalties depending on
+ * which cache level serves them.  Thread blocks are distributed
+ * round-robin over SMs and each SM runs its blocks back-to-back; the
+ * reported launch time is the maximum per-SM cycle count.  Absolute
+ * numbers are therefore not those of any real GPU, but ratios between
+ * two runs of the same workload (e.g. instrumented vs native) are
+ * meaningful, which is all the paper's Figures 5/8/9 require.
+ */
+#ifndef NVBIT_SIM_GPU_HPP
+#define NVBIT_SIM_GPU_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/arch.hpp"
+#include "mem/device_memory.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace nvbit::sim {
+
+/** Thrown when simulated code faults (illegal address, PROXY, ...). */
+struct SimTrap {
+    std::string reason;
+    uint64_t pc = 0;
+};
+
+/** Everything needed to run one kernel grid. */
+struct LaunchParams {
+    uint64_t entry_pc = 0;
+    uint32_t grid[3] = {1, 1, 1};
+    uint32_t block[3] = {1, 1, 1};
+    /** Registers per thread (used for occupancy accounting). */
+    uint32_t num_regs = 32;
+    /** Per-thread local-memory (stack) bytes; R1 is initialised to it. */
+    uint32_t local_bytes = 1024;
+    /** Shared memory bytes per thread block. */
+    uint32_t shared_bytes = 0;
+    /** Constant bank 0: kernel parameters. */
+    std::vector<uint8_t> bank0;
+    /** Constant bank 1: module constants (incl. global-address table). */
+    std::vector<uint8_t> bank1;
+    /**
+     * Constant bank 2: NVBit tool-module constants.  Mapped by the
+     * driver whenever a tool module is loaded, so injected device
+     * functions can reach their globals from any kernel.
+     */
+    std::vector<uint8_t> bank2;
+};
+
+/**
+ * The simulated GPU device: memory, caches, and the execution engine.
+ */
+class GpuDevice
+{
+  public:
+    explicit GpuDevice(const GpuConfig &cfg = GpuConfig{});
+
+    const GpuConfig &config() const { return cfg_; }
+    isa::ArchFamily family() const { return cfg_.family; }
+
+    mem::DeviceMemory &memory() { return *memory_; }
+    const mem::DeviceMemory &memory() const { return *memory_; }
+
+    /**
+     * Execute a kernel grid to completion.
+     * @throws SimTrap on execution faults.
+     */
+    LaunchStats launch(const LaunchParams &lp);
+
+    /** Maximum resident warps per SM for the given requirements. */
+    unsigned occupancyWarps(uint32_t num_regs, uint32_t shared_bytes) const;
+
+    /** Running total of all launches since construction. */
+    const LaunchStats &totals() const { return totals_; }
+
+    void invalidateCaches() { caches_.invalidateAll(); }
+
+  private:
+    class CtaRunner;
+    friend class CtaRunner;
+
+    GpuConfig cfg_;
+    std::unique_ptr<mem::DeviceMemory> memory_;
+    CacheHierarchy caches_;
+    LaunchStats totals_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_GPU_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Branch-divergence profiler: for every conditional branch, measures
+ * how often a warp actually diverges at it (some active threads take
+ * the branch while others fall through).  A classic NVBit-style
+ * analysis enabled by ballots at instrumentation sites.
+ */
+#ifndef NVBIT_TOOLS_BRANCH_DIVERGENCE_HPP
+#define NVBIT_TOOLS_BRANCH_DIVERGENCE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+class BranchDivergenceTool : public LaunchInstrumentingTool
+{
+  public:
+    /** Maximum number of distinct branch sites tracked per run. */
+    static constexpr uint32_t kMaxSites = 256;
+
+    struct Site {
+        std::string func;
+        uint32_t instr_idx;
+        std::string sass;
+        uint64_t executions = 0; ///< warp-level visits
+        uint64_t divergent = 0;  ///< visits that split the warp
+    };
+
+    BranchDivergenceTool();
+
+    /** Per-branch statistics (reads device counters). */
+    std::vector<Site> sites() const;
+
+    /** Aggregate warp-level branch visits. */
+    uint64_t totalBranches() const;
+
+    /** Aggregate divergent visits. */
+    uint64_t divergentBranches() const;
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+
+  private:
+    std::vector<Site> static_sites_;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_BRANCH_DIVERGENCE_HPP

@@ -1,0 +1,97 @@
+#include "tools/fault_injection.hpp"
+
+#include "common/logging.hpp"
+
+namespace nvbit::tools {
+
+namespace {
+
+/**
+ * Injected AFTER the armed instruction: every executing thread claims
+ * a dynamic occurrence number; the selected one XORs the chosen bit
+ * into the just-written destination register through the Device API
+ * (the write is permanent, exactly like the WFFT32 emulation).
+ */
+const char *kPtx = R"(
+.global .u64 finj_occ;
+.global .u64 finj_done;
+.func finj_probe(.param .u32 dstreg, .param .u32 occurrence,
+                 .param .u32 bit)
+{
+    .reg .u32 %a<8>;
+    .reg .u64 %rd<8>;
+    .reg .pred %p<3>;
+    mov.u64 %rd1, finj_occ;
+    mov.u64 %rd2, 1;
+    atom.global.add.u64 %rd3, [%rd1], %rd2;   // my occurrence number
+    ld.param.u32 %a1, [occurrence];
+    cvt.u64.u32 %rd4, %a1;
+    setp.ne.u64 %p1, %rd3, %rd4;
+    @%p1 bra SKIP;
+
+    ld.param.u32 %a2, [dstreg];
+    call (%a3), nvbit_read_reg, (%a2);
+    ld.param.u32 %a4, [bit];
+    mov.u32 %a5, 1;
+    shl.b32 %a5, %a5, %a4;
+    xor.b32 %a3, %a3, %a5;
+    call nvbit_write_reg, (%a2, %a3);
+
+    mov.u64 %rd5, finj_done;
+    mov.u64 %rd6, 1;
+    st.global.u64 [%rd5], %rd6;
+SKIP:
+    ret;
+}
+)";
+
+} // namespace
+
+FaultInjectionTool::FaultInjectionTool(Target target)
+    : target_(std::move(target))
+{
+    exportDeviceFunctions(kPtx);
+}
+
+void
+FaultInjectionTool::instrumentFunction(CUcontext ctx, CUfunction f)
+{
+    for (Instr *i : nvbit_get_instrs(ctx, f)) {
+        if (std::string(i->getOpcode())
+                .rfind(target_.opcode_prefix, 0) != 0) {
+            continue;
+        }
+        if (sites_seen_++ != target_.site_index)
+            continue;
+        if (i->getNumOperands() < 1 ||
+            i->getOperand(0)->type != Instr::REG) {
+            warn("fault-injection target has no register destination: "
+                 "%s", i->getSass());
+            continue;
+        }
+        armed_sass_ = i->getSass();
+        nvbit_insert_call(i, "finj_probe", IPOINT_AFTER);
+        nvbit_add_call_arg_imm32(
+            i, static_cast<uint32_t>(i->getOperand(0)->val[0]));
+        nvbit_add_call_arg_imm32(i, target_.occurrence);
+        nvbit_add_call_arg_imm32(i, target_.bit);
+    }
+}
+
+bool
+FaultInjectionTool::injected() const
+{
+    uint64_t v = 0;
+    nvbit_read_tool_global("finj_done", &v, sizeof(v));
+    return v != 0;
+}
+
+uint64_t
+FaultInjectionTool::occurrencesSeen() const
+{
+    uint64_t v = 0;
+    nvbit_read_tool_global("finj_occ", &v, sizeof(v));
+    return v;
+}
+
+} // namespace nvbit::tools

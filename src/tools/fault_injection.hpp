@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fault-injection tool (the paper cites fault injection as a flagship
+ * dynamic-instrumentation use case, e.g. SASSIFI-style campaigns):
+ * flips one bit in the destination register of one dynamic instance of
+ * one static instruction, using the Device API's permanent register
+ * writes.  The application then runs to completion so the user can
+ * classify the outcome (masked / silent data corruption / crash).
+ */
+#ifndef NVBIT_TOOLS_FAULT_INJECTION_HPP
+#define NVBIT_TOOLS_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+class FaultInjectionTool : public LaunchInstrumentingTool
+{
+  public:
+    struct Target {
+        /** Instructions whose opcode starts with this are candidates. */
+        std::string opcode_prefix = "FADD";
+        /** Which candidate site (static order) to arm. */
+        uint32_t site_index = 0;
+        /** Which dynamic thread-execution of that site to hit. */
+        uint32_t occurrence = 0;
+        /** Bit to flip in the destination register. */
+        uint32_t bit = 30;
+    };
+
+    explicit FaultInjectionTool(Target target);
+
+    /** True once the fault was actually injected. */
+    bool injected() const;
+
+    /** Dynamic thread-executions of the armed site observed so far. */
+    uint64_t occurrencesSeen() const;
+
+    /** SASS of the armed instruction (empty if none matched). */
+    const std::string &armedSass() const { return armed_sass_; }
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+
+  private:
+    Target target_;
+    uint32_t sites_seen_ = 0;
+    std::string armed_sass_;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_FAULT_INJECTION_HPP

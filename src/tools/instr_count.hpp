@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Instruction-count tool (paper Listing 1): counts every thread-level
+ * (and warp-level) instruction executed by the instrumented kernels.
+ */
+#ifndef NVBIT_TOOLS_INSTR_COUNT_HPP
+#define NVBIT_TOOLS_INSTR_COUNT_HPP
+
+#include <cstdint>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+/**
+ * Counts thread-level and warp-level instructions.  Per the paper's
+ * discussion, the device function is warp-optimised: one leader thread
+ * per warp adds popc(ballot(pred)) instead of every thread atomically
+ * incrementing.
+ */
+class InstrCountTool : public LaunchInstrumentingTool
+{
+  public:
+    /**
+     * Instrumentation granularity.  PerInstruction injects one call
+     * before every instruction (paper Listing 1).  PerBasicBlock is
+     * the optimisation the paper suggests ("A skilled CUDA programmer
+     * could optimize this example ... instrumenting basic blocks"):
+     * one call per basic block, passing the block's instruction count.
+     * Warp-level counts are exact in both modes; thread-level counts
+     * in block mode attribute a block's guarded instructions to every
+     * thread that enters the block.
+     */
+    enum class Mode { PerInstruction, PerBasicBlock };
+
+    explicit InstrCountTool(Mode mode = Mode::PerInstruction);
+
+    /** Thread-level instructions counted so far (device read). */
+    uint64_t threadInstrs() const;
+
+    /** Warp-level instructions counted so far (device read). */
+    uint64_t warpInstrs() const;
+
+    /** Zero the device counters. */
+    void reset();
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+
+  private:
+    Mode mode_;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_INSTR_COUNT_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory-access address-divergence tool (paper Listing 8, Section 6.1):
+ * computes the number of unique cache lines requested by each
+ * warp-level global-memory instruction.
+ */
+#ifndef NVBIT_TOOLS_MEM_DIVERGENCE_HPP
+#define NVBIT_TOOLS_MEM_DIVERGENCE_HPP
+
+#include <cstdint>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+/**
+ * For every global-memory instruction, the injected function combines
+ * the base-register pair and displacement into the accessed address
+ * (exactly the signature used in the paper: predicate, two register
+ * values, one immediate), groups equal cache lines with MATCH.ANY, and
+ * accumulates the unique-line count and the warp-level memory
+ * instruction count.
+ */
+class MemDivergenceTool : public LaunchInstrumentingTool
+{
+  public:
+    /** Cache-line size used for grouping (paper: LOG2_CACHE_LINE). */
+    static constexpr unsigned kLineBytes = 128;
+
+    MemDivergenceTool();
+
+    /** Warp-level global-memory instructions observed. */
+    uint64_t memInstrs() const;
+
+    /** Total unique cache lines requested. */
+    uint64_t uniqueLines() const;
+
+    /** Average cache lines requested per warp-level memory instr. */
+    double divergence() const;
+
+    void reset();
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_MEM_DIVERGENCE_HPP

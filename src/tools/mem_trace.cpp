@@ -1,0 +1,121 @@
+#include "tools/mem_trace.hpp"
+
+#include "driver/api.hpp"
+
+namespace nvbit::tools {
+
+namespace {
+
+/**
+ * Device side: every guard-passing thread claims a slot with an atomic
+ * and stores the full 64-bit address.  When the buffer is full the
+ * access is counted as dropped (mtrace_idx keeps growing, so the host
+ * can tell).
+ */
+const char *kPtx = R"(
+.global .u64 mtrace_buf;
+.global .u64 mtrace_cap;
+.global .u64 mtrace_idx;
+.func mtrace_probe(.param .u32 pred, .param .u32 lo, .param .u32 hi,
+                   .param .u32 off)
+{
+    .reg .u32 %a<6>;
+    .reg .u64 %rd<12>;
+    .reg .pred %p<3>;
+    ld.param.u32 %a1, [pred];
+    setp.eq.u32 %p1, %a1, 0;
+    @%p1 bra SKIP;
+
+    ld.param.u32 %a2, [lo];
+    ld.param.u32 %a3, [hi];
+    cvt.u64.u32 %rd1, %a2;
+    cvt.u64.u32 %rd2, %a3;
+    shl.b64 %rd2, %rd2, 32;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.param.u32 %a4, [off];
+    cvt.s64.s32 %rd4, %a4;
+    add.u64 %rd3, %rd3, %rd4;      // the accessed address
+
+    mov.u64 %rd5, mtrace_idx;
+    mov.u64 %rd6, 1;
+    atom.global.add.u64 %rd7, [%rd5], %rd6;   // claim a slot
+    mov.u64 %rd8, mtrace_cap;
+    ld.global.u64 %rd9, [%rd8];
+    setp.ge.u64 %p2, %rd7, %rd9;
+    @%p2 bra SKIP;                 // buffer full: drop
+
+    mov.u64 %rd10, mtrace_buf;
+    ld.global.u64 %rd10, [%rd10];
+    shl.b64 %rd11, %rd7, 3;
+    add.u64 %rd10, %rd10, %rd11;
+    st.global.u64 [%rd10], %rd3;
+SKIP:
+    ret;
+}
+)";
+
+} // namespace
+
+MemTraceTool::MemTraceTool(size_t capacity) : capacity_(capacity)
+{
+    exportDeviceFunctions(kPtx);
+}
+
+void
+MemTraceTool::nvbit_at_ctx_init(CUcontext)
+{
+    using namespace cudrv;
+    checkCu(cuMemAlloc(&buffer_, capacity_ * sizeof(uint64_t)),
+            "mem-trace buffer");
+    uint64_t cap = capacity_;
+    nvbit_write_tool_global("mtrace_buf", &buffer_, sizeof(buffer_));
+    nvbit_write_tool_global("mtrace_cap", &cap, sizeof(cap));
+    uint64_t zero = 0;
+    nvbit_write_tool_global("mtrace_idx", &zero, sizeof(zero));
+}
+
+void
+MemTraceTool::instrumentFunction(CUcontext ctx, CUfunction f)
+{
+    for (Instr *i : nvbit_get_instrs(ctx, f)) {
+        if (i->getMemOpType() != Instr::GLOBAL)
+            continue;
+        for (int n = 0; n < i->getNumOperands(); ++n) {
+            const Instr::operand_t *op = i->getOperand(n);
+            if (op->type != Instr::MREF)
+                continue;
+            int base = static_cast<int>(op->val[0]);
+            nvbit_insert_call(i, "mtrace_probe", IPOINT_BEFORE);
+            nvbit_add_call_arg_guard_pred_val(i);
+            nvbit_add_call_arg_reg_val(i, base);
+            nvbit_add_call_arg_reg_val(i, base + 1);
+            nvbit_add_call_arg_imm32(
+                i, static_cast<uint32_t>(op->val[1]));
+        }
+    }
+}
+
+void
+MemTraceTool::onLaunchExit(CUcontext, cudrv::cuLaunchKernel_params *,
+                           CUresult status)
+{
+    if (status != cudrv::CUDA_SUCCESS || buffer_ == 0)
+        return;
+    uint64_t used = 0;
+    nvbit_read_tool_global("mtrace_idx", &used, sizeof(used));
+    uint64_t stored = std::min<uint64_t>(used, capacity_);
+    recorded_ += stored;
+    dropped_ += used - stored;
+    if (consumer_ && stored > 0) {
+        std::vector<uint64_t> addrs(stored);
+        cudrv::checkCu(
+            cudrv::cuMemcpyDtoH(addrs.data(), buffer_,
+                                stored * sizeof(uint64_t)),
+            "mem-trace drain");
+        consumer_(addrs);
+    }
+    uint64_t zero = 0;
+    nvbit_write_tool_global("mtrace_idx", &zero, sizeof(zero));
+}
+
+} // namespace nvbit::tools

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory-address tracing tool (paper Section 6.1: "NVBit allows one to
+ * easily extract this information by instrumenting every memory
+ * operation to collect reference addresses, which then can be analyzed
+ * directly on the GPU or sent to the CPU for further processing.
+ * Entire cache simulators can be built around these mechanisms.")
+ *
+ * Every global-memory access of every thread appends its address to a
+ * device-resident ring buffer; the host drains the buffer after each
+ * launch and hands the addresses to a consumer (e.g. the cache-model
+ * example in examples/cache_sim.cpp).
+ */
+#ifndef NVBIT_TOOLS_MEM_TRACE_HPP
+#define NVBIT_TOOLS_MEM_TRACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+class MemTraceTool : public LaunchInstrumentingTool
+{
+  public:
+    /** Called after each launch with the addresses it generated. */
+    using Consumer = std::function<void(const std::vector<uint64_t> &)>;
+
+    explicit MemTraceTool(size_t capacity = 1 << 20);
+
+    void setConsumer(Consumer c) { consumer_ = std::move(c); }
+
+    /** Thread-level accesses recorded (dropped ones excluded). */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Accesses dropped because the buffer filled up mid-launch. */
+    uint64_t dropped() const { return dropped_; }
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+    void nvbit_at_ctx_init(CUcontext ctx) override;
+    void onLaunchExit(CUcontext ctx, cudrv::cuLaunchKernel_params *p,
+                      CUresult status) override;
+
+  private:
+    size_t capacity_;
+    cudrv::CUdeviceptr buffer_ = 0;
+    Consumer consumer_;
+    uint64_t recorded_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_MEM_TRACE_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Opcode-histogram tool with optional kernel sampling (paper
+ * Section 6.2): builds a histogram of executed instructions by opcode,
+ * either instrumenting every launch ("full") or only the first launch
+ * per unique grid configuration ("sampling"), approximating the rest
+ * with the recorded counts.
+ */
+#ifndef NVBIT_TOOLS_OPCODE_HISTOGRAM_HPP
+#define NVBIT_TOOLS_OPCODE_HISTOGRAM_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+/** Thread-level execution counts indexed by opcode. */
+using OpcodeCounts =
+    std::array<uint64_t, static_cast<size_t>(isa::Opcode::NumOpcodes)>;
+
+class OpcodeHistogramTool : public LaunchInstrumentingTool
+{
+  public:
+    enum class Mode {
+        Full,          ///< instrument every launch (exact)
+        SampleGridDim  ///< paper 6.2: once per unique launch config
+    };
+
+    explicit OpcodeHistogramTool(Mode mode = Mode::Full);
+
+    /**
+     * Histogram including approximated (non-instrumented) launches.
+     * In Full mode this equals the exact device counts.
+     */
+    const OpcodeCounts &counts() const { return approx_; }
+
+    /** Launches that ran instrumented / total launches seen. */
+    uint64_t instrumentedLaunches() const { return inst_launches_; }
+    uint64_t totalLaunches() const { return total_launches_; }
+
+    /** Top-@p n (name, count) pairs, most-executed first. */
+    std::vector<std::pair<std::string, uint64_t>> topN(size_t n) const;
+
+    /**
+     * Mean absolute per-opcode share error vs an exact histogram, in
+     * percent (the paper's Figure 9 metric).
+     */
+    static double shareErrorPct(const OpcodeCounts &exact,
+                                const OpcodeCounts &approx);
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+    void onLaunchEntry(CUcontext ctx,
+                       cudrv::cuLaunchKernel_params *p) override;
+    void onLaunchExit(CUcontext ctx, cudrv::cuLaunchKernel_params *p,
+                      CUresult status) override;
+
+  private:
+    using LaunchKey = std::tuple<CUfunction, unsigned, unsigned,
+                                 unsigned, unsigned, unsigned, unsigned>;
+
+    OpcodeCounts readDevice() const;
+
+    Mode mode_;
+    OpcodeCounts approx_{};
+    OpcodeCounts snapshot_{};
+    std::map<LaunchKey, OpcodeCounts> per_config_;
+    bool current_instrumented_ = false;
+    LaunchKey current_key_{};
+    uint64_t inst_launches_ = 0;
+    uint64_t total_launches_ = 0;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_OPCODE_HISTOGRAM_HPP

@@ -1,0 +1,133 @@
+#include "tools/wfft_emulator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nvbit::tools {
+
+const char *
+wfftScratchDecls()
+{
+    return "    .reg .f32 %wt<13>;\n"
+           "    .reg .u32 %wi<8>;\n"
+           "    .reg .pred %wp<2>;\n";
+}
+
+std::string
+wfftButterflyPtx(const std::string &re, const std::string &im)
+{
+    std::ostringstream os;
+    // Bit-reverse the lane order (decimation-in-time input permutation).
+    os << "    mov.u32 %wi1, %laneid;\n"
+       << "    shl.b32 %wi2, %wi1, 4;\n"
+       << "    and.b32 %wi2, %wi2, 16;\n"
+       << "    shl.b32 %wi3, %wi1, 2;\n"
+       << "    and.b32 %wi3, %wi3, 8;\n"
+       << "    or.b32 %wi2, %wi2, %wi3;\n"
+       << "    and.b32 %wi3, %wi1, 4;\n"
+       << "    or.b32 %wi2, %wi2, %wi3;\n"
+       << "    shr.u32 %wi3, %wi1, 2;\n"
+       << "    and.b32 %wi3, %wi3, 2;\n"
+       << "    or.b32 %wi2, %wi2, %wi3;\n"
+       << "    shr.u32 %wi3, %wi1, 4;\n"
+       << "    and.b32 %wi3, %wi3, 1;\n"
+       << "    or.b32 %wi2, %wi2, %wi3;\n"
+       << "    shfl.sync.idx.b32 " << re << ", " << re << ", %wi2;\n"
+       << "    shfl.sync.idx.b32 " << im << ", " << im << ", %wi2;\n";
+
+    for (unsigned s = 0; s < 5; ++s) {
+        const unsigned half = 1u << s;
+        const double angc = -M_PI / static_cast<double>(half);
+        os << "    // butterfly stage " << s << " (half=" << half
+           << ")\n"
+           << "    shfl.sync.bfly.b32 %wt1, " << re << ", " << half
+           << ";\n"
+           << "    shfl.sync.bfly.b32 %wt2, " << im << ", " << half
+           << ";\n"
+           << "    and.b32 %wi3, %wi1, " << half << ";\n"
+           << "    setp.ne.u32 %wp1, %wi3, 0;\n"
+           << "    and.b32 %wi4, %wi1, " << (half - 1) << ";\n"
+           << "    cvt.f32.u32 %wt3, %wi4;\n"
+           << "    mul.f32 %wt3, %wt3, " << strfmt("%.9g", angc)
+           << ";\n"
+           << "    cos.approx.f32 %wt4, %wt3;\n"
+           << "    sin.approx.f32 %wt5, %wt3;\n"
+           // b = upper half element, a = lower half element.
+           << "    selp.b32 %wt6, " << re << ", %wt1, %wp1;\n"
+           << "    selp.b32 %wt7, " << im << ", %wt2, %wp1;\n"
+           << "    selp.b32 %wt8, %wt1, " << re << ", %wp1;\n"
+           << "    selp.b32 %wt9, %wt2, " << im << ", %wp1;\n"
+           // t = w * b
+           << "    mul.f32 %wt10, %wt4, %wt6;\n"
+           << "    mul.f32 %wt11, %wt5, %wt7;\n"
+           << "    sub.f32 %wt10, %wt10, %wt11;\n"
+           << "    mul.f32 %wt11, %wt4, %wt7;\n"
+           << "    fma.rn.f32 %wt11, %wt5, %wt6, %wt11;\n"
+           // out = a + t (lower) / a - t (upper)
+           << "    neg.f32 %wt12, %wt10;\n"
+           << "    selp.b32 %wt12, %wt12, %wt10, %wp1;\n"
+           << "    add.f32 " << re << ", %wt8, %wt12;\n"
+           << "    neg.f32 %wt12, %wt11;\n"
+           << "    selp.b32 %wt12, %wt12, %wt11, %wp1;\n"
+           << "    add.f32 " << im << ", %wt9, %wt12;\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string
+emulatorPtx()
+{
+    std::ostringstream os;
+    os << ".func wfft32emu(.param .u32 dst, .param .u32 src)\n"
+       << "{\n"
+       << wfftScratchDecls()
+       << "    .reg .f32 %fre<2>;\n"
+       << "    .reg .f32 %fim<2>;\n"
+       << "    .reg .u32 %rr<4>;\n"
+       << "    ld.param.u32 %rr1, [src];\n"
+       << "    call (%fre1), nvbit_read_reg, (%rr1);\n"
+       << "    add.u32 %rr2, %rr1, 1;\n"
+       << "    call (%fim1), nvbit_read_reg, (%rr2);\n"
+       << wfftButterflyPtx("%fre1", "%fim1")
+       << "    ld.param.u32 %rr3, [dst];\n"
+       << "    call nvbit_write_reg, (%rr3, %fre1);\n"
+       << "    add.u32 %rr3, %rr3, 1;\n"
+       << "    call nvbit_write_reg, (%rr3, %fim1);\n"
+       << "    ret;\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+WfftEmulatorTool::WfftEmulatorTool()
+{
+    exportDeviceFunctions(emulatorPtx());
+}
+
+void
+WfftEmulatorTool::instrumentFunction(CUcontext ctx, CUfunction f)
+{
+    for (Instr *i : nvbit_get_instrs(ctx, f)) {
+        if (std::string(i->getOpcode()).rfind("PROXY", 0) != 0)
+            continue;
+        // PROXY operands: dst reg, src-a reg, src-b reg, id immediate.
+        if (i->getNumOperands() < 4 ||
+            i->getOperand(3)->val[0] != kWfftProxyId) {
+            continue;
+        }
+        ++proxies_;
+        nvbit_insert_call(i, "wfft32emu", IPOINT_BEFORE);
+        nvbit_add_call_arg_imm32(
+            i, static_cast<uint32_t>(i->getOperand(0)->val[0]));
+        nvbit_add_call_arg_imm32(
+            i, static_cast<uint32_t>(i->getOperand(1)->val[0]));
+        nvbit_remove_orig(i);
+    }
+}
+
+} // namespace nvbit::tools

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Warp-wide 32-point FFT instruction emulation (paper Section 6.3).
+ *
+ * Applications mark the hypothetical WFFT32 instruction with a PROXY
+ * carrier (the analogue of the paper's inline-PTX proxy in
+ * Listing 10).  Executing it un-emulated traps; this tool replaces it
+ * with a functionally equivalent warp-wide shuffle FFT that reads and
+ * permanently writes the instruction's register operands through the
+ * Device API (Listing 9).
+ */
+#ifndef NVBIT_TOOLS_WFFT_EMULATOR_HPP
+#define NVBIT_TOOLS_WFFT_EMULATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+/** PROXY immediate identifying the hypothetical WFFT32 instruction. */
+constexpr int64_t kWfftProxyId = 32;
+
+/**
+ * Emit the PTX text of an in-place warp-wide 32-point complex FFT over
+ * the f32 registers named @p re / @p im (each lane holds one complex
+ * point; lane order is natural on input and output).  The caller must
+ * have declared: .reg .f32 %wt<13>; .reg .u32 %wi<8>; .reg .pred %wp<2>;
+ *
+ * This generator is shared between the emulation device function and
+ * the "software FFT" comparison kernel of the paper's experiment.
+ */
+std::string wfftButterflyPtx(const std::string &re, const std::string &im);
+
+/** Register declarations required by wfftButterflyPtx(). */
+const char *wfftScratchDecls();
+
+class WfftEmulatorTool : public LaunchInstrumentingTool
+{
+  public:
+    WfftEmulatorTool();
+
+    /** Number of WFFT32 proxy instructions found and emulated. */
+    int proxiesEmulated() const { return proxies_; }
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+
+  private:
+    int proxies_ = 0;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_WFFT_EMULATOR_HPP

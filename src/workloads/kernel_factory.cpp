@@ -1,0 +1,794 @@
+#include "workloads/kernel_factory.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nvbit::workloads {
+
+namespace {
+
+/** Standard prologue: flat 1-D thread id in %r3, bound check vs [n]. */
+std::string
+prologue1D(const std::string &name, const std::string &params,
+           const std::string &decls)
+{
+    return strfmt(
+        ".visible .entry %s(%s)\n"
+        "{\n"
+        "%s"
+        "    mov.u32 %%r1, %%ctaid.x;\n"
+        "    mov.u32 %%r2, %%ntid.x;\n"
+        "    mad.lo.u32 %%r3, %%r1, %%r2, %%tid.x;\n",
+        name.c_str(), params.c_str(), decls.c_str());
+}
+
+const char *kStdDecls =
+    "    .reg .u32 %r<26>;\n"
+    "    .reg .u64 %rd<16>;\n"
+    "    .reg .f32 %f<26>;\n"
+    "    .reg .pred %p<6>;\n";
+
+} // namespace
+
+std::string
+stencil5Ptx(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 out, .param .u32 W,"
+          " .param .u32 H)\n{\n"
+       << kStdDecls
+       << R"(
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;   // x
+    mov.u32 %r4, %ctaid.y;              // y
+    ld.param.u32 %r5, [W];
+    ld.param.u32 %r6, [H];
+    setp.lt.u32 %p1, %r3, 1;
+    @%p1 bra DONE;
+    sub.u32 %r7, %r5, 1;
+    setp.ge.u32 %p2, %r3, %r7;
+    @%p2 bra DONE;
+    setp.lt.u32 %p3, %r4, 1;
+    @%p3 bra DONE;
+    sub.u32 %r8, %r6, 1;
+    setp.ge.u32 %p4, %r4, %r8;
+    @%p4 bra DONE;
+    mad.lo.u32 %r9, %r4, %r5, %r3;      // idx = y*W + x
+    ld.param.u64 %rd1, [in];
+    mul.wide.u32 %rd2, %r9, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];          // centre
+    ld.global.f32 %f2, [%rd3+-4];
+    ld.global.f32 %f3, [%rd3+4];
+    mul.wide.u32 %rd4, %r5, 4;
+    sub.u64 %rd5, %rd3, %rd4;
+    ld.global.f32 %f4, [%rd5];
+    add.u64 %rd6, %rd3, %rd4;
+    ld.global.f32 %f5, [%rd6];
+    add.f32 %f6, %f2, %f3;
+    add.f32 %f6, %f6, %f4;
+    add.f32 %f6, %f6, %f5;
+    mul.f32 %f7, %f1, 0.5;
+    fma.rn.f32 %f7, %f6, 0.125, %f7;
+    ld.param.u64 %rd7, [out];
+    add.u64 %rd8, %rd7, %rd2;
+    st.global.f32 [%rd8], %f7;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+stencil9Ptx(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 out, .param .u32 W,"
+          " .param .u32 H)\n{\n"
+       << kStdDecls
+       << R"(
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;
+    mov.u32 %r4, %ctaid.y;
+    ld.param.u32 %r5, [W];
+    ld.param.u32 %r6, [H];
+    setp.lt.u32 %p1, %r3, 1;
+    @%p1 bra DONE;
+    sub.u32 %r7, %r5, 1;
+    setp.ge.u32 %p2, %r3, %r7;
+    @%p2 bra DONE;
+    setp.lt.u32 %p3, %r4, 1;
+    @%p3 bra DONE;
+    sub.u32 %r8, %r6, 1;
+    setp.ge.u32 %p4, %r4, %r8;
+    @%p4 bra DONE;
+    mad.lo.u32 %r9, %r4, %r5, %r3;
+    ld.param.u64 %rd1, [in];
+    mul.wide.u32 %rd2, %r9, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    mul.wide.u32 %rd4, %r5, 4;
+    sub.u64 %rd5, %rd3, %rd4;     // row above
+    add.u64 %rd6, %rd3, %rd4;     // row below
+    ld.global.f32 %f1, [%rd3];
+    ld.global.f32 %f2, [%rd3+-4];
+    ld.global.f32 %f3, [%rd3+4];
+    ld.global.f32 %f4, [%rd5];
+    ld.global.f32 %f5, [%rd5+-4];
+    ld.global.f32 %f6, [%rd5+4];
+    ld.global.f32 %f7, [%rd6];
+    ld.global.f32 %f8, [%rd6+-4];
+    ld.global.f32 %f9, [%rd6+4];
+    add.f32 %f10, %f2, %f3;
+    add.f32 %f11, %f4, %f7;
+    add.f32 %f10, %f10, %f11;
+    add.f32 %f12, %f5, %f6;
+    add.f32 %f13, %f8, %f9;
+    add.f32 %f12, %f12, %f13;
+    mul.f32 %f14, %f1, 0.4;
+    fma.rn.f32 %f14, %f10, 0.1, %f14;
+    fma.rn.f32 %f14, %f12, 0.05, %f14;
+    ld.param.u64 %rd7, [out];
+    add.u64 %rd8, %rd7, %rd2;
+    st.global.f32 [%rd8], %f14;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+triadPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 a, .param .u64 b, .param .u64 c, "
+                     ".param .f32 s, .param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd1, %r3, 4;
+    ld.param.u64 %rd2, [b];
+    add.u64 %rd3, %rd2, %rd1;
+    ld.global.f32 %f1, [%rd3];
+    ld.param.u64 %rd4, [c];
+    add.u64 %rd5, %rd4, %rd1;
+    ld.global.f32 %f2, [%rd5];
+    ld.param.f32 %f3, [s];
+    fma.rn.f32 %f4, %f3, %f2, %f1;
+    ld.param.u64 %rd6, [a];
+    add.u64 %rd7, %rd6, %rd1;
+    st.global.f32 [%rd7], %f4;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+trigChainPtx(const std::string &name, unsigned depth, bool use_trig)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 buf, .param .u32 n", kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [buf];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+)";
+    for (unsigned i = 0; i < depth; ++i) {
+        if (use_trig) {
+            os << "    mul.f32 %f2, %f1, 0.731;\n"
+               << "    sin.approx.f32 %f3, %f2;\n"
+               << "    cos.approx.f32 %f4, %f1;\n"
+               << "    fma.rn.f32 %f1, %f3, %f4, %f1;\n"
+               << "    mul.f32 %f1, %f1, 0.493;\n";
+        } else {
+            os << "    mul.f32 %f2, %f1, 0.125;\n"
+               << "    ex2.approx.f32 %f3, %f2;\n"
+               << "    abs.f32 %f4, %f1;\n"
+               << "    add.f32 %f4, %f4, 1.0;\n"
+               << "    rsqrt.approx.f32 %f5, %f4;\n"
+               << "    fma.rn.f32 %f1, %f3, %f5, %f1;\n"
+               << "    mul.f32 %f1, %f1, 0.371;\n";
+        }
+    }
+    os << R"(    st.global.f32 [%rd3], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+reduceSumPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 result, .param .u32 n)\n{\n"
+       << kStdDecls << "    .shared .f32 sdata[256];\n"
+       << R"(
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r10, %tid.x;
+    mad.lo.u32 %r3, %r1, %r2, %r10;
+    ld.param.u32 %r4, [n];
+    mov.f32 %f1, 0f00000000;
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra LOADED;
+    ld.param.u64 %rd1, [in];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+LOADED:
+    mov.u32 %r5, sdata;
+    shl.b32 %r6, %r10, 2;
+    add.u32 %r7, %r5, %r6;
+    st.shared.f32 [%r7], %f1;
+    bar.sync 0;
+    mov.u32 %r8, 128;
+RLOOP:
+    setp.ge.u32 %p2, %r10, %r8;
+    @%p2 bra RSKIP;
+    add.u32 %r9, %r10, %r8;
+    shl.b32 %r11, %r9, 2;
+    add.u32 %r12, %r5, %r11;
+    ld.shared.f32 %f2, [%r12];
+    ld.shared.f32 %f3, [%r7];
+    add.f32 %f3, %f3, %f2;
+    st.shared.f32 [%r7], %f3;
+RSKIP:
+    bar.sync 0;
+    shr.u32 %r8, %r8, 1;
+    setp.gt.u32 %p3, %r8, 0;
+    @%p3 bra RLOOP;
+    setp.ne.u32 %p4, %r10, 0;
+    @%p4 bra DONE;
+    ld.shared.f32 %f4, [sdata];
+    ld.param.u64 %rd4, [result];
+    atom.global.add.f32 %f5, [%rd4], %f4;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+spmvCsrPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 rowptr, .param .u64 cols, "
+                     ".param .u64 vals, .param .u64 x, .param .u64 y, "
+                     ".param .u32 nrows",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [nrows];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [rowptr];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r5, [%rd3];     // start
+    ld.global.u32 %r6, [%rd3+4];   // end
+    mov.f32 %f1, 0f00000000;
+    setp.ge.u32 %p2, %r5, %r6;
+    @%p2 bra STORE;
+NZLOOP:
+    ld.param.u64 %rd4, [cols];
+    mul.wide.u32 %rd5, %r5, 4;
+    add.u64 %rd6, %rd4, %rd5;
+    ld.global.u32 %r7, [%rd6];     // column index
+    ld.param.u64 %rd7, [vals];
+    add.u64 %rd8, %rd7, %rd5;
+    ld.global.f32 %f2, [%rd8];
+    ld.param.u64 %rd9, [x];
+    mul.wide.u32 %rd10, %r7, 4;
+    add.u64 %rd11, %rd9, %rd10;
+    ld.global.f32 %f3, [%rd11];    // gathered (divergent)
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r5, %r5, 1;
+    setp.lt.u32 %p3, %r5, %r6;
+    @%p3 bra NZLOOP;
+STORE:
+    ld.param.u64 %rd12, [y];
+    add.u64 %rd13, %rd12, %rd2;
+    st.global.f32 [%rd13], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+lcgTallyPtx(const std::string &name, unsigned iters)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 bins, .param .u32 n", kStdDecls)
+       << strfmt(
+              "    ld.param.u32 %%r4, [n];\n"
+              "    setp.ge.u32 %%p1, %%r3, %%r4;\n"
+              "    @%%p1 bra DONE;\n"
+              "    mul.lo.u32 %%r5, %%r3, 747796405;\n"
+              "    add.u32 %%r5, %%r5, 2891336453;\n"
+              "    mov.u32 %%r6, 0;\n"
+              "LCG:\n"
+              "    mul.lo.u32 %%r5, %%r5, 1664525;\n"
+              "    add.u32 %%r5, %%r5, 1013904223;\n"
+              "    shr.u32 %%r7, %%r5, 24;\n"
+              "    and.b32 %%r7, %%r7, 7;\n"
+              "    add.u32 %%r8, %%r8, %%r7;\n"
+              "    add.u32 %%r6, %%r6, 1;\n"
+              "    setp.lt.u32 %%p2, %%r6, %u;\n"
+              "    @%%p2 bra LCG;\n", iters)
+       << R"(
+    shr.u32 %r9, %r5, 24;
+    and.b32 %r9, %r9, 7;
+    ld.param.u64 %rd1, [bins];
+    mul.wide.u32 %rd2, %r9, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    atom.global.add.u32 %r10, [%rd3], 1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+gatherPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 in, .param .u64 idx, .param .u64 out, "
+                     ".param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [idx];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r5, [%rd3];
+    ld.param.u64 %rd4, [in];
+    mul.wide.u32 %rd5, %r5, 4;
+    add.u64 %rd6, %rd4, %rd5;
+    ld.global.f32 %f1, [%rd6];     // divergent gather
+    ld.param.u64 %rd7, [out];
+    add.u64 %rd8, %rd7, %rd2;
+    st.global.f32 [%rd8], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+transposePtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 out, .param .u32 W,"
+          " .param .u32 H)\n{\n"
+       << kStdDecls << "    .shared .f32 tile[256];\n"
+       << R"(
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %tid.y;
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ctaid.y;
+    shl.b32 %r5, %r3, 4;
+    add.u32 %r5, %r5, %r1;         // x
+    shl.b32 %r6, %r4, 4;
+    add.u32 %r6, %r6, %r2;         // y
+    ld.param.u32 %r7, [W];
+    ld.param.u32 %r8, [H];
+    setp.ge.u32 %p1, %r5, %r7;
+    @%p1 bra SYNC1;
+    setp.ge.u32 %p2, %r6, %r8;
+    @%p2 bra SYNC1;
+    mad.lo.u32 %r9, %r6, %r7, %r5;
+    ld.param.u64 %rd1, [in];
+    mul.wide.u32 %rd2, %r9, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    shl.b32 %r10, %r2, 4;
+    add.u32 %r10, %r10, %r1;
+    shl.b32 %r10, %r10, 2;
+    mov.u32 %r11, tile;
+    add.u32 %r11, %r11, %r10;
+    st.shared.f32 [%r11], %f1;
+SYNC1:
+    bar.sync 0;
+    shl.b32 %r12, %r4, 4;
+    add.u32 %r12, %r12, %r1;       // xo = ctaid.y*16 + tid.x
+    shl.b32 %r13, %r3, 4;
+    add.u32 %r13, %r13, %r2;       // yo = ctaid.x*16 + tid.y
+    setp.ge.u32 %p3, %r12, %r8;
+    @%p3 bra DONE;
+    setp.ge.u32 %p4, %r13, %r7;
+    @%p4 bra DONE;
+    shl.b32 %r14, %r1, 4;
+    add.u32 %r14, %r14, %r2;
+    shl.b32 %r14, %r14, 2;
+    mov.u32 %r15, tile;
+    add.u32 %r15, %r15, %r14;
+    ld.shared.f32 %f2, [%r15];
+    mad.lo.u32 %r16, %r13, %r8, %r12;
+    ld.param.u64 %rd4, [out];
+    mul.wide.u32 %rd5, %r16, 4;
+    add.u64 %rd6, %rd4, %rd5;
+    st.global.f32 [%rd6], %f2;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+lbmStreamPtx(const std::string &name, unsigned ndirs)
+{
+    NVBIT_ASSERT(ndirs <= 9, "lbm supports up to 9 directions");
+    static const int dx[9] = {0, 1, -1, 0, 0, 1, -1, 1, -1};
+    static const int dy[9] = {0, 0, 0, 1, -1, 1, -1, -1, 1};
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 out, .param .u32 W,"
+          " .param .u32 H)\n{\n"
+       << kStdDecls
+       << R"(
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;   // x
+    mov.u32 %r4, %ctaid.y;              // y
+    ld.param.u32 %r5, [W];
+    ld.param.u32 %r6, [H];
+    setp.lt.u32 %p1, %r3, 1;
+    @%p1 bra DONE;
+    sub.u32 %r7, %r5, 1;
+    setp.ge.u32 %p2, %r3, %r7;
+    @%p2 bra DONE;
+    setp.lt.u32 %p3, %r4, 1;
+    @%p3 bra DONE;
+    sub.u32 %r8, %r6, 1;
+    setp.ge.u32 %p4, %r4, %r8;
+    @%p4 bra DONE;
+    mul.lo.u32 %r9, %r5, %r6;           // plane = W*H
+    mad.lo.u32 %r10, %r4, %r5, %r3;     // idx
+    ld.param.u64 %rd1, [in];
+    ld.param.u64 %rd2, [out];
+    mov.f32 %f10, 0f00000000;           // density accumulator
+)";
+    for (unsigned d = 0; d < ndirs; ++d) {
+        // Load f_d from the upwind neighbour, accumulate density.
+        os << strfmt("    // direction %u (dx=%d, dy=%d)\n", d, dx[d],
+                     dy[d])
+           << strfmt("    mad.lo.u32 %%r11, %u, %%r9, %%r10;\n", d);
+        int off = -(dy[d] * 1) * 0; // neighbour via row math below
+        (void)off;
+        os << strfmt("    mov.u32 %%r12, %%r11;\n");
+        if (dy[d] != 0) {
+            os << strfmt("    %s.u32 %%r12, %%r12, %%r5;\n",
+                         dy[d] > 0 ? "sub" : "add");
+        }
+        if (dx[d] != 0) {
+            os << strfmt("    %s.u32 %%r12, %%r12, 1;\n",
+                         dx[d] > 0 ? "sub" : "add");
+        }
+        os << "    mul.wide.u32 %rd3, %r12, 4;\n"
+           << "    add.u64 %rd4, %rd1, %rd3;\n"
+           << "    ld.global.f32 %f1, [%rd4];\n"
+           << "    add.f32 %f10, %f10, %f1;\n"
+           << strfmt("    mov.u32 %%r13, %%r11;\n")
+           << "    mul.wide.u32 %rd5, %r13, 4;\n"
+           << "    add.u64 %rd6, %rd2, %rd5;\n"
+           // simple BGK-style relaxation toward the mean
+           << "    mul.f32 %f2, %f1, 0.9;\n"
+           << "    st.global.f32 [%rd6], %f2;\n";
+    }
+    // Fold the density back into direction 0 (keeps values bounded).
+    os << strfmt("    mul.f32 %%f11, %%f10, %g;\n",
+                 0.1 / static_cast<double>(ndirs))
+       << R"(    mul.wide.u32 %rd7, %r10, 4;
+    add.u64 %rd8, %rd2, %rd7;
+    ld.global.f32 %f12, [%rd8];
+    add.f32 %f12, %f12, %f11;
+    st.global.f32 [%rd8], %f12;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+mdForcePtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 px, .param .u64 py, .param .u64 fx, "
+                     ".param .u32 n, .param .f32 cutoff2",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [px];
+    ld.param.u64 %rd2, [py];
+    mul.wide.u32 %rd3, %r3, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];     // xi
+    add.u64 %rd5, %rd2, %rd3;
+    ld.global.f32 %f2, [%rd5];     // yi
+    ld.param.f32 %f3, [cutoff2];
+    mov.f32 %f4, 0f00000000;       // force accumulator
+    mov.u32 %r5, 0;                // j
+JLOOP:
+    mul.wide.u32 %rd6, %r5, 4;
+    add.u64 %rd7, %rd1, %rd6;
+    ld.global.f32 %f5, [%rd7];
+    add.u64 %rd8, %rd2, %rd6;
+    ld.global.f32 %f6, [%rd8];
+    sub.f32 %f7, %f1, %f5;         // dx
+    sub.f32 %f8, %f2, %f6;         // dy
+    mul.f32 %f9, %f7, %f7;
+    fma.rn.f32 %f9, %f8, %f8, %f9; // d2
+    // Value-dependent cutoff test: the source of nonzero sampling
+    // error when positions drift between launches (paper Fig. 9).
+    setp.ge.f32 %p2, %f9, %f3;
+    @%p2 bra JNEXT;
+    setp.lt.f32 %p3, %f9, 1e-6;
+    @%p3 bra JNEXT;
+    rcp.approx.f32 %f10, %f9;
+    fma.rn.f32 %f4, %f7, %f10, %f4;
+JNEXT:
+    add.u32 %r5, %r5, 1;
+    setp.lt.u32 %p4, %r5, %r4;
+    @%p4 bra JLOOP;
+    ld.param.u64 %rd9, [fx];
+    add.u64 %rd10, %rd9, %rd3;
+    st.global.f32 [%rd10], %f4;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+mdUpdatePtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 px, .param .u64 fx, .param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [px];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    ld.param.u64 %rd4, [fx];
+    add.u64 %rd5, %rd4, %rd2;
+    ld.global.f32 %f2, [%rd5];
+    fma.rn.f32 %f1, %f2, 0.0005, %f1;
+    mul.f32 %f1, %f1, 0.9995;      // soft confinement
+    st.global.f32 [%rd3], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+uniquePointwisePtx(const std::string &name, unsigned variant)
+{
+    std::ostringstream os;
+    os << prologue1D(name, ".param .u64 buf, .param .u32 n", kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [buf];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+)";
+    // A distinct operation mix per variant so every kernel is unique.
+    unsigned v = variant * 2654435761u + 1;
+    unsigned ops = 3 + variant % 5;
+    for (unsigned i = 0; i < ops; ++i) {
+        switch ((v >> (3 * i)) % 6) {
+          case 0:
+            os << strfmt("    mul.f32 %%f1, %%f1, %g;\n",
+                         0.5 + 0.01 * variant);
+            break;
+          case 1:
+            os << strfmt("    add.f32 %%f1, %%f1, %g;\n",
+                         0.1 + 0.02 * i);
+            break;
+          case 2:
+            os << "    sin.approx.f32 %f1, %f1;\n";
+            break;
+          case 3:
+            os << "    abs.f32 %f2, %f1;\n"
+               << "    add.f32 %f2, %f2, 1.0;\n"
+               << "    rsqrt.approx.f32 %f1, %f2;\n";
+            break;
+          case 4:
+            os << strfmt("    fma.rn.f32 %%f1, %%f1, %g, %%f1;\n",
+                         -0.25 - 0.005 * variant);
+            break;
+          default:
+            os << "    mul.f32 %f2, %f1, 0.5;\n"
+               << "    max.f32 %f1, %f1, %f2;\n";
+            break;
+        }
+    }
+    os << R"(    st.global.f32 [%rd3], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+im2colPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".visible .entry " << name
+       << "(.param .u64 in, .param .u64 out, .param .u32 H,"
+          " .param .u32 W, .param .u32 KH, .param .u32 KW,"
+          " .param .u32 OH, .param .u32 OW)\n{\n"
+       << kStdDecls
+       << R"(
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;   // x over OW
+    mov.u32 %r4, %ctaid.y;              // y over OH
+    ld.param.u32 %r5, [OW];
+    setp.ge.u32 %p1, %r3, %r5;
+    @%p1 bra DONE;
+    ld.param.u32 %r6, [OH];
+    ld.param.u32 %r7, [W];
+    ld.param.u32 %r8, [KH];
+    ld.param.u32 %r9, [KW];
+    mul.lo.u32 %r10, %r6, %r5;          // OH*OW
+    mad.lo.u32 %r11, %r4, %r5, %r3;     // output column = y*OW + x
+    ld.param.u64 %rd1, [in];
+    ld.param.u64 %rd2, [out];
+    mov.u32 %r12, 0;                    // ky
+KYL:
+    mov.u32 %r13, 0;                    // kx
+KXL:
+    add.u32 %r14, %r4, %r12;
+    mad.lo.u32 %r15, %r14, %r7, %r3;
+    add.u32 %r15, %r15, %r13;
+    mul.wide.u32 %rd3, %r15, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];
+    mad.lo.u32 %r16, %r12, %r9, %r13;   // row = ky*KW + kx
+    mad.lo.u32 %r17, %r16, %r10, %r11;
+    mul.wide.u32 %rd5, %r17, 4;
+    add.u64 %rd6, %rd2, %rd5;
+    st.global.f32 [%rd6], %f1;
+    add.u32 %r13, %r13, 1;
+    setp.lt.u32 %p2, %r13, %r9;
+    @%p2 bra KXL;
+    add.u32 %r12, %r12, 1;
+    setp.lt.u32 %p3, %r12, %r8;
+    @%p3 bra KYL;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+normalizePtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 buf, .param .f32 mu, .param .f32 sg, "
+                     ".param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [buf];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    ld.param.f32 %f2, [mu];
+    sub.f32 %f1, %f1, %f2;
+    ld.param.f32 %f3, [sg];
+    mul.f32 %f1, %f1, %f3;
+    st.global.f32 [%rd3], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+eltwiseAddPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 a, .param .u64 b, .param .u64 c, "
+                     ".param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd1, %r3, 4;
+    ld.param.u64 %rd2, [a];
+    add.u64 %rd3, %rd2, %rd1;
+    ld.global.f32 %f1, [%rd3];
+    ld.param.u64 %rd4, [b];
+    add.u64 %rd5, %rd4, %rd1;
+    ld.global.f32 %f2, [%rd5];
+    add.f32 %f3, %f1, %f2;
+    ld.param.u64 %rd6, [c];
+    add.u64 %rd7, %rd6, %rd1;
+    st.global.f32 [%rd7], %f3;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+std::string
+copyPtx(const std::string &name)
+{
+    std::ostringstream os;
+    os << prologue1D(name,
+                     ".param .u64 src, .param .u64 dst, .param .u32 n",
+                     kStdDecls)
+       << R"(
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd1, %r3, 4;
+    ld.param.u64 %rd2, [src];
+    add.u64 %rd3, %rd2, %rd1;
+    ld.global.f32 %f1, [%rd3];
+    ld.param.u64 %rd4, [dst];
+    add.u64 %rd5, %rd4, %rd1;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    exit;
+}
+)";
+    return os.str();
+}
+
+} // namespace nvbit::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * PTX kernel generators used to assemble the benchmark workloads.
+ *
+ * Each generator returns the PTX text of one kernel with the given
+ * entry name.  Workloads concatenate generated kernels into a module,
+ * load it through the driver's JIT path (like OpenACC/Torch runtimes
+ * emitting PTX), and launch them.
+ */
+#ifndef NVBIT_WORKLOADS_KERNEL_FACTORY_HPP
+#define NVBIT_WORKLOADS_KERNEL_FACTORY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nvbit::workloads {
+
+/** 5-point 2D stencil: out = c0*in + c1*(N+S+E+W), interior only. */
+std::string stencil5Ptx(const std::string &name);
+
+/** 9-point 2D stencil (seismic/wave flavour). */
+std::string stencil9Ptx(const std::string &name);
+
+/** STREAM triad: a[i] = b[i] + s * c[i]. */
+std::string triadPtx(const std::string &name);
+
+/**
+ * Pointwise transcendental chain of @p depth MUFU stages, choosing
+ * sin/cos (mriq flavour) or ex2/rsqrt (ep flavour).
+ */
+std::string trigChainPtx(const std::string &name, unsigned depth,
+                         bool use_trig);
+
+/** Block tree-reduction (shared memory + barrier) into an atomic. */
+std::string reduceSumPtx(const std::string &name);
+
+/**
+ * CSR sparse matrix-vector product: one thread per row, inner loop
+ * length row_ptr[r+1]-row_ptr[r] (data-dependent, divergent loads).
+ */
+std::string spmvCsrPtx(const std::string &name);
+
+/** Per-thread LCG random walk of @p iters steps, tallying 8 bins. */
+std::string lcgTallyPtx(const std::string &name, unsigned iters);
+
+/** Indexed gather: out[i] = in[idx[i]] (uncoalesced). */
+std::string gatherPtx(const std::string &name);
+
+/** Shared-memory 16x16 tile transpose. */
+std::string transposePtx(const std::string &name);
+
+/**
+ * Lattice-Boltzmann-like streaming update over @p ndirs direction
+ * arrays laid out SoA.
+ */
+std::string lbmStreamPtx(const std::string &name, unsigned ndirs);
+
+/**
+ * N-body force accumulation with a cutoff test (value-dependent
+ * branch; positions evolve between steps, so sampled instruction
+ * counts drift slightly — the paper's Figure 9 error source).
+ */
+std::string mdForcePtx(const std::string &name);
+
+/** Leapfrog position update for the md benchmark. */
+std::string mdUpdatePtx(const std::string &name);
+
+/**
+ * A small unique pointwise kernel; @p variant selects a distinct
+ * operation mix so every generated kernel disassembles differently
+ * (used by ilbdc to create many unique kernels).
+ */
+std::string uniquePointwisePtx(const std::string &name,
+                               unsigned variant);
+
+/** im2col for KxK valid convolution (framework kernel, strided). */
+std::string im2colPtx(const std::string &name);
+
+/** Pointwise normalisation: x = (x - mu) * sigma (framework kernel). */
+std::string normalizePtx(const std::string &name);
+
+/** Elementwise add: c[i] = a[i] + b[i] (residual connections). */
+std::string eltwiseAddPtx(const std::string &name);
+
+/** Plain device-to-device copy kernel (tensor concat glue). */
+std::string copyPtx(const std::string &name);
+
+} // namespace nvbit::workloads
+
+#endif // NVBIT_WORKLOADS_KERNEL_FACTORY_HPP

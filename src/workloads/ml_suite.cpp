@@ -1,0 +1,403 @@
+/**
+ * @file
+ * ML inference workloads (paper Section 6.1 / Figure 6): batch-1
+ * pipelines named after the Torch7 networks the paper measures.  The
+ * heavy math runs inside the pre-compiled simBLAS/simDNN libraries;
+ * the surrounding "framework" kernels (normalisation, im2col, tensor
+ * reordering, residual adds, concat copies) are JIT-compiled open
+ * code, exactly the split that makes compiler-based instrumentation
+ * blind to most of the executed instructions.
+ */
+#include <memory>
+
+#include "accel/simblas.hpp"
+#include "accel/simdnn.hpp"
+#include "workloads/kernel_factory.hpp"
+#include "workloads/workload_util.hpp"
+
+namespace nvbit::workloads {
+
+using cudrv::CUdeviceptr;
+using cudrv::CUfunction;
+using cudrv::CUmodule;
+
+namespace {
+
+/** Shared infrastructure for the five network pipelines. */
+class MlNet : public WorkloadBase
+{
+  public:
+    explicit MlNet(std::string name) : WorkloadBase(std::move(name)) {}
+
+    std::vector<CUmodule>
+    libraryModules() const override
+    {
+        return lib_modules_;
+    }
+
+  protected:
+    /** Load libraries + the framework kernel module. */
+    void
+    setup()
+    {
+        blas_ = std::make_unique<accel::SimBlas>();
+        dnn_ = std::make_unique<accel::SimDnn>();
+        lib_modules_ = {blas_->module(), dnn_->module()};
+        framework_ = loadPtx(normalizePtx("fw_normalize") +
+                             im2colPtx("fw_im2col") +
+                             gatherPtx("fw_reorder") +
+                             eltwiseAddPtx("fw_residual") +
+                             copyPtx("fw_concat"));
+        normalize_ = fn(framework_, "fw_normalize");
+        im2col_ = fn(framework_, "fw_im2col");
+        reorder_ = fn(framework_, "fw_reorder");
+        residual_ = fn(framework_, "fw_residual");
+        concat_ = fn(framework_, "fw_concat");
+    }
+
+    uint32_t
+    inputDim(ProblemSize sz) const
+    {
+        switch (sz) {
+          case ProblemSize::Test: return 16;
+          case ProblemSize::Medium: return 24;
+          default: return 32;
+        }
+    }
+
+    void
+    normalize(CUdeviceptr buf, uint32_t n)
+    {
+        float mu = 0.1f, sg = 1.8f;
+        launch1D(normalize_, n, {&buf, &mu, &sg, &n});
+    }
+
+    /** NCHW->NHWC style reorder through an index gather. */
+    void
+    reorder(CUdeviceptr in, CUdeviceptr out, uint32_t c, uint32_t hw)
+    {
+        std::vector<uint32_t> idx(static_cast<size_t>(c) * hw);
+        for (uint32_t i = 0; i < hw; ++i)
+            for (uint32_t cc = 0; cc < c; ++cc)
+                idx[static_cast<size_t>(i) * c + cc] = cc * hw + i;
+        CUdeviceptr didx = allocU32(idx);
+        uint32_t n = c * hw;
+        launch1D(reorder_, n, {&in, &didx, &out, &n});
+    }
+
+    /**
+     * One framework housekeeping pass over an activation tensor:
+     * layout change (gather), re-normalisation, and a copy back —
+     * the per-layer glue traffic ML frameworks issue around library
+     * calls (augmentation, NCHW<->NHWC, contiguous() copies).
+     */
+    void
+    fwPass(CUdeviceptr buf, uint32_t c, uint32_t hw, unsigned times)
+    {
+        uint32_t n = c * hw;
+        CUdeviceptr tmp = allocFloats(n, 200);
+        for (unsigned t = 0; t < times; ++t) {
+            reorder(buf, tmp, c, hw);
+            normalize(tmp, n);
+            launch1D(concat_, n, {&tmp, &buf, &n});
+        }
+    }
+
+    /**
+     * Convolution via the framework's im2col + library SGEMM — the
+     * classic Torch7/Caffe path (single input channel per call for
+     * simplicity; channels are accumulated with library saxpy).
+     */
+    void
+    convViaGemm(CUdeviceptr in, CUdeviceptr w, CUdeviceptr out,
+                CUdeviceptr scratch, uint32_t h, uint32_t wd,
+                uint32_t co, uint32_t k)
+    {
+        uint32_t oh = h - k + 1, ow = wd - k + 1;
+        launch(im2col_, ceilDiv(ow, 64), oh, 1, 64, 1,
+               {&in, &scratch, &h, &wd, &k, &k, &oh, &ow});
+        // out[co x (oh*ow)] = w[co x k*k] * col[k*k x (oh*ow)]
+        blas_->sgemm(w, scratch, out, co, oh * ow, k * k);
+    }
+
+    std::unique_ptr<accel::SimBlas> blas_;
+    std::unique_ptr<accel::SimDnn> dnn_;
+    std::vector<CUmodule> lib_modules_;
+    CUmodule framework_ = nullptr;
+    CUfunction normalize_ = nullptr;
+    CUfunction im2col_ = nullptr;
+    CUfunction reorder_ = nullptr;
+    CUfunction residual_ = nullptr;
+    CUfunction concat_ = nullptr;
+};
+
+/** AlexNet flavour: direct conv + im2col/GEMM conv + FC layers. */
+class AlexNet : public MlNet
+{
+  public:
+    AlexNet() : MlNet("alexnet") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        setup();
+        uint32_t d = inputDim(sz);
+        const uint32_t c1 = 6, c2 = 8;
+        CUdeviceptr in = allocFloats(3u * d * d, 1);
+        normalize(in, 3u * d * d);
+
+        // conv1: 3 -> c1, 3x3 (library direct conv), relu, pool
+        uint32_t d1 = d - 2;
+        CUdeviceptr w1 = allocFloats(c1 * 3u * 9u, 2);
+        CUdeviceptr a1 = allocFloats(c1 * d1 * d1, 3);
+        dnn_->conv2d(in, w1, a1, d, d, 3, c1, 3, 3);
+        dnn_->relu(a1, c1 * d1 * d1);
+        uint32_t d1p = d1 / 2;
+        CUdeviceptr p1 = allocFloats(c1 * d1p * d1p, 4);
+        dnn_->maxpool2(a1, p1, c1, d1, d1);
+
+        // framework layout change between the conv stages
+        CUdeviceptr p1r = allocFloats(c1 * d1p * d1p, 45);
+        reorder(p1, p1r, c1, d1p * d1p);
+        normalize(p1r, c1 * d1p * d1p);
+
+        // conv2: im2col + GEMM per plane-merged weights (c1 -> c2)
+        uint32_t d2 = d1p - 2;
+        CUdeviceptr col = allocFloats(9u * d2 * d2, 5);
+        CUdeviceptr w2 = allocFloats(c2 * 9u, 6);
+        CUdeviceptr a2 = allocFloats(c2 * d2 * d2, 7);
+        convViaGemm(p1, w2, a2, col, d1p, d1p, c2, 3);
+        dnn_->relu(a2, c2 * d2 * d2);
+
+        // framework reorder + FC via library GEMM
+        CUdeviceptr re = allocFloats(c2 * d2 * d2, 8);
+        reorder(a2, re, c2, d2 * d2);
+        fwPass(a1, c1, d1 * d1, 3);
+        uint32_t feat = c2 * d2 * d2;
+        CUdeviceptr wfc = allocFloats(12u * feat, 9);
+        CUdeviceptr fc = allocFloats(12, 10);
+        blas_->sgemm(wfc, re, fc, 12, 1, feat);
+        dnn_->relu(fc, 12);
+    }
+};
+
+/** VGG flavour: deep stack of library convolutions (highest lib %). */
+class Vgg : public MlNet
+{
+  public:
+    Vgg() : MlNet("vgg") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        setup();
+        uint32_t d = inputDim(sz);
+        normalizeOnce_ = allocFloats(3u * d * d, 11);
+        normalize(normalizeOnce_, 3u * d * d);
+
+        uint32_t chans[5] = {3, 6, 6, 8, 8};
+        CUdeviceptr cur = normalizeOnce_;
+        uint32_t cd = d;
+        for (int layer = 0; layer < 4; ++layer) {
+            uint32_t ci = chans[layer], co = chans[layer + 1];
+            uint32_t od = cd - 2;
+            CUdeviceptr w = allocFloats(co * ci * 9u, 12 + layer);
+            CUdeviceptr out = allocFloats(co * od * od, 20 + layer);
+            dnn_->conv2d(cur, w, out, cd, cd, ci, co, 3, 3);
+            dnn_->relu(out, co * od * od);
+            cur = out;
+            cd = od;
+            if (layer == 0)
+                fwPass(cur, co, cd * cd, 2);
+            if (layer == 1 || layer == 3) {
+                CUdeviceptr pooled =
+                    allocFloats(co * (cd / 2) * (cd / 2), 30 + layer);
+                dnn_->maxpool2(cur, pooled, co, cd, cd);
+                cur = pooled;
+                cd /= 2;
+                if (layer == 1) {
+                    CUdeviceptr re =
+                        allocFloats(co * cd * cd, 35 + layer);
+                    reorder(cur, re, co, cd * cd);
+                    cur = re;
+                }
+            }
+        }
+        uint32_t feat = 8u * cd * cd;
+        CUdeviceptr wfc = allocFloats(12u * feat, 40);
+        CUdeviceptr fc = allocFloats(12, 41);
+        blas_->sgemm(wfc, cur, fc, 12, 1, feat);
+    }
+
+  private:
+    CUdeviceptr normalizeOnce_ = 0;
+};
+
+/** GoogLeNet flavour: parallel 1x1/3x3 branches + concat copies. */
+class GoogleNet : public MlNet
+{
+  public:
+    GoogleNet() : MlNet("googlenet") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        setup();
+        uint32_t d = inputDim(sz);
+        CUdeviceptr in = allocFloats(3u * d * d, 50);
+        normalize(in, 3u * d * d);
+
+        uint32_t c0 = 6;
+        uint32_t d0 = d - 2;
+        CUdeviceptr w0 = allocFloats(c0 * 3u * 9u, 51);
+        CUdeviceptr stem = allocFloats(c0 * d0 * d0, 52);
+        dnn_->conv2d(in, w0, stem, d, d, 3, c0, 3, 3);
+        dnn_->relu(stem, c0 * d0 * d0);
+        CUdeviceptr stem_r = allocFloats(c0 * d0 * d0, 53);
+        reorder(stem, stem_r, c0, d0 * d0);
+        stem = stem_r;
+
+        // Two inception-ish blocks: 1x1 branch + 3x3 branch, concat.
+        uint32_t cd = d0;
+        CUdeviceptr cur = stem;
+        uint32_t cc = c0;
+        for (int block = 0; block < 2; ++block) {
+            uint32_t b1 = 3, b3 = 3;
+            uint32_t od = cd - 2;
+            CUdeviceptr w1 = allocFloats(b1 * cc, 60 + block);
+            CUdeviceptr br1 = allocFloats(b1 * cd * cd, 62 + block);
+            dnn_->conv2d(cur, w1, br1, cd, cd, cc, b1, 1, 1);
+            CUdeviceptr w3 = allocFloats(b3 * cc * 9u, 64 + block);
+            CUdeviceptr br3 = allocFloats(b3 * od * od, 66 + block);
+            dnn_->conv2d(cur, w3, br3, cd, cd, cc, b3, 3, 3);
+            dnn_->relu(br1, b1 * cd * cd);
+            dnn_->relu(br3, b3 * od * od);
+            // concat via framework copies (cropping br1 to od x od by
+            // just taking the first od*od elements per channel).
+            uint32_t n1 = b1 * od * od, n3 = b3 * od * od;
+            CUdeviceptr cat = allocFloats(n1 + n3, 68 + block);
+            launch1D(concat_, n1, {&br1, &cat, &n1});
+            CUdeviceptr cat3 = cat + n1 * 4;
+            launch1D(concat_, n3, {&br3, &cat3, &n3});
+            cur = cat;
+            cc = b1 + b3;
+            cd = od;
+        }
+        fwPass(stem, c0, d0 * d0, 6);
+        uint32_t feat = cc * cd * cd;
+        CUdeviceptr wfc = allocFloats(8u * feat, 70);
+        CUdeviceptr fc = allocFloats(8, 71);
+        blas_->sgemm(wfc, cur, fc, 8, 1, feat);
+    }
+};
+
+/** ResNet flavour: conv blocks + framework residual adds. */
+class ResNet : public MlNet
+{
+  public:
+    ResNet() : MlNet("resnet") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        setup();
+        uint32_t d = inputDim(sz);
+        CUdeviceptr in = allocFloats(3u * d * d, 80);
+        normalize(in, 3u * d * d);
+
+        uint32_t c = 6;
+        uint32_t cd = d - 2;
+        CUdeviceptr w0 = allocFloats(c * 3u * 9u, 81);
+        CUdeviceptr cur = allocFloats(c * cd * cd, 82);
+        dnn_->conv2d(in, w0, cur, d, d, 3, c, 3, 3);
+        dnn_->relu(cur, c * cd * cd);
+
+        // Three residual blocks with 1x1 convs (shape-preserving).
+        for (int block = 0; block < 3; ++block) {
+            uint32_t n = c * cd * cd;
+            CUdeviceptr w = allocFloats(c * c, 83 + block);
+            CUdeviceptr t = allocFloats(n, 86 + block);
+            dnn_->conv2d(cur, w, t, cd, cd, c, c, 1, 1);
+            dnn_->relu(t, n);
+            CUdeviceptr sum = allocFloats(n, 90 + block);
+            launch1D(residual_, n, {&cur, &t, &sum, &n});
+            normalize(sum, n);
+            CUdeviceptr re = allocFloats(n, 93 + block);
+            reorder(sum, re, c, cd * cd);
+            cur = re;
+        }
+        fwPass(cur, c, cd * cd, 10);
+        uint32_t feat = c * cd * cd;
+        CUdeviceptr wfc = allocFloats(8u * feat, 95);
+        CUdeviceptr fc = allocFloats(8, 96);
+        blas_->sgemm(wfc, cur, fc, 8, 1, feat);
+    }
+};
+
+/** ENet flavour: lightweight convs, framework-heavy (lowest lib %). */
+class ENet : public MlNet
+{
+  public:
+    ENet() : MlNet("enet") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        setup();
+        uint32_t d = inputDim(sz);
+        uint32_t n0 = 3u * d * d;
+        CUdeviceptr in = allocFloats(n0, 100);
+        // Framework-heavy preprocessing.
+        normalize(in, n0);
+        CUdeviceptr re = allocFloats(n0, 101);
+        reorder(in, re, 3, d * d);
+        normalize(re, n0);
+
+        uint32_t c = 4;
+        uint32_t cd = d - 2;
+        CUdeviceptr w0 = allocFloats(c * 3u * 9u, 102);
+        CUdeviceptr cur = allocFloats(c * cd * cd, 103);
+        dnn_->conv2d(in, w0, cur, d, d, 3, c, 3, 3);
+        dnn_->relu(cur, c * cd * cd);
+
+        // Bottleneck: framework reorder + residual + small 1x1 conv.
+        for (int block = 0; block < 2; ++block) {
+            uint32_t n = c * cd * cd;
+            CUdeviceptr t = allocFloats(n, 104 + block);
+            reorder(cur, t, c, cd * cd);
+            CUdeviceptr w = allocFloats(c * c, 106 + block);
+            CUdeviceptr u = allocFloats(n, 108 + block);
+            dnn_->conv2d(cur, w, u, cd, cd, c, c, 1, 1);
+            CUdeviceptr sum = allocFloats(n, 110 + block);
+            launch1D(residual_, n, {&t, &u, &sum, &n});
+            normalize(sum, n);
+            cur = sum;
+        }
+        // ENet pipelines are framework-heavy: extra pre/post passes.
+        fwPass(in, 3, d * d, 5);
+    }
+};
+
+const std::vector<std::string> kMlNames = {"alexnet", "enet",
+                                           "googlenet", "resnet", "vgg"};
+
+} // namespace
+
+const std::vector<std::string> &
+mlSuiteNames()
+{
+    return kMlNames;
+}
+
+std::unique_ptr<Workload>
+makeMlWorkload(const std::string &name)
+{
+    if (name == "alexnet") return std::make_unique<AlexNet>();
+    if (name == "enet") return std::make_unique<ENet>();
+    if (name == "googlenet") return std::make_unique<GoogleNet>();
+    if (name == "resnet") return std::make_unique<ResNet>();
+    if (name == "vgg") return std::make_unique<Vgg>();
+    fatal("unknown ML workload '%s'", name.c_str());
+}
+
+} // namespace nvbit::workloads

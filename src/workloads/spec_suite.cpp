@@ -1,0 +1,503 @@
+/**
+ * @file
+ * The SpecAccel-like benchmark suite (see workloads.hpp for intent).
+ * Every benchmark composes generated PTX kernels with the structure
+ * that drives its behaviour in the paper's figures.
+ */
+#include <functional>
+#include <map>
+
+#include "workloads/kernel_factory.hpp"
+#include "workloads/workload_util.hpp"
+
+namespace nvbit::workloads {
+
+using cudrv::CUdeviceptr;
+using cudrv::CUfunction;
+using cudrv::CUmodule;
+
+namespace {
+
+/** Per-size scale factors shared by most benchmarks. */
+struct Scale {
+    uint32_t dim;   ///< linear dimension scale
+    uint32_t iters; ///< outer iterations
+};
+
+Scale
+scaleOf(ProblemSize sz, Scale test, Scale medium, Scale large)
+{
+    switch (sz) {
+      case ProblemSize::Test: return test;
+      case ProblemSize::Medium: return medium;
+      default: return large;
+    }
+}
+
+// --- ostencil: iterative 5-point stencil ----------------------------------
+
+class OStencil : public WorkloadBase
+{
+  public:
+    OStencil() : WorkloadBase("ostencil") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 2}, {192, 5}, {96, 54});
+        uint32_t w = s.dim, h = s.dim / 2;
+        CUmodule mod = loadPtx(stencil5Ptx("stencil5"));
+        CUfunction k = fn(mod, "stencil5");
+        CUdeviceptr a = allocFloats(static_cast<size_t>(w) * h, 1);
+        CUdeviceptr b = allocFloats(static_cast<size_t>(w) * h, 2);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch(k, ceilDiv(w, 128), h, 1, 128, 1, {&a, &b, &w, &h});
+            std::swap(a, b);
+        }
+    }
+};
+
+// --- olbm: lattice-Boltzmann streaming -------------------------------------
+
+class OLbm : public WorkloadBase
+{
+  public:
+    OLbm() : WorkloadBase("olbm") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 1}, {128, 3}, {64, 36});
+        uint32_t w = s.dim, h = s.dim / 2;
+        CUmodule mod = loadPtx(lbmStreamPtx("lbm_stream", 9));
+        CUfunction k = fn(mod, "lbm_stream");
+        size_t plane = static_cast<size_t>(w) * h;
+        CUdeviceptr a = allocFloats(plane * 9, 3);
+        CUdeviceptr b = allocFloats(plane * 9, 4);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch(k, ceilDiv(w, 128), h, 1, 128, 1, {&a, &b, &w, &h});
+            std::swap(a, b);
+        }
+    }
+};
+
+// --- omriq: transcendental-heavy pointwise ---------------------------------
+
+class OMriq : public WorkloadBase
+{
+  public:
+    OMriq() : WorkloadBase("omriq") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {1024, 1}, {24576, 4}, {8192, 40});
+        CUmodule mod = loadPtx(trigChainPtx("mriq_phase", 8, true));
+        CUfunction k = fn(mod, "mriq_phase");
+        CUdeviceptr buf = allocFloats(s.dim, 5);
+        for (uint32_t t = 0; t < s.iters; ++t)
+            launch1D(k, s.dim, {&buf, &s.dim});
+    }
+};
+
+// --- md: N-body with cutoff (data-dependent control flow) ------------------
+
+class Md : public WorkloadBase
+{
+  public:
+    Md() : WorkloadBase("md") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {64, 2}, {128, 3}, {64, 30});
+        uint32_t n = s.dim;
+        CUmodule mod =
+            loadPtx(mdForcePtx("md_force") + mdUpdatePtx("md_update"));
+        CUfunction force = fn(mod, "md_force");
+        CUfunction update = fn(mod, "md_update");
+        CUdeviceptr px = allocFloats(n, 6);
+        CUdeviceptr py = allocFloats(n, 7);
+        CUdeviceptr fx = allocFloats(n, 8);
+        float cutoff2 = 0.05f;
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(force, n, {&px, &py, &fx, &n, &cutoff2});
+            launch1D(update, n, {&px, &fx, &n});
+        }
+    }
+};
+
+// --- palm: multi-kernel atmospheric mix -------------------------------------
+
+class Palm : public WorkloadBase
+{
+  public:
+    Palm() : WorkloadBase("palm") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 1}, {128, 3}, {64, 36});
+        uint32_t w = s.dim, h = s.dim / 2;
+        uint32_t n = w * h;
+        CUmodule mod = loadPtx(stencil5Ptx("palm_diffuse") +
+                               trigChainPtx("palm_buoyancy", 4, false) +
+                               reduceSumPtx("palm_cfl"));
+        CUfunction diffuse = fn(mod, "palm_diffuse");
+        CUfunction buoy = fn(mod, "palm_buoyancy");
+        CUfunction cfl = fn(mod, "palm_cfl");
+        CUdeviceptr a = allocFloats(n, 9);
+        CUdeviceptr b = allocFloats(n, 10);
+        CUdeviceptr r = allocFloats(1, 11);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch(diffuse, ceilDiv(w, 128), h, 1, 128, 1,
+                   {&a, &b, &w, &h});
+            launch1D(buoy, n, {&b, &n});
+            launch1D(cfl, n, {&b, &r, &n}, 256);
+            std::swap(a, b);
+        }
+    }
+};
+
+// --- ep: embarrassingly parallel RNG tally ----------------------------------
+
+class Ep : public WorkloadBase
+{
+  public:
+    Ep() : WorkloadBase("ep") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {1024, 2}, {16384, 3}, {4096, 24});
+        uint32_t n = s.dim;
+        CUmodule mod = loadPtx(lcgTallyPtx("ep_tally", 8) +
+                               reduceSumPtx("ep_verify"));
+        CUfunction tally = fn(mod, "ep_tally");
+        CUfunction verify = fn(mod, "ep_verify");
+        std::vector<uint32_t> zeros(8, 0);
+        CUdeviceptr bins = allocU32(zeros);
+        CUdeviceptr buf = allocFloats(n, 12);
+        CUdeviceptr r = allocFloats(1, 13);
+        // Batched runs: each batch re-tallies and re-reduces.
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(tally, n, {&bins, &n});
+            launch1D(verify, n, {&buf, &r, &n}, 256);
+        }
+    }
+};
+
+// --- clvrleaf: hydro field updates -------------------------------------------
+
+class ClvrLeaf : public WorkloadBase
+{
+  public:
+    ClvrLeaf() : WorkloadBase("clvrleaf") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {1024, 1}, {16384, 3}, {4096, 32});
+        uint32_t n = s.dim;
+        uint32_t w = 128, h = n / 128;
+        std::string src;
+        for (unsigned v = 0; v < 4; ++v)
+            src += uniquePointwisePtx(strfmt("leaf_update%u", v),
+                                      40 + v);
+        src += stencil5Ptx("leaf_advec");
+        CUmodule mod = loadPtx(src);
+        CUdeviceptr field[4];
+        for (unsigned v = 0; v < 4; ++v)
+            field[v] = allocFloats(n, 14 + v);
+        CUdeviceptr a = allocFloats(n, 18);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            for (unsigned v = 0; v < 4; ++v) {
+                launch1D(fn(mod, strfmt("leaf_update%u", v).c_str()), n,
+                         {&field[v], &n});
+            }
+            launch(fn(mod, "leaf_advec"), ceilDiv(w, 128), h, 1, 128, 1,
+                   {&field[0], &a, &w, &h});
+        }
+    }
+};
+
+// --- cg: conjugate-gradient flavour (sparse, divergent) ---------------------
+
+class Cg : public WorkloadBase
+{
+  public:
+    Cg() : WorkloadBase("cg") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {512, 2}, {4096, 3}, {2048, 18});
+        uint32_t nrows = s.dim;
+        // Build a pseudo-random CSR matrix, 2..13 nnz per row.
+        std::vector<uint32_t> rowptr(nrows + 1, 0);
+        std::vector<uint32_t> cols;
+        uint32_t rng = 12345;
+        for (uint32_t r = 0; r < nrows; ++r) {
+            rng = rng * 1664525u + 1013904223u;
+            uint32_t len = 2 + (rng >> 20) % 12;
+            for (uint32_t j = 0; j < len; ++j) {
+                rng = rng * 1664525u + 1013904223u;
+                cols.push_back(rng % nrows);
+            }
+            rowptr[r + 1] = static_cast<uint32_t>(cols.size());
+        }
+        CUmodule mod = loadPtx(spmvCsrPtx("cg_spmv") +
+                               triadPtx("cg_axpy") +
+                               reduceSumPtx("cg_dot"));
+        CUfunction spmv = fn(mod, "cg_spmv");
+        CUfunction axpy = fn(mod, "cg_axpy");
+        CUfunction dot = fn(mod, "cg_dot");
+        CUdeviceptr drp = allocU32(rowptr);
+        CUdeviceptr dcols = allocU32(cols);
+        CUdeviceptr dvals = allocFloats(cols.size(), 20);
+        CUdeviceptr x = allocFloats(nrows, 21);
+        CUdeviceptr y = allocFloats(nrows, 22);
+        CUdeviceptr r = allocFloats(1, 23);
+        float alpha = 0.01f;
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(spmv, nrows, {&drp, &dcols, &dvals, &x, &y,
+                                   &nrows});
+            launch1D(axpy, nrows, {&x, &x, &y, &alpha, &nrows});
+            launch1D(dot, nrows, {&x, &r, &nrows}, 256);
+        }
+    }
+};
+
+// --- seismic: wave propagation ------------------------------------------------
+
+class Seismic : public WorkloadBase
+{
+  public:
+    Seismic() : WorkloadBase("seismic") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 1}, {160, 4}, {80, 30});
+        uint32_t w = s.dim, h = s.dim / 2;
+        CUmodule mod = loadPtx(stencil9Ptx("seis_wave") +
+                               uniquePointwisePtx("seis_source", 77));
+        CUfunction wave = fn(mod, "seis_wave");
+        CUfunction source = fn(mod, "seis_source");
+        size_t n = static_cast<size_t>(w) * h;
+        CUdeviceptr a = allocFloats(n, 24);
+        CUdeviceptr b = allocFloats(n, 25);
+        uint32_t src_n = 64;
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(source, src_n, {&a, &src_n}, 64);
+            launch(wave, ceilDiv(w, 128), h, 1, 128, 1,
+                   {&a, &b, &w, &h});
+            std::swap(a, b);
+        }
+    }
+};
+
+// --- sp / csp: penta-diagonal solver sweeps ----------------------------------
+
+class SpLike : public WorkloadBase
+{
+  public:
+    SpLike(std::string name, unsigned seed)
+        : WorkloadBase(std::move(name)), seed_(seed)
+    {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {1024, 1}, {16384, 3}, {4096, 24});
+        uint32_t n = s.dim;
+        uint32_t w = 128, h = n / 128;
+        std::string src;
+        for (unsigned v = 0; v < 3; ++v)
+            src += uniquePointwisePtx(strfmt("%s_sweep%u",
+                                             name().c_str(), v),
+                                      seed_ + v);
+        src += stencil5Ptx(name() + "_rhs");
+        src += transposePtx(name() + "_tr");
+        CUmodule mod = loadPtx(src);
+        CUdeviceptr a = allocFloats(n, seed_);
+        CUdeviceptr b = allocFloats(n, seed_ + 1);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch(fn(mod, (name() + "_rhs").c_str()), ceilDiv(w, 128),
+                   h, 1, 128, 1, {&a, &b, &w, &h});
+            for (unsigned v = 0; v < 3; ++v) {
+                launch1D(fn(mod, strfmt("%s_sweep%u", name().c_str(),
+                                        v).c_str()),
+                         n, {&b, &n});
+            }
+            launch(fn(mod, (name() + "_tr").c_str()), ceilDiv(w, 16),
+                   ceilDiv(h, 16), 1, 16, 16, {&b, &a, &w, &h});
+        }
+    }
+
+  private:
+    unsigned seed_;
+};
+
+// --- miniGhost: halo-exchange stencil ------------------------------------------
+
+class MiniGhost : public WorkloadBase
+{
+  public:
+    MiniGhost() : WorkloadBase("miniGhost") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 1}, {128, 3}, {64, 36});
+        uint32_t w = s.dim, h = s.dim / 2;
+        size_t n = static_cast<size_t>(w) * h;
+        CUmodule mod = loadPtx(stencil5Ptx("mg_stencil") +
+                               gatherPtx("mg_pack") +
+                               copyPtx("mg_unpack"));
+        CUfunction st = fn(mod, "mg_stencil");
+        CUfunction pack = fn(mod, "mg_pack");
+        CUfunction unpack = fn(mod, "mg_unpack");
+        CUdeviceptr a = allocFloats(n, 30);
+        CUdeviceptr b = allocFloats(n, 31);
+        uint32_t halo = 2 * w;
+        std::vector<uint32_t> idx(halo);
+        for (uint32_t i = 0; i < halo; ++i)
+            idx[i] = (i * 37u) % static_cast<uint32_t>(n);
+        CUdeviceptr didx = allocU32(idx);
+        CUdeviceptr hbuf = allocFloats(halo, 32);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(pack, halo, {&a, &didx, &hbuf, &halo});
+            launch(st, ceilDiv(w, 128), h, 1, 128, 1, {&a, &b, &w, &h});
+            launch1D(unpack, halo, {&hbuf, &b, &halo});
+            std::swap(a, b);
+        }
+    }
+};
+
+// --- ilbdc: MANY unique short kernels (worst-case JIT overhead) -------------
+
+class Ilbdc : public WorkloadBase
+{
+  public:
+    Ilbdc() : WorkloadBase("ilbdc") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        // Many distinct kernels, each launched a couple of times on a
+        // small grid: the JIT cost per kernel is amortised over almost
+        // no execution, the paper's worst case for Figure 5.
+        unsigned nkernels = sz == ProblemSize::Test ? 4 : 24;
+        uint32_t n = sz == ProblemSize::Large ? 8192 : 4096;
+        unsigned reps = sz == ProblemSize::Large ? 10 : 2;
+        std::string src;
+        for (unsigned v = 0; v < nkernels; ++v)
+            src += uniquePointwisePtx(strfmt("ilbdc_k%02u", v), v);
+        CUmodule mod = loadPtx(src);
+        CUdeviceptr buf = allocFloats(n, 33);
+        for (unsigned v = 0; v < nkernels; ++v) {
+            CUfunction k =
+                fn(mod, strfmt("ilbdc_k%02u", v).c_str());
+            for (unsigned r = 0; r < reps; ++r)
+                launch1D(k, n, {&buf, &n});
+        }
+    }
+};
+
+// --- swim: shallow water ------------------------------------------------------
+
+class Swim : public WorkloadBase
+{
+  public:
+    Swim() : WorkloadBase("swim") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {32, 1}, {160, 4}, {80, 30});
+        uint32_t w = s.dim, h = s.dim / 2;
+        size_t n = static_cast<size_t>(w) * h;
+        CUmodule mod = loadPtx(stencil5Ptx("swim_calc1") +
+                               stencil9Ptx("swim_calc2") +
+                               triadPtx("swim_update"));
+        CUfunction c1 = fn(mod, "swim_calc1");
+        CUfunction c2 = fn(mod, "swim_calc2");
+        CUfunction up = fn(mod, "swim_update");
+        CUdeviceptr u = allocFloats(n, 34);
+        CUdeviceptr v = allocFloats(n, 35);
+        CUdeviceptr p = allocFloats(n, 36);
+        float dt = 0.1f;
+        uint32_t nn = static_cast<uint32_t>(n);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch(c1, ceilDiv(w, 128), h, 1, 128, 1, {&u, &v, &w, &h});
+            launch(c2, ceilDiv(w, 128), h, 1, 128, 1, {&v, &p, &w, &h});
+            launch1D(up, nn, {&u, &v, &p, &dt, &nn});
+        }
+    }
+};
+
+// --- bt: block-tridiagonal flavour ---------------------------------------------
+
+class Bt : public WorkloadBase
+{
+  public:
+    Bt() : WorkloadBase("bt") {}
+
+    void
+    run(ProblemSize sz) override
+    {
+        Scale s = scaleOf(sz, {1024, 1}, {16384, 3}, {4096, 20});
+        uint32_t n = s.dim;
+        uint32_t w = 128, h = n / 128;
+        CUmodule mod = loadPtx(trigChainPtx("bt_xsolve", 2, false) +
+                               trigChainPtx("bt_ysolve", 3, true) +
+                               transposePtx("bt_zsolve") +
+                               eltwiseAddPtx("bt_rhs"));
+        CUdeviceptr a = allocFloats(n, 37);
+        CUdeviceptr b = allocFloats(n, 38);
+        CUdeviceptr c = allocFloats(n, 39);
+        for (uint32_t t = 0; t < s.iters; ++t) {
+            launch1D(fn(mod, "bt_rhs"), n, {&a, &b, &c, &n});
+            launch1D(fn(mod, "bt_xsolve"), n, {&c, &n});
+            launch1D(fn(mod, "bt_ysolve"), n, {&c, &n});
+            launch(fn(mod, "bt_zsolve"), ceilDiv(w, 16), ceilDiv(h, 16),
+                   1, 16, 16, {&c, &a, &w, &h});
+        }
+    }
+};
+
+const std::vector<std::string> kSpecNames = {
+    "ostencil", "olbm", "omriq", "md", "palm", "ep", "clvrleaf", "cg",
+    "seismic", "sp", "csp", "miniGhost", "ilbdc", "swim", "bt"};
+
+} // namespace
+
+const std::vector<std::string> &
+specSuiteNames()
+{
+    return kSpecNames;
+}
+
+std::unique_ptr<Workload>
+makeSpecWorkload(const std::string &name)
+{
+    if (name == "ostencil") return std::make_unique<OStencil>();
+    if (name == "olbm") return std::make_unique<OLbm>();
+    if (name == "omriq") return std::make_unique<OMriq>();
+    if (name == "md") return std::make_unique<Md>();
+    if (name == "palm") return std::make_unique<Palm>();
+    if (name == "ep") return std::make_unique<Ep>();
+    if (name == "clvrleaf") return std::make_unique<ClvrLeaf>();
+    if (name == "cg") return std::make_unique<Cg>();
+    if (name == "seismic") return std::make_unique<Seismic>();
+    if (name == "sp") return std::make_unique<SpLike>("sp", 60);
+    if (name == "csp") return std::make_unique<SpLike>("csp", 70);
+    if (name == "miniGhost") return std::make_unique<MiniGhost>();
+    if (name == "ilbdc") return std::make_unique<Ilbdc>();
+    if (name == "swim") return std::make_unique<Swim>();
+    if (name == "bt") return std::make_unique<Bt>();
+    fatal("unknown SpecAccel-like workload '%s'", name.c_str());
+}
+
+} // namespace nvbit::workloads

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared plumbing for workload implementations: module loading through
+ * the driver JIT path, buffer setup, and launch helpers.
+ */
+#ifndef NVBIT_WORKLOADS_WORKLOAD_UTIL_HPP
+#define NVBIT_WORKLOADS_WORKLOAD_UTIL_HPP
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "driver/api.hpp"
+#include "workloads/workloads.hpp"
+
+namespace nvbit::workloads {
+
+/** Ceil division for grid sizing. */
+constexpr uint32_t
+ceilDiv(uint32_t a, uint32_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Base class providing module/buffer/launch helpers. */
+class WorkloadBase : public Workload
+{
+  public:
+    explicit WorkloadBase(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const override { return name_; }
+
+  protected:
+    /** JIT-load a PTX module through the public driver API. */
+    cudrv::CUmodule
+    loadPtx(const std::string &ptx)
+    {
+        cudrv::CUmodule mod;
+        cudrv::checkCu(cudrv::cuModuleLoadData(&mod, ptx.c_str(),
+                                               ptx.size()),
+                       (name_ + " module load").c_str());
+        return mod;
+    }
+
+    cudrv::CUfunction
+    fn(cudrv::CUmodule mod, const char *fname)
+    {
+        cudrv::CUfunction f;
+        cudrv::checkCu(cudrv::cuModuleGetFunction(&f, mod, fname),
+                       fname);
+        return f;
+    }
+
+    /** Allocate n floats filled with a deterministic pseudo pattern. */
+    cudrv::CUdeviceptr
+    allocFloats(size_t n, uint32_t seed = 1)
+    {
+        std::vector<float> host(n);
+        uint32_t s = seed * 2654435761u + 12345u;
+        for (size_t i = 0; i < n; ++i) {
+            s = s * 1664525u + 1013904223u;
+            host[i] =
+                static_cast<float>(s >> 8) / 16777216.0f - 0.5f;
+        }
+        cudrv::CUdeviceptr p;
+        cudrv::checkCu(cudrv::cuMemAlloc(&p, n * 4), "workload alloc");
+        cudrv::checkCu(cudrv::cuMemcpyHtoD(p, host.data(), n * 4),
+                       "workload upload");
+        return p;
+    }
+
+    cudrv::CUdeviceptr
+    allocU32(const std::vector<uint32_t> &host)
+    {
+        cudrv::CUdeviceptr p;
+        cudrv::checkCu(cudrv::cuMemAlloc(&p, host.size() * 4),
+                       "workload alloc");
+        cudrv::checkCu(cudrv::cuMemcpyHtoD(p, host.data(),
+                                           host.size() * 4),
+                       "workload upload");
+        return p;
+    }
+
+    void
+    launch(cudrv::CUfunction f, uint32_t gx, uint32_t gy, uint32_t gz,
+           uint32_t bx, uint32_t by, std::vector<void *> params)
+    {
+        cudrv::checkCu(cudrv::cuLaunchKernel(f, gx, gy, gz, bx, by, 1,
+                                             0, nullptr, params.data(),
+                                             nullptr),
+                       (name_ + " launch").c_str());
+    }
+
+    void
+    launch1D(cudrv::CUfunction f, uint32_t n, std::vector<void *> params,
+             uint32_t block = 128)
+    {
+        launch(f, ceilDiv(n, block), 1, 1, block, 1, std::move(params));
+    }
+
+  private:
+    std::string name_;
+};
+
+} // namespace nvbit::workloads
+
+#endif // NVBIT_WORKLOADS_WORKLOAD_UTIL_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Benchmark workloads.
+ *
+ * Two suites, mirroring the paper's evaluation:
+ *
+ *  - A SpecAccel-like suite (Figures 5/7/8/9): fifteen synthetic
+ *    benchmarks named after the OpenACC SpecAccel components the paper
+ *    plots, each reproducing the structural property that drives its
+ *    behaviour in the paper (e.g. `ilbdc` launches many unique short
+ *    kernels, which maximises relative JIT-compilation overhead; `md`
+ *    and `cg` have data-dependent control flow, which makes kernel
+ *    sampling slightly inexact).
+ *
+ *  - ML workloads (Figure 6): batch-1 inference pipelines named after
+ *    the Torch7 networks in the paper, built on the pre-compiled
+ *    simBLAS/simDNN libraries plus open "framework" kernels (im2col,
+ *    transposes, normalisation), so that most executed instructions
+ *    live inside the closed libraries.
+ *
+ * Workloads assume cuInit() and a current context; they load their own
+ * modules and leave device buffers allocated until driver reset.
+ */
+#ifndef NVBIT_WORKLOADS_WORKLOADS_HPP
+#define NVBIT_WORKLOADS_WORKLOADS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/api.hpp"
+
+namespace nvbit::workloads {
+
+/** Problem sizes; the paper uses medium for Fig. 5 and large for 7-9. */
+enum class ProblemSize { Test, Medium, Large };
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Run the workload to completion at the given problem size. */
+    virtual void run(ProblemSize size) = 0;
+
+    /**
+     * Modules holding pre-compiled library code used by this workload
+     * (empty for the SpecAccel-like suite).  Used by instrumentation
+     * filters that include/exclude accelerated libraries (Fig. 6).
+     */
+    virtual std::vector<cudrv::CUmodule> libraryModules() const
+    {
+        return {};
+    }
+};
+
+/** Names of the SpecAccel-like benchmarks, in the paper's plot order. */
+const std::vector<std::string> &specSuiteNames();
+
+/** Create a SpecAccel-like benchmark by name (fatal on unknown name). */
+std::unique_ptr<Workload> makeSpecWorkload(const std::string &name);
+
+/** Names of the ML workloads, in the paper's plot order. */
+const std::vector<std::string> &mlSuiteNames();
+
+/** Create an ML workload by name (fatal on unknown name). */
+std::unique_ptr<Workload> makeMlWorkload(const std::string &name);
+
+} // namespace nvbit::workloads
+
+#endif // NVBIT_WORKLOADS_WORKLOADS_HPP

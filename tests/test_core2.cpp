@@ -1,0 +1,711 @@
+/**
+ * @file
+ * Second wave of NVBit-core tests: both architecture families (HAL
+ * portability), multiple injections at one site, IPOINT_AFTER,
+ * Device-API predicate modification, every argument kind, control-flow
+ * relocation under loops, instrumentation reset, indirect-control-flow
+ * fallback, and instrumentation of pre-compiled library kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "accel/simblas.hpp"
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "driver/module_image.hpp"
+#include "tools/instr_count.hpp"
+
+namespace nvbit {
+namespace {
+
+using namespace cudrv;
+
+/** Leader-only device function storing its two u32 args to globals. */
+const char *kStore2Ptx = R"(
+.global .u64 g_a;
+.global .u64 g_b;
+.func store2(.param .u32 a, .param .u32 b)
+{
+    .reg .u32 %x<8>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    ld.param.u32 %x4, [a];
+    cvt.u64.u32 %rd1, %x4;
+    mov.u64 %rd2, g_a;
+    st.global.u64 [%rd2], %rd1;
+    ld.param.u32 %x5, [b];
+    cvt.u64.u32 %rd1, %x5;
+    mov.u64 %rd2, g_b;
+    st.global.u64 [%rd2], %rd1;
+SKIP:
+    ret;
+}
+)";
+
+const char *kSimpleKernel = R"(
+.visible .entry sk(.param .u64 out, .param .u32 n)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<6>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 16;
+    mov.u32 %r2, 0;
+    @%p1 mov.u32 %r2, 1;
+    @%p1 sin.approx.f32 %f1, %f1;
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    exit;
+}
+)";
+
+/** Run a one-warp kernel with a configurable instrumentation hook. */
+class HookTool : public NvbitTool
+{
+  public:
+    using Hook = std::function<void(CUcontext, CUfunction)>;
+
+    HookTool(const std::string &dev_ptx, Hook hook)
+        : hook_(std::move(hook))
+    {
+        if (!dev_ptx.empty())
+            exportDeviceFunctions(dev_ptx);
+    }
+
+    void
+    nvbit_at_cuda_driver_call(CUcontext ctx, bool is_exit,
+                              CallbackId cbid, const char *,
+                              void *params, CUresult *) override
+    {
+        if (cbid != CallbackId::cuLaunchKernel || is_exit)
+            return;
+        auto *p = static_cast<cuLaunchKernel_params *>(params);
+        if (seen_.insert(p->f).second)
+            hook_(ctx, p->f);
+    }
+
+  private:
+    Hook hook_;
+    std::set<CUfunction> seen_;
+};
+
+std::vector<uint32_t>
+launchSimple(uint32_t *n_out = nullptr)
+{
+    checkCu(cuInit(0), "cuInit");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    checkCu(cuModuleLoadData(&mod, kSimpleKernel, 0), "load");
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "sk"), "get");
+    CUdeviceptr out;
+    checkCu(cuMemAlloc(&out, 32 * 4), "alloc");
+    uint32_t n = 4242;
+    if (n_out)
+        *n_out = n;
+    void *params[] = {&out, &n};
+    checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr, params,
+                           nullptr),
+            "launch");
+    std::vector<uint32_t> res(32);
+    checkCu(cuMemcpyDtoH(res.data(), out, 32 * 4), "d2h");
+    return res;
+}
+
+class Core2Test : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetDriver(); }
+    void TearDown() override { resetDriver(); }
+};
+
+// --- Both families: HAL portability ---------------------------------------
+
+class FamilyTest : public ::testing::TestWithParam<isa::ArchFamily>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetDriver();
+        sim::GpuConfig cfg;
+        cfg.family = GetParam();
+        setDeviceConfig(cfg);
+    }
+    void TearDown() override { resetDriver(); }
+};
+
+TEST_P(FamilyTest, InstrumentationWorksOnBothEncodings)
+{
+    // Native oracle.
+    uint64_t oracle = 0;
+    {
+        NvbitTool passive;
+        runApp(passive, [&] {
+            auto out = launchSimple();
+            oracle = lastLaunchStats().thread_instrs;
+            for (uint32_t i = 0; i < 32; ++i)
+                EXPECT_EQ(out[i], i < 16 ? 1u : 0u);
+        });
+    }
+    resetDriver();
+    sim::GpuConfig cfg;
+    cfg.family = GetParam();
+    setDeviceConfig(cfg);
+
+    tools::InstrCountTool tool;
+    uint64_t counted = 0;
+    runApp(tool, [&] {
+        auto out = launchSimple();
+        counted = tool.threadInstrs();
+        for (uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(out[i], i < 16 ? 1u : 0u);
+    });
+    EXPECT_EQ(counted, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, FamilyTest,
+                         ::testing::Values(isa::ArchFamily::SM5x,
+                                           isa::ArchFamily::SM7x),
+                         [](const auto &info) {
+                             return isa::archFamilyName(info.param);
+                         });
+
+// --- Multiple injections at the same location ------------------------------
+
+TEST_F(Core2Test, MultipleInjectionsExecuteInInsertionOrder)
+{
+    const char *ptx = R"(
+.global .u64 ord;
+.func ord_a()
+{
+    .reg .u32 %x<6>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    mov.u64 %rd1, ord;
+    ld.global.u64 %rd2, [%rd1];
+    mov.u64 %rd3, 3;
+    mul.lo.u64 %rd2, %rd2, %rd3;
+    mov.u64 %rd3, 1;
+    add.u64 %rd2, %rd2, %rd3;
+    st.global.u64 [%rd1], %rd2;
+SKIP:
+    ret;
+}
+.func ord_b()
+{
+    .reg .u32 %x<6>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    mov.u64 %rd1, ord;
+    ld.global.u64 %rd2, [%rd1];
+    mov.u64 %rd3, 5;
+    mul.lo.u64 %rd2, %rd2, %rd3;
+    mov.u64 %rd3, 2;
+    add.u64 %rd2, %rd2, %rd3;
+    st.global.u64 [%rd1], %rd2;
+SKIP:
+    ret;
+}
+)";
+    HookTool tool(ptx, [](CUcontext ctx, CUfunction f) {
+        Instr *first = nvbit_get_instrs(ctx, f)[0];
+        nvbit_insert_call(first, "ord_a", IPOINT_BEFORE);
+        nvbit_insert_call(first, "ord_b", IPOINT_BEFORE);
+    });
+    uint64_t ord = 0;
+    runApp(tool, [&] {
+        uint64_t one = 1;
+        // Write the seed after the context exists; tool globals are
+        // loaded at context initialisation.
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        nvbit_write_tool_global("ord", &one, sizeof(one));
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kSimpleKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "sk"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 32 * 4), "alloc");
+        uint32_t n = 1;
+        void *params[] = {&out, &n};
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                               params, nullptr),
+                "launch");
+        nvbit_read_tool_global("ord", &ord, sizeof(ord));
+    });
+    // a then b: ((1*3+1)*5)+2 = 22; the reverse would give 10.
+    EXPECT_EQ(ord, 22u);
+}
+
+// --- IPOINT_AFTER -----------------------------------------------------------
+
+TEST_F(Core2Test, BeforeAndAfterInjectionsBothFire)
+{
+    const char *ptx = R"(
+.global .u64 hits;
+.func bump()
+{
+    .reg .u32 %x<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    mov.u64 %rd1, hits;
+    mov.u64 %rd2, 1;
+    atom.global.add.u64 %rd3, [%rd1], %rd2;
+SKIP:
+    ret;
+}
+)";
+    HookTool tool(ptx, [](CUcontext ctx, CUfunction f) {
+        Instr *first = nvbit_get_instrs(ctx, f)[0];
+        nvbit_insert_call(first, "bump", IPOINT_BEFORE);
+        nvbit_insert_call(first, "bump", IPOINT_AFTER);
+    });
+    uint64_t hits = 0;
+    runApp(tool, [&] {
+        auto out = launchSimple();
+        for (uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(out[i], i < 16 ? 1u : 0u);
+        nvbit_read_tool_global("hits", &hits, sizeof(hits));
+    });
+    EXPECT_EQ(hits, 2u);
+}
+
+// --- Device API: permanent predicate modification ---------------------------
+
+TEST_F(Core2Test, WritePredPermanentlyFlipsGuardOutcome)
+{
+    const char *ptx = R"(
+.func flip_pred(.param .u32 pnum)
+{
+    .reg .u32 %x<6>;
+    ld.param.u32 %x1, [pnum];
+    call (%x2), nvbit_read_pred, (%x1);
+    xor.b32 %x2, %x2, 1;
+    call nvbit_write_pred, (%x1, %x2);
+    ret;
+}
+)";
+    HookTool tool(ptx, [](CUcontext ctx, CUfunction f) {
+        for (Instr *i : nvbit_get_instrs(ctx, f)) {
+            if (std::string(i->getOpcode()).rfind("ISETP", 0) != 0)
+                continue;
+            // Operand 0 of SETP is the destination predicate.
+            ASSERT_EQ(i->getOperand(0)->type, Instr::PRED);
+            nvbit_insert_call(i, "flip_pred", IPOINT_AFTER);
+            nvbit_add_call_arg_imm32(
+                i, static_cast<uint32_t>(i->getOperand(0)->val[0]));
+        }
+    });
+    runApp(tool, [&] {
+        auto out = launchSimple();
+        // The guard was inverted right after it was computed.
+        for (uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(out[i], i < 16 ? 0u : 1u) << i;
+    });
+}
+
+// --- Argument kinds: cbank, imm64, active mask ------------------------------
+
+TEST_F(Core2Test, CbankArgumentDeliversKernelParameter)
+{
+    HookTool tool(kStore2Ptx, [](CUcontext ctx, CUfunction f) {
+        Instr *first = nvbit_get_instrs(ctx, f)[0];
+        nvbit_insert_call(first, "store2", IPOINT_BEFORE);
+        // Parameter 'n' lives in constant bank 0 at offset 8.
+        nvbit_add_call_arg_cbank_val(first, 0, 8);
+        nvbit_add_call_arg_imm32(first, 7);
+    });
+    uint64_t a = 0, b = 0;
+    uint32_t n = 0;
+    runApp(tool, [&] {
+        launchSimple(&n);
+        nvbit_read_tool_global("g_a", &a, sizeof(a));
+        nvbit_read_tool_global("g_b", &b, sizeof(b));
+    });
+    EXPECT_EQ(a, n);
+    EXPECT_EQ(b, 7u);
+}
+
+TEST_F(Core2Test, Imm64ArgumentDeliversBothHalves)
+{
+    const char *ptx = R"(
+.global .u64 g_lo;
+.global .u64 g_hi;
+.func store64(.param .u64 v)
+{
+    .reg .u32 %x<8>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    ld.param.u64 %rd1, [v];
+    mov.u64 %rd2, g_lo;
+    st.global.u64 [%rd2], %rd1;
+    shr.u64 %rd3, %rd1, 32;
+    mov.u64 %rd2, g_hi;
+    st.global.u64 [%rd2], %rd3;
+SKIP:
+    ret;
+}
+)";
+    HookTool tool(ptx, [](CUcontext ctx, CUfunction f) {
+        Instr *first = nvbit_get_instrs(ctx, f)[0];
+        nvbit_insert_call(first, "store64", IPOINT_BEFORE);
+        nvbit_add_call_arg_imm64(first, 0xDEADBEEFCAFEBABEull);
+    });
+    uint64_t lo = 0, hi = 0;
+    runApp(tool, [&] {
+        launchSimple();
+        nvbit_read_tool_global("g_lo", &lo, sizeof(lo));
+        nvbit_read_tool_global("g_hi", &hi, sizeof(hi));
+    });
+    EXPECT_EQ(lo, 0xDEADBEEFCAFEBABEull);
+    EXPECT_EQ(hi, 0xDEADBEEFull);
+}
+
+TEST_F(Core2Test, ActiveMaskArgumentReflectsDivergence)
+{
+    HookTool tool(kStore2Ptx, [](CUcontext ctx, CUfunction f) {
+        for (Instr *i : nvbit_get_instrs(ctx, f)) {
+            // The MUFU.SIN is guarded by tid < 16: with min-PC
+            // scheduling all 32 threads stay converged and the
+            // trampoline's active mask is the full warp; the guard
+            // predicate selects who executes the original.
+            if (std::string(i->getOpcode()).rfind("MUFU", 0) != 0)
+                continue;
+            nvbit_insert_call(i, "store2", IPOINT_BEFORE);
+            nvbit_add_call_arg_active_mask(i);
+            nvbit_add_call_arg_guard_pred_val(i);
+        }
+    });
+    uint64_t mask = 0;
+    runApp(tool, [&] {
+        launchSimple();
+        nvbit_read_tool_global("g_a", &mask, sizeof(mask));
+    });
+    EXPECT_EQ(mask, 0xFFFFFFFFull);
+}
+
+// --- Control-flow relocation: instrument only branches in a loop -----------
+
+TEST_F(Core2Test, RelocatedLoopBranchesStillIterateCorrectly)
+{
+    const char *loop_kernel = R"(
+.visible .entry lk(.param .u64 out, .param .u32 n)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, 0;
+    mov.u32 %r3, 0;
+LOOP:
+    add.u32 %r3, %r3, %r2;
+    add.u32 %r2, %r2, 1;
+    ld.param.u32 %r4, [n];
+    setp.lt.u32 %p1, %r2, %r4;
+    @%p1 bra LOOP;
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r3;
+    exit;
+}
+)";
+    const char *count_ptx = R"(
+.global .u64 bcount;
+.func bump()
+{
+    .reg .u32 %x<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    mov.u64 %rd1, bcount;
+    mov.u64 %rd2, 1;
+    atom.global.add.u64 %rd3, [%rd1], %rd2;
+SKIP:
+    ret;
+}
+)";
+    HookTool tool(count_ptx, [](CUcontext ctx, CUfunction f) {
+        for (Instr *i : nvbit_get_instrs(ctx, f)) {
+            // Instrument exactly the relative branches: their
+            // relocated copies inside trampolines must have fixed-up
+            // offsets to keep the loop working.
+            if (std::string(i->getOpcode()).rfind("BRA", 0) == 0) {
+                nvbit_insert_call(i, "bump", IPOINT_BEFORE);
+            }
+        }
+    });
+    uint64_t bcount = 0;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, loop_kernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "lk"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 32 * 4), "alloc");
+        uint32_t n = 10;
+        void *params[] = {&out, &n};
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                               params, nullptr),
+                "launch");
+        uint32_t res[32];
+        checkCu(cuMemcpyDtoH(res, out, sizeof(res)), "d2h");
+        for (int i = 0; i < 32; ++i)
+            EXPECT_EQ(res[i], 45u); // 0+1+...+9
+        nvbit_read_tool_global("bcount", &bcount, sizeof(bcount));
+    });
+    EXPECT_EQ(bcount, 10u); // the loop branch issued 10 times
+}
+
+// --- Control API: reset ------------------------------------------------------
+
+TEST_F(Core2Test, ResetInstrumentedRestoresOriginalBehaviour)
+{
+    tools::InstrCountTool tool;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kSimpleKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "sk"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 32 * 4), "alloc");
+        uint32_t n = 1;
+        void *params[] = {&out, &n};
+        auto go = [&] {
+            checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                                   params, nullptr),
+                    "launch");
+        };
+        go(); // instrumented at first launch
+        uint64_t after1 = tool.threadInstrs();
+        EXPECT_GT(after1, 0u);
+
+        nvbit_reset_instrumented(ctx, fn);
+        go(); // original code: no counting
+        EXPECT_EQ(tool.threadInstrs(), after1);
+
+        // Verify results are still correct after the reset.
+        uint32_t res[32];
+        checkCu(cuMemcpyDtoH(res, out, sizeof(res)), "d2h");
+        for (uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(res[i], i < 16 ? 1u : 0u);
+    });
+}
+
+// --- Indirect control flow: basic-block fallback -----------------------------
+
+TEST_F(Core2Test, IndirectBranchFallsBackToFlatBasicBlockView)
+{
+    // Hand-assemble a function containing a (never-taken) BRX, which
+    // cannot come out of the PTX compiler, and ship it as a binary
+    // module image.
+    ptx::CompiledModule cm;
+    cm.family = isa::ArchFamily::SM5x;
+    ptx::CompiledFunction f;
+    f.name = "icf";
+    f.is_entry = true;
+    f.num_regs = 8;
+    f.code.push_back(isa::makeMovImm(4, 0));
+    isa::Instruction setp;
+    setp.op = isa::Opcode::ISETP;
+    setp.mod = isa::modSetSetpDType(
+        isa::modSetCmp(isa::kModSetpImm, isa::CmpOp::NE),
+        isa::DType::U32);
+    setp.rd = 0;
+    setp.ra = 4;
+    setp.imm = 0;
+    f.code.push_back(setp);
+    isa::Instruction brx = isa::makeBrx(4);
+    brx.pred = 0; // @P0: never true
+    f.code.push_back(brx);
+    f.code.push_back(isa::makeMovImm(5, 1));
+    f.code.push_back(isa::makeExit());
+    cm.functions.push_back(std::move(f));
+    std::vector<uint8_t> image = cudrv::serializeModule(cm);
+
+    bool checked = false;
+    HookTool tool("", [&](CUcontext ctx, CUfunction fn) {
+        auto blocks = nvbit_get_basic_blocks(ctx, fn);
+        ASSERT_EQ(blocks.size(), 1u); // flat fallback, per the paper
+        EXPECT_EQ(blocks[0].size(), 5u);
+        checked = true;
+    });
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, image.data(), image.size()),
+                "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "icf"), "get");
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                               nullptr, nullptr),
+                "launch");
+    });
+    EXPECT_TRUE(checked);
+}
+
+// --- Pre-compiled library instrumentation ------------------------------------
+
+TEST_F(Core2Test, InstrumentsClosedLibraryKernelsCorrectly)
+{
+    tools::InstrCountTool tool;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        accel::SimBlas blas;
+        const uint32_t m = 32, n = 24, k = 40;
+        std::vector<float> a(m * k, 0.5f), b(k * n, 2.0f);
+        CUdeviceptr da, db, dc;
+        checkCu(cuMemAlloc(&da, m * k * 4), "a");
+        checkCu(cuMemAlloc(&db, k * n * 4), "a");
+        checkCu(cuMemAlloc(&dc, m * n * 4), "a");
+        checkCu(cuMemcpyHtoD(da, a.data(), m * k * 4), "h");
+        checkCu(cuMemcpyHtoD(db, b.data(), k * n * 4), "h");
+        blas.sgemm(da, db, dc, m, n, k);
+        std::vector<float> c(m * n);
+        checkCu(cuMemcpyDtoH(c.data(), dc, m * n * 4), "d");
+        // Numerics survive instrumentation of the closed binary
+        // (shared-memory tiles, barriers and loops included).
+        for (float v : c)
+            ASSERT_FLOAT_EQ(v, 0.5f * 2.0f * static_cast<float>(k));
+        EXPECT_GT(tool.threadInstrs(), 10000u);
+    });
+}
+
+} // namespace
+} // namespace nvbit
+
+namespace nvbit {
+namespace {
+
+TEST_F(Core2Test, LineInfoSurvivesToTheInstrApi)
+{
+    const char *src = R"(
+.file 1 "app.cu"
+.visible .entry lk()
+{
+    .reg .u32 %r<3>;
+    .loc 1 42 0
+    mov.u32 %r1, 5;
+    .loc 1 43 0
+    add.u32 %r2, %r1, 1;
+    exit;
+}
+)";
+    std::string file0;
+    uint32_t line0 = 0;
+    bool any = false;
+    HookTool tool("", [&](CUcontext ctx, CUfunction f) {
+        for (Instr *i : nvbit_get_instrs(ctx, f)) {
+            const char *file = nullptr;
+            uint32_t line = 0;
+            if (i->getLineInfo(&file, &line)) {
+                if (!any) {
+                    file0 = file;
+                    line0 = line;
+                }
+                any = true;
+            }
+        }
+    });
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, src, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "lk"), "get");
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                               nullptr, nullptr),
+                "launch");
+    });
+    EXPECT_TRUE(any);
+    EXPECT_EQ(file0, "app.cu");
+    EXPECT_EQ(line0, 42u);
+}
+
+TEST_F(Core2Test, ContextCallbacksFire)
+{
+    struct CtxTool : NvbitTool {
+        int inits = 0, terms = 0;
+        void nvbit_at_ctx_init(CUcontext) override { ++inits; }
+        void nvbit_at_ctx_term(CUcontext) override { ++terms; }
+    } tool;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        checkCu(cuCtxDestroy(ctx), "dtor");
+    });
+    EXPECT_EQ(tool.inits, 1);
+    EXPECT_EQ(tool.terms, 1);
+}
+
+} // namespace
+} // namespace nvbit

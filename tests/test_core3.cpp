@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Third wave of core/simulator tests: incremental re-instrumentation
+ * (the dirty-regeneration path), barriers with early-exited threads,
+ * result determinism across device configurations, and compiler error
+ * paths around calls.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "ptx/compiler.hpp"
+#include "tools/instr_count.hpp"
+
+namespace nvbit {
+namespace {
+
+using namespace cudrv;
+
+const char *kCounterToolPtx = R"(
+.global .u64 hits;
+.func bump3()
+{
+    .reg .u32 %x<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    vote.ballot.b32 %x1, 1;
+    mov.u32 %x2, %laneid;
+    mov.u32 %x3, 1;
+    shl.b32 %x3, %x3, %x2;
+    sub.u32 %x3, %x3, 1;
+    and.b32 %x3, %x1, %x3;
+    setp.ne.u32 %p1, %x3, 0;
+    @%p1 bra SKIP;
+    mov.u64 %rd1, hits;
+    mov.u64 %rd2, 1;
+    atom.global.add.u64 %rd3, [%rd1], %rd2;
+SKIP:
+    ret;
+}
+)";
+
+const char *kTinyKernel = R"(
+.visible .entry tk(.param .u64 out)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    mov.u32 %r1, %tid.x;
+    add.u32 %r2, %r1, 1;
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    exit;
+}
+)";
+
+class Core3Test : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetDriver(); }
+    void TearDown() override { resetDriver(); }
+};
+
+TEST_F(Core3Test, AddingInstrumentationBetweenLaunchesRegenerates)
+{
+    // Launch 1: only instruction 0 instrumented (1 hit).
+    // Launch 2: instructions 0 and 1 instrumented (2 more hits).
+    struct GrowTool : NvbitTool {
+        GrowTool() { exportDeviceFunctions(kCounterToolPtx); }
+        int launches = 0;
+        void
+        nvbit_at_cuda_driver_call(CUcontext ctx, bool is_exit,
+                                  CallbackId cbid, const char *,
+                                  void *params, CUresult *) override
+        {
+            if (cbid != CallbackId::cuLaunchKernel || is_exit)
+                return;
+            auto *p = static_cast<cuLaunchKernel_params *>(params);
+            const auto &instrs = nvbit_get_instrs(ctx, p->f);
+            if (launches == 0) {
+                nvbit_insert_call(instrs[0], "bump3", IPOINT_BEFORE);
+            } else if (launches == 1) {
+                // The function is already generated; this marks it
+                // dirty and forces regeneration with both sites.
+                nvbit_insert_call(instrs[1], "bump3", IPOINT_BEFORE);
+            }
+            ++launches;
+        }
+    } tool;
+
+    uint64_t after1 = 0, after2 = 0;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kTinyKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "tk"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 32 * 4), "alloc");
+        void *params[] = {&out};
+        auto go = [&] {
+            checkCu(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr,
+                                   params, nullptr),
+                    "launch");
+        };
+        go();
+        nvbit_read_tool_global("hits", &after1, sizeof(after1));
+        go();
+        nvbit_read_tool_global("hits", &after2, sizeof(after2));
+
+        // Results stay correct through the regeneration.
+        uint32_t res[32];
+        checkCu(cuMemcpyDtoH(res, out, sizeof(res)), "d2h");
+        for (uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(res[i], i + 1);
+    });
+    EXPECT_EQ(after1, 1u);
+    EXPECT_EQ(after2, 1u + 2u);
+}
+
+TEST_F(Core3Test, BarrierCompletesWhenSomeThreadsExitedEarly)
+{
+    const char *src = R"(
+.visible .entry bk(.param .u64 out)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    .shared .u32 flag;
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 32;
+    @%p1 bra WAITERS;
+    exit;                       // the whole second warp leaves
+WAITERS:
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra SYNC;
+    mov.u32 %r2, 99;
+    st.shared.u32 [flag], %r2;
+SYNC:
+    bar.sync 0;
+    ld.shared.u32 %r3, [flag];
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r3;
+    exit;
+}
+)";
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    ASSERT_EQ(cuModuleLoadData(&mod, src, 0), CUDA_SUCCESS);
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "bk"), "get");
+    CUdeviceptr out;
+    checkCu(cuMemAlloc(&out, 64 * 4), "alloc");
+    void *params[] = {&out};
+    ASSERT_EQ(cuLaunchKernel(fn, 1, 1, 1, 64, 1, 1, 0, nullptr, params,
+                             nullptr),
+              CUDA_SUCCESS);
+    uint32_t res[32];
+    checkCu(cuMemcpyDtoH(res, out, 32 * 4), "d2h");
+    for (uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(res[i], 99u) << i;
+}
+
+TEST_F(Core3Test, ResultsIndependentOfSmCountAndCaches)
+{
+    // Functional results must not depend on the device configuration.
+    auto run = [&](unsigned sms) {
+        resetDriver();
+        sim::GpuConfig cfg;
+        cfg.num_sms = sms;
+        cfg.l1 = {16 * 1024, 2, 128};
+        setDeviceConfig(cfg);
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kTinyKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "tk"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 1024 * 4), "alloc");
+        void *params[] = {&out};
+        checkCu(cuLaunchKernel(fn, 8, 1, 1, 128, 1, 1, 0, nullptr,
+                               params, nullptr),
+                "launch");
+        std::vector<uint32_t> res(1024);
+        checkCu(cuMemcpyDtoH(res.data(), out, 1024 * 4), "d2h");
+        uint64_t instrs = lastLaunchStats().thread_instrs;
+        resetDriver();
+        return std::pair{res, instrs};
+    };
+    auto [r1, i1] = run(1);
+    auto [r16, i16] = run(16);
+    EXPECT_EQ(r1, r16);
+    EXPECT_EQ(i1, i16); // instruction counts are config-independent
+}
+
+// --- Compiler error paths around calls --------------------------------------
+
+TEST_F(Core3Test, StParamNotBeforeRetIsRejected)
+{
+    const char *src = R"(
+.func (.param .u32 out) f(.param .u32 x)
+{
+    .reg .u32 %a<3>;
+    ld.param.u32 %a1, [x];
+    st.param.u32 [out], %a1;
+    add.u32 %a2, %a1, 1;
+    ret;
+}
+)";
+    EXPECT_THROW(ptx::compile(src, isa::ArchFamily::SM5x),
+                 ptx::CompileError);
+}
+
+TEST_F(Core3Test, TooManyCallArgumentsRejected)
+{
+    std::string src = ".func callee(";
+    for (int i = 0; i < 13; ++i)
+        src += std::string(i ? ", " : "") + ".param .u32 a" +
+               std::to_string(i);
+    src += ") { ret; }\n";
+    EXPECT_THROW(ptx::compile(src, isa::ArchFamily::SM5x),
+                 ptx::CompileError);
+}
+
+TEST_F(Core3Test, PredicatedCallRejectedWithHint)
+{
+    const char *src = R"(
+.func g() { ret; }
+.visible .entry k()
+{
+    .reg .u32 %r<3>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 call g;
+    exit;
+}
+)";
+    try {
+        ptx::compile(src, isa::ArchFamily::SM5x);
+        FAIL() << "expected CompileError";
+    } catch (const ptx::CompileError &e) {
+        EXPECT_NE(e.message.find("branch around"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace nvbit
+
+namespace nvbit {
+namespace {
+
+TEST_F(Core3Test, FullRegisterSaveAblationPreservesSemantics)
+{
+    // The ablation path (largest save bucket everywhere) must be just
+    // as correct as the analysed minimum.
+    uint64_t counts[2];
+    for (int full = 0; full < 2; ++full) {
+        resetDriver();
+        nvbit_set_save_all_registers(full == 1);
+        tools::InstrCountTool tool;
+        runApp(tool, [&] {
+            checkCu(cuInit(0), "init");
+            CUcontext ctx;
+            checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+            CUmodule mod;
+            checkCu(cuModuleLoadData(&mod, kTinyKernel, 0), "load");
+            CUfunction fn;
+            checkCu(cuModuleGetFunction(&fn, mod, "tk"), "get");
+            CUdeviceptr out;
+            checkCu(cuMemAlloc(&out, 64 * 4), "alloc");
+            void *params[] = {&out};
+            checkCu(cuLaunchKernel(fn, 2, 1, 1, 32, 1, 1, 0, nullptr,
+                                   params, nullptr),
+                    "launch");
+            // tk indexes by tid.x only: both blocks write slots 0..31.
+            uint32_t res[32];
+            checkCu(cuMemcpyDtoH(res, out, sizeof(res)), "d2h");
+            for (uint32_t i = 0; i < 32; ++i)
+                EXPECT_EQ(res[i], i + 1);
+            counts[full] = tool.threadInstrs();
+        });
+        nvbit_set_save_all_registers(false);
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+    EXPECT_GT(counts[0], 0u);
+}
+
+} // namespace
+} // namespace nvbit

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: encodings, disassembly, ABI helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "isa/abi.hpp"
+#include "isa/arch.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcodes.hpp"
+
+namespace nvbit::isa {
+namespace {
+
+class EncodingTest : public ::testing::TestWithParam<ArchFamily>
+{};
+
+TEST_P(EncodingTest, RoundTripSimpleAlu)
+{
+    Instruction in = makeIAddReg(5, 6, 7);
+    uint8_t buf[16] = {};
+    encode(GetParam(), in, buf);
+    Instruction out;
+    ASSERT_TRUE(decode(GetParam(), buf, out));
+    EXPECT_EQ(in, out);
+}
+
+TEST_P(EncodingTest, RoundTripPredicated)
+{
+    Instruction in = makeBra(-64, 3, true);
+    uint8_t buf[16] = {};
+    encode(GetParam(), in, buf);
+    Instruction out;
+    ASSERT_TRUE(decode(GetParam(), buf, out));
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(out.pred, 3);
+    EXPECT_TRUE(out.pred_neg);
+    EXPECT_EQ(out.imm, -64);
+}
+
+TEST_P(EncodingTest, RoundTripMemory)
+{
+    Instruction in = makeLoad(Opcode::LDG, 4, 8, 0x40, true);
+    uint8_t buf[16] = {};
+    encode(GetParam(), in, buf);
+    Instruction out;
+    ASSERT_TRUE(decode(GetParam(), buf, out));
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(out.memAccessBytes(), 8u);
+    EXPECT_EQ(out.memSpace(), MemSpace::GLOBAL);
+    EXPECT_TRUE(out.isLoad());
+    EXPECT_FALSE(out.isStore());
+}
+
+TEST_P(EncodingTest, RoundTripAllOpcodesDefaultFields)
+{
+    // Every opcode must survive an encode/decode cycle with benign
+    // field values.
+    for (unsigned o = 0; o < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++o) {
+        Instruction in;
+        in.op = static_cast<Opcode>(o);
+        in.rd = 10;
+        in.ra = 12;
+        in.rb = 14;
+        if (in.info().format == OpFormat::Alu3)
+            in.rc = 16;
+        if (in.op == Opcode::ATOM)
+            in.mod = modSetAtomOp(0, AtomOp::ADD);
+        uint8_t buf[16] = {};
+        encode(GetParam(), in, buf);
+        Instruction out;
+        ASSERT_TRUE(decode(GetParam(), buf, out))
+            << "opcode " << opcodeName(in.op);
+        EXPECT_EQ(in, out) << "opcode " << opcodeName(in.op);
+    }
+}
+
+TEST_P(EncodingTest, RoundTripAtomCasCarriesRc)
+{
+    Instruction in;
+    in.op = Opcode::ATOM;
+    in.mod = modSetAtomDType(modSetAtomOp(0, AtomOp::CAS), DType::U32);
+    in.rd = 4;
+    in.ra = 6;
+    in.rb = 8;
+    in.rc = 9;
+    uint8_t buf[16] = {};
+    encode(GetParam(), in, buf);
+    Instruction out;
+    ASSERT_TRUE(decode(GetParam(), buf, out));
+    EXPECT_EQ(in, out);
+}
+
+TEST_P(EncodingTest, RoundTripImmediateSweep)
+{
+    // Property sweep: immediates across the representable range.
+    for (int64_t imm : {-(1ll << 23), -4097ll, -1ll, 0ll, 1ll, 4096ll,
+                        (1ll << 23) - 1}) {
+        Instruction in = makeMovImm(3, static_cast<int32_t>(imm));
+        uint8_t buf[16] = {};
+        encode(GetParam(), in, buf);
+        Instruction out;
+        ASSERT_TRUE(decode(GetParam(), buf, out));
+        EXPECT_EQ(out.imm, imm);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, EncodingTest,
+                         ::testing::Values(ArchFamily::SM5x,
+                                           ArchFamily::SM7x),
+                         [](const auto &info) {
+                             return archFamilyName(info.param);
+                         });
+
+TEST(EncodingLimits, SM5xImmediateOverflowNotEncodable)
+{
+    Instruction in = makeBra(1ll << 25);
+    EXPECT_FALSE(encodable(ArchFamily::SM5x, in));
+    EXPECT_TRUE(encodable(ArchFamily::SM7x, in));
+}
+
+TEST(EncodingLimits, InstrBytesPerFamily)
+{
+    EXPECT_EQ(instrBytes(ArchFamily::SM5x), 8u);
+    EXPECT_EQ(instrBytes(ArchFamily::SM7x), 16u);
+}
+
+TEST(Disasm, BasicFormats)
+{
+    EXPECT_EQ(makeIAddReg(4, 5, 6).toString(), "IADD.U32 R4, R5, R6 ;");
+    EXPECT_EQ(makeMovImm(3, -16).toString(), "MOV R3, -0x10 ;");
+    EXPECT_EQ(makeLoad(Opcode::LDG, 4, 8, 16, true).toString(),
+              "LDG.64 R4, [R8+0x10] ;");
+    EXPECT_EQ(makeBra(-8, 0, true).toString(), "@!P0 BRA -0x8 ;");
+    EXPECT_EQ(makeExit().toString(), "EXIT ;");
+    EXPECT_EQ(makeS2R(7, SpecialReg::TID_X).toString(),
+              "S2R R7, SR_TID.X ;");
+}
+
+TEST(Disasm, StoreAndAtomic)
+{
+    EXPECT_EQ(makeStore(Opcode::STS, 15, 0, 8).toString(),
+              "STS [R15], R8 ;");
+    Instruction atom;
+    atom.op = Opcode::ATOM;
+    atom.mod = modSetAtomDType(modSetAtomOp(0, AtomOp::ADD), DType::F32);
+    atom.rd = kRegZ;
+    atom.ra = 6;
+    atom.rb = 9;
+    EXPECT_EQ(atom.toString(), "ATOM.ADD.F32 RZ, [R6], R9 ;");
+}
+
+TEST(ControlFlowProperties, Classification)
+{
+    EXPECT_TRUE(makeBra(8).isRelativeBranch());
+    EXPECT_TRUE(makeBra(8).isControlFlow());
+    EXPECT_TRUE(makeJmpAbs(0x100).isControlFlow());
+    EXPECT_FALSE(makeJmpAbs(0x100).isRelativeBranch());
+    EXPECT_TRUE(makeBrx(5).isIndirectBranch());
+    EXPECT_FALSE(makeIAddReg(1, 2, 3).isControlFlow());
+    EXPECT_TRUE(makeExit().isControlFlow());
+}
+
+TEST(AbiArgs, Mixed32And64)
+{
+    auto slots = abiAssignArgRegs({false, true, false, true});
+    ASSERT_TRUE(slots.has_value());
+    ASSERT_EQ(slots->size(), 4u);
+    EXPECT_EQ((*slots)[0].reg, 4);   // R4
+    EXPECT_EQ((*slots)[1].reg, 6);   // R6:R7 (aligned pair)
+    EXPECT_EQ((*slots)[2].reg, 8);   // R8
+    EXPECT_EQ((*slots)[3].reg, 10);  // R10:R11
+}
+
+TEST(AbiArgs, OverflowRejected)
+{
+    std::vector<bool> many(13, false); // R4..R15 holds only 12
+    EXPECT_FALSE(abiAssignArgRegs(many).has_value());
+    std::vector<bool> exact(12, false);
+    EXPECT_TRUE(abiAssignArgRegs(exact).has_value());
+}
+
+TEST(MaxRegUsed, PairAwareness)
+{
+    EXPECT_EQ(maxRegUsed(makeIAddReg(4, 5, 6)), 6);
+    // LDG.64 R4, [R8]: destination pair R4:R5, base pair R8:R9.
+    EXPECT_EQ(maxRegUsed(makeLoad(Opcode::LDG, 4, 8, 0, true)), 9);
+    // RZ never counts.
+    EXPECT_EQ(maxRegUsed(makeMovReg(kRegZ, kRegZ)), -1);
+    EXPECT_EQ(maxRegUsed(makeExit()), -1);
+    // Immediate source suppresses the rb operand.
+    EXPECT_EQ(maxRegUsed(makeIAddImm(4, 5, 100)), 5);
+}
+
+TEST(MaxRegUsed, RegsUsedOverProgram)
+{
+    std::vector<Instruction> prog = {
+        makeMovImm(4, 1),
+        makeIAddReg(5, 4, 4),
+        makeLoad(Opcode::LDG, 6, 10, 0, true), // touches R11
+        makeExit(),
+    };
+    EXPECT_EQ(regsUsed(prog), 12u);
+}
+
+} // namespace
+} // namespace nvbit::isa
+
+#include "isa/assembler.hpp"
+
+namespace nvbit::isa {
+namespace {
+
+/** Canonical instruction corpus covering every operand format. */
+std::vector<Instruction>
+asmCorpus()
+{
+    std::vector<Instruction> v;
+    v.push_back(makeNop());
+    v.push_back(makeExit());
+    v.push_back(makeRet());
+    v.push_back(makeBar());
+    v.push_back(makeBra(-64, 2, true));
+    v.push_back(makeJmpAbs(0x4000));
+    v.push_back(makeCalAbs(0x1000));
+    v.push_back(makeBrx(9));
+    v.push_back(makeMovReg(4, 5));
+    v.push_back(makeMovImm(4, -1234));
+    v.push_back(makeLui(7, 0xBEEF));
+    v.push_back(makeIAddReg(4, 5, 6));
+    v.push_back(makeIAddImm(4, 5, -8));
+    v.push_back(makeLoad(Opcode::LDG, 4, 8, 0x40, true));
+    v.push_back(makeLoad(Opcode::LDS, 4, 8, 4));
+    v.push_back(makeStore(Opcode::STG, 8, -16, 5, true));
+    v.push_back(makeStore(Opcode::STL, 1, 8, 3));
+    v.push_back(makeLdc(6, 2, 0x10, true));
+    v.push_back(makeP2R(0));
+    v.push_back(makeR2P(0));
+    v.push_back(makeS2R(7, SpecialReg::LANEID));
+
+    Instruction setp;
+    setp.op = Opcode::ISETP;
+    setp.mod = modSetSetpDType(
+        modSetCmp(kModSetpImm, CmpOp::GE), DType::S32);
+    setp.rd = 3;
+    setp.ra = 4;
+    setp.imm = -5;
+    v.push_back(setp);
+
+    Instruction ffma;
+    ffma.op = Opcode::FFMA;
+    ffma.rd = 4;
+    ffma.ra = 5;
+    ffma.rb = 6;
+    ffma.rc = 7;
+    v.push_back(ffma);
+
+    Instruction sel;
+    sel.op = Opcode::SEL;
+    sel.mod = modSetSelPred(0, 3, true);
+    sel.rd = 4;
+    sel.ra = 5;
+    sel.rb = 6;
+    v.push_back(sel);
+
+    Instruction atom;
+    atom.op = Opcode::ATOM;
+    atom.mod = modSetAtomDType(modSetAtomOp(0, AtomOp::CAS),
+                               DType::U64);
+    atom.rd = 4;
+    atom.ra = 8;
+    atom.rb = 10;
+    atom.rc = 12;
+    v.push_back(atom);
+
+    Instruction vote;
+    vote.op = Opcode::VOTE;
+    vote.mod = modSetVotePred(modSetVoteMode(0, VoteMode::BALLOT), 2,
+                              false);
+    vote.rd = 6;
+    v.push_back(vote);
+
+    Instruction shfl;
+    shfl.op = Opcode::SHFL;
+    shfl.mod = modSetShflMode(kModShflImm, ShflMode::BFLY);
+    shfl.rd = 4;
+    shfl.ra = 5;
+    shfl.imm = 16;
+    v.push_back(shfl);
+
+    Instruction mufu;
+    mufu.op = Opcode::MUFU;
+    mufu.mod = modSetMufu(0, MufuOp::RSQ);
+    mufu.rd = 4;
+    mufu.ra = 5;
+    v.push_back(mufu);
+
+    Instruction proxy;
+    proxy.op = Opcode::PROXY;
+    proxy.rd = 4;
+    proxy.ra = 6;
+    proxy.imm = 32;
+    v.push_back(proxy);
+
+    return v;
+}
+
+TEST(Assembler, DisassemblyRoundTripsThroughTheAssembler)
+{
+    for (const Instruction &in : asmCorpus()) {
+        std::string text = in.toString();
+        auto back = assembleLine(text);
+        ASSERT_TRUE(back.has_value()) << text;
+        EXPECT_EQ(*back, in) << text << " -> " << back->toString();
+    }
+}
+
+TEST(Assembler, ListingWithCommentsAndBlanks)
+{
+    const char *listing = R"(
+// save the world
+IADD.U32 R4, R5, R6 ;
+@!P0 BRA -0x8 ;
+
+EXIT ;
+)";
+    std::string err;
+    auto prog = assembleListing(listing, &err);
+    ASSERT_TRUE(prog.has_value()) << err;
+    ASSERT_EQ(prog->size(), 3u);
+    EXPECT_EQ((*prog)[0], makeIAddReg(4, 5, 6));
+    EXPECT_EQ((*prog)[2], makeExit());
+}
+
+TEST(Assembler, RejectsMalformedInput)
+{
+    EXPECT_FALSE(assembleLine("FROB R1, R2 ;").has_value());
+    EXPECT_FALSE(assembleLine("IADD.U32 R4 ;").has_value());
+    EXPECT_FALSE(assembleLine("LDG.64 R4, R8 ;").has_value());
+    EXPECT_FALSE(assembleLine("JMP 0x3 ;").has_value()); // unaligned
+    EXPECT_FALSE(assembleLine("").has_value());
+}
+
+} // namespace
+} // namespace nvbit::isa

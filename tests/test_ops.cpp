@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Table-driven semantic tests for individual PTX operations: each case
+ * compiles a tiny kernel applying one operation elementwise and
+ * compares the device result against a host reference over a corpus of
+ * edge-case inputs (including NaN, overflow and sign boundaries).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "driver/api.hpp"
+#include "ptx/compiler.hpp"
+
+namespace nvbit {
+namespace {
+
+using namespace cudrv;
+
+float
+asF32(uint32_t b)
+{
+    float f;
+    std::memcpy(&f, &b, sizeof(f));
+    return f;
+}
+
+uint32_t
+asU32(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+struct OpCase {
+    const char *name;
+    const char *body; ///< PTX: %r1,%r2 inputs -> %r3 output
+    std::function<uint32_t(uint32_t, uint32_t)> host;
+    bool approx = false; ///< compare as floats with tolerance
+};
+
+const std::vector<uint32_t> kCorpus = {
+    0u,
+    1u,
+    2u,
+    31u,
+    32u,
+    0x7FFFFFFFu,
+    0x80000000u,
+    0xFFFFFFFFu,
+    0xDEADBEEFu,
+    asU32(0.0f),
+    asU32(-0.0f),
+    asU32(1.0f),
+    asU32(-1.5f),
+    asU32(123456.75f),
+    asU32(-0.00001f),
+    asU32(3.0e9f),
+    asU32(-3.0e9f),
+    asU32(std::numeric_limits<float>::quiet_NaN()),
+    asU32(std::numeric_limits<float>::infinity()),
+};
+
+std::vector<OpCase>
+cases()
+{
+    return {
+        {"min_u32", "min.u32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) { return std::min(a, b); }},
+        {"max_u32", "max.u32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) { return std::max(a, b); }},
+        {"min_s32", "min.s32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<uint32_t>(
+                 std::min(static_cast<int32_t>(a),
+                          static_cast<int32_t>(b)));
+         }},
+        {"max_s32", "max.s32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<uint32_t>(
+                 std::max(static_cast<int32_t>(a),
+                          static_cast<int32_t>(b)));
+         }},
+        {"shr_s32", "shr.s32 %r3, %r1, 5;",
+         [](uint32_t a, uint32_t) {
+             return static_cast<uint32_t>(static_cast<int32_t>(a) >> 5);
+         }},
+        {"shr_u32", "shr.u32 %r3, %r1, 5;",
+         [](uint32_t a, uint32_t) { return a >> 5; }},
+        {"not_b32", "not.b32 %r3, %r1;",
+         [](uint32_t a, uint32_t) { return ~a; }},
+        {"popc", "popc.b32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             return static_cast<uint32_t>(__builtin_popcount(a));
+         }},
+        {"neg_s32", "neg.s32 %r3, %r1;",
+         [](uint32_t a, uint32_t) { return 0u - a; }},
+        {"neg_f32", "neg.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) { return a ^ 0x80000000u; }},
+        {"abs_f32", "abs.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) { return a & 0x7FFFFFFFu; }},
+        {"selp",
+         "setp.lt.u32 %p1, %r1, %r2;\n    selp.b32 %r3, %r1, %r2, %p1;",
+         [](uint32_t a, uint32_t b) { return a < b ? a : b; }},
+        {"cvt_f32_s32", "cvt.f32.s32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             return asU32(static_cast<float>(static_cast<int32_t>(a)));
+         }},
+        {"cvt_f32_u32", "cvt.f32.u32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             return asU32(static_cast<float>(a));
+         }},
+        // f32 -> s32 with saturation (incl. NaN -> 0).
+        {"cvt_s32_f32", "cvt.rzi.s32.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             float f = asF32(a);
+             if (std::isnan(f))
+                 return 0u;
+             if (f >= 2147483647.0f)
+                 return 0x7FFFFFFFu;
+             if (f <= -2147483648.0f)
+                 return 0x80000000u;
+             return static_cast<uint32_t>(static_cast<int32_t>(f));
+         }},
+        {"cvt_u32_f32", "cvt.rzi.u32.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             float f = asF32(a);
+             if (std::isnan(f) || f <= 0.0f)
+                 return 0u;
+             if (f >= 4294967295.0f)
+                 return 0xFFFFFFFFu;
+             return static_cast<uint32_t>(f);
+         }},
+        {"fadd", "add.f32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(asF32(a) + asF32(b));
+         }},
+        {"fsub", "sub.f32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(asF32(a) + (-asF32(b)));
+         }},
+        {"fmul", "mul.f32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(asF32(a) * asF32(b));
+         }},
+        {"fma", "fma.rn.f32 %r3, %r1, %r2, %r1;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(std::fma(asF32(a), asF32(b), asF32(a)));
+         }},
+        // Compared as floats: the sign of a +/-0 result is
+        // unspecified for min/max (as on real GPUs).
+        {"fmin", "min.f32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(std::fmin(asF32(a), asF32(b)));
+         },
+         true},
+        {"fmax", "max.f32 %r3, %r1, %r2;",
+         [](uint32_t a, uint32_t b) {
+             return asU32(std::fmax(asF32(a), asF32(b)));
+         },
+         true},
+        {"rcp", "rcp.approx.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) { return asU32(1.0f / asF32(a)); },
+         true},
+        {"sqrt", "sqrt.approx.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             return asU32(std::sqrt(asF32(a)));
+         },
+         true},
+        {"ex2", "ex2.approx.f32 %r3, %r1;",
+         [](uint32_t a, uint32_t) {
+             return asU32(std::exp2(asF32(a)));
+         },
+         true},
+    };
+}
+
+class OpTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    void SetUp() override { resetDriver(); }
+    void TearDown() override { resetDriver(); }
+};
+
+TEST_P(OpTest, DeviceMatchesHost)
+{
+    const OpCase oc = cases()[GetParam()];
+
+    std::string ptx =
+        std::string(".visible .entry opk(.param .u64 in_a, "
+                    ".param .u64 in_b, .param .u64 out, .param .u32 n)\n"
+                    "{\n"
+                    "    .reg .u32 %r<8>;\n"
+                    "    .reg .u64 %rd<8>;\n"
+                    "    .reg .pred %p<3>;\n"
+                    "    mov.u32 %r0, %ctaid.x;\n"
+                    "    mov.u32 %r5, %ntid.x;\n"
+                    "    mad.lo.u32 %r4, %r0, %r5, %tid.x;\n"
+                    "    ld.param.u32 %r6, [n];\n"
+                    "    setp.ge.u32 %p2, %r4, %r6;\n"
+                    "    @%p2 bra DONE;\n"
+                    "    ld.param.u64 %rd1, [in_a];\n"
+                    "    mul.wide.u32 %rd2, %r4, 4;\n"
+                    "    add.u64 %rd3, %rd1, %rd2;\n"
+                    "    ld.global.u32 %r1, [%rd3];\n"
+                    "    ld.param.u64 %rd4, [in_b];\n"
+                    "    add.u64 %rd5, %rd4, %rd2;\n"
+                    "    ld.global.u32 %r2, [%rd5];\n    ") +
+        oc.body +
+        "\n    ld.param.u64 %rd6, [out];\n"
+        "    add.u64 %rd7, %rd6, %rd2;\n"
+        "    st.global.u32 [%rd7], %r3;\n"
+        "DONE:\n    exit;\n}\n";
+
+    // Build the all-pairs input corpus.
+    std::vector<uint32_t> a, b;
+    for (uint32_t x : kCorpus) {
+        for (uint32_t y : kCorpus) {
+            a.push_back(x);
+            b.push_back(y);
+        }
+    }
+    uint32_t n = static_cast<uint32_t>(a.size());
+
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    ASSERT_EQ(cuModuleLoadData(&mod, ptx.c_str(), ptx.size()),
+              CUDA_SUCCESS)
+        << ptx;
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "opk"), "get");
+    CUdeviceptr da, db, dout;
+    checkCu(cuMemAlloc(&da, n * 4), "a");
+    checkCu(cuMemAlloc(&db, n * 4), "a");
+    checkCu(cuMemAlloc(&dout, n * 4), "a");
+    checkCu(cuMemcpyHtoD(da, a.data(), n * 4), "h");
+    checkCu(cuMemcpyHtoD(db, b.data(), n * 4), "h");
+    void *params[] = {&da, &db, &dout, &n};
+    ASSERT_EQ(cuLaunchKernel(fn, (n + 127) / 128, 1, 1, 128, 1, 1, 0,
+                             nullptr, params, nullptr),
+              CUDA_SUCCESS);
+    std::vector<uint32_t> out(n);
+    checkCu(cuMemcpyDtoH(out.data(), dout, n * 4), "d");
+
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t expect = oc.host(a[i], b[i]);
+        if (oc.approx) {
+            float ef = asF32(expect), of = asF32(out[i]);
+            if (std::isnan(ef)) {
+                EXPECT_TRUE(std::isnan(of)) << oc.name << " case " << i;
+            } else if (std::isinf(ef)) {
+                EXPECT_EQ(std::isinf(of), std::isinf(ef))
+                    << oc.name << " case " << i;
+            } else {
+                EXPECT_NEAR(of, ef,
+                            std::abs(ef) * 1e-5f + 1e-30f)
+                    << oc.name << " case " << i;
+            }
+        } else {
+            uint32_t got = out[i];
+            // Normalise NaN payloads for float-producing ops.
+            float gf = asF32(got), ef2 = asF32(expect);
+            if (std::isnan(gf) && std::isnan(ef2))
+                continue;
+            ASSERT_EQ(got, expect)
+                << oc.name << " inputs 0x" << std::hex << a[i] << ", 0x"
+                << b[i];
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpTest,
+                         ::testing::Range<size_t>(0, cases().size()),
+                         [](const auto &info) {
+                             return cases()[info.param].name;
+                         });
+
+} // namespace
+} // namespace nvbit

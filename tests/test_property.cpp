@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Property-based tests:
+ *  - encode/decode round-trip over randomly generated instructions for
+ *    both encoding families;
+ *  - randomly generated straight-line integer programs compiled from
+ *    PTX and executed on the simulator must match a host interpreter
+ *    bit-for-bit (sweeps over seeds);
+ *  - recursion through the ABI (hardware return stack + caller-saved
+ *    spill-around-call).
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "driver/api.hpp"
+#include "isa/arch.hpp"
+#include "ptx/compiler.hpp"
+
+namespace nvbit {
+namespace {
+
+using namespace cudrv;
+using isa::ArchFamily;
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpFormat;
+
+// --- Encoding round-trip fuzz ----------------------------------------------
+
+Instruction
+randomInstruction(std::mt19937 &rng)
+{
+    auto r8 = [&] { return static_cast<uint8_t>(rng() % 256); };
+    Instruction in;
+    in.op = static_cast<Opcode>(
+        rng() % static_cast<unsigned>(Opcode::NumOpcodes));
+    in.pred = static_cast<uint8_t>(rng() % 8);
+    in.pred_neg = rng() % 2;
+    in.mod = static_cast<uint8_t>(rng() % 64);
+    const OpFormat fmt = in.info().format;
+
+    // Canonical field usage per format so the round-trip is exact.
+    switch (fmt) {
+      case OpFormat::Nullary:
+        break;
+      case OpFormat::Branch:
+        in.imm = static_cast<int32_t>(rng()) % (1 << 22);
+        break;
+      case OpFormat::JumpAbs:
+      case OpFormat::ReadSpec:
+      case OpFormat::LoadConst:
+        in.rd = (fmt == OpFormat::JumpAbs) ? 0 : r8();
+        in.imm = static_cast<int64_t>(rng() % (1u << 23));
+        break;
+      case OpFormat::BranchInd:
+        in.ra = r8();
+        break;
+      case OpFormat::Alu1:
+      case OpFormat::Alu2:
+      case OpFormat::Setp:
+      case OpFormat::Shfl:
+      case OpFormat::Vote:
+      case OpFormat::Match:
+      case OpFormat::PredMove:
+      case OpFormat::Proxy:
+      case OpFormat::Load:
+      case OpFormat::Store:
+        in.rd = r8();
+        in.ra = r8();
+        in.rb = r8();
+        in.imm = static_cast<int32_t>(rng()) % (1 << 22);
+        break;
+      case OpFormat::Alu3:
+        in.rd = r8();
+        in.ra = r8();
+        in.rb = r8();
+        in.rc = r8();
+        in.imm = 0;
+        break;
+      case OpFormat::AluSel:
+        in.rd = r8();
+        in.ra = r8();
+        in.rb = r8();
+        break;
+      case OpFormat::Atomic:
+        in.rd = r8();
+        in.ra = r8();
+        in.rb = r8();
+        if (isa::modGetAtomOp(in.mod) == isa::AtomOp::CAS) {
+            in.rc = r8();
+            in.imm = 0;
+        } else {
+            in.imm = static_cast<int32_t>(rng()) % (1 << 22);
+        }
+        break;
+    }
+    return in;
+}
+
+class EncodingFuzz : public ::testing::TestWithParam<ArchFamily>
+{};
+
+TEST_P(EncodingFuzz, FiveThousandRandomInstructionsRoundTrip)
+{
+    std::mt19937 rng(20260706);
+    uint8_t buf[16];
+    for (int i = 0; i < 5000; ++i) {
+        Instruction in = randomInstruction(rng);
+        if (!isa::encodable(GetParam(), in))
+            continue;
+        isa::encode(GetParam(), in, buf);
+        Instruction out;
+        ASSERT_TRUE(isa::decode(GetParam(), buf, out)) << i;
+        ASSERT_EQ(in, out) << "iteration " << i << ": "
+                           << in.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, EncodingFuzz,
+                         ::testing::Values(ArchFamily::SM5x,
+                                           ArchFamily::SM7x),
+                         [](const auto &info) {
+                             return archFamilyName(info.param);
+                         });
+
+// --- Random straight-line programs vs host interpreter ----------------------
+
+struct RandomProgram {
+    std::string ptx;
+    std::vector<std::function<void(std::array<uint32_t, 4> &)>> host;
+};
+
+/** Generate a random integer program over 4 variables v0..v3. */
+RandomProgram
+makeProgram(uint32_t seed, unsigned length)
+{
+    std::mt19937 rng(seed);
+    RandomProgram p;
+    std::ostringstream os;
+    os << ".visible .entry randk(.param .u64 out)\n{\n"
+       << "    .reg .u32 %v<4>;\n    .reg .u32 %r<6>;\n"
+       << "    .reg .u64 %rd<4>;\n    .reg .pred %p<2>;\n"
+       << "    mov.u32 %r1, %tid.x;\n"
+       << "    mov.u32 %v0, %r1;\n"
+       << "    mul.lo.u32 %v1, %r1, 2654435761;\n"
+       << "    xor.b32 %v2, %r1, 305419896;\n"
+       << "    mov.u32 %v3, 2166136261;\n";
+    p.host.push_back([](std::array<uint32_t, 4> &v) {
+        uint32_t tid = v[0];
+        v[1] = tid * 2654435761u;
+        v[2] = tid ^ 305419896u;
+        v[3] = 2166136261u;
+    });
+
+    for (unsigned i = 0; i < length; ++i) {
+        unsigned d = rng() % 4, a = rng() % 4, b = rng() % 4;
+        unsigned op = rng() % 10;
+        uint32_t imm = rng() % 1000;
+        unsigned sh = rng() % 31 + 1;
+        switch (op) {
+          case 0:
+            os << "    add.u32 %v" << d << ", %v" << a << ", %v" << b
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] + v[b]; });
+            break;
+          case 1:
+            os << "    sub.u32 %v" << d << ", %v" << a << ", %v" << b
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] - v[b]; });
+            break;
+          case 2:
+            os << "    mul.lo.u32 %v" << d << ", %v" << a << ", %v"
+               << b << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] * v[b]; });
+            break;
+          case 3:
+            os << "    and.b32 %v" << d << ", %v" << a << ", %v" << b
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] & v[b]; });
+            break;
+          case 4:
+            os << "    or.b32 %v" << d << ", %v" << a << ", %v" << b
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] | v[b]; });
+            break;
+          case 5:
+            os << "    xor.b32 %v" << d << ", %v" << a << ", %v" << b
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] ^ v[b]; });
+            break;
+          case 6:
+            os << "    shl.b32 %v" << d << ", %v" << a << ", " << sh
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] << sh; });
+            break;
+          case 7:
+            os << "    shr.u32 %v" << d << ", %v" << a << ", " << sh
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] >> sh; });
+            break;
+          case 8:
+            os << "    add.u32 %v" << d << ", %v" << a << ", " << imm
+               << ";\n";
+            p.host.push_back([=](auto &v) { v[d] = v[a] + imm; });
+            break;
+          default:
+            // Predicated update: data-dependent but reconvergent.
+            os << "    setp.lt.u32 %p1, %v" << a << ", %v" << b
+               << ";\n"
+               << "    @%p1 add.u32 %v" << d << ", %v" << d
+               << ", 77;\n";
+            p.host.push_back([=](auto &v) {
+                if (v[a] < v[b])
+                    v[d] += 77;
+            });
+            break;
+        }
+    }
+
+    os << "    xor.b32 %v0, %v0, %v1;\n"
+       << "    xor.b32 %v0, %v0, %v2;\n"
+       << "    xor.b32 %v0, %v0, %v3;\n"
+       << "    ld.param.u64 %rd1, [out];\n"
+       << "    mul.wide.u32 %rd2, %r1, 4;\n"
+       << "    add.u64 %rd3, %rd1, %rd2;\n"
+       << "    st.global.u32 [%rd3], %v0;\n"
+       << "    exit;\n}\n";
+    p.host.push_back([](auto &v) {
+        v[0] ^= v[1];
+        v[0] ^= v[2];
+        v[0] ^= v[3];
+    });
+    p.ptx = os.str();
+    return p;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    void SetUp() override { resetDriver(); }
+    void TearDown() override { resetDriver(); }
+};
+
+TEST_P(RandomProgramTest, SimulatorMatchesHostInterpreter)
+{
+    RandomProgram p = makeProgram(GetParam(), 40);
+
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    ASSERT_EQ(cuModuleLoadData(&mod, p.ptx.c_str(), p.ptx.size()),
+              CUDA_SUCCESS)
+        << p.ptx;
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "randk"), "get");
+    CUdeviceptr out;
+    checkCu(cuMemAlloc(&out, 64 * 4), "alloc");
+    void *params[] = {&out};
+    checkCu(cuLaunchKernel(fn, 1, 1, 1, 64, 1, 1, 0, nullptr, params,
+                           nullptr),
+            "launch");
+    uint32_t res[64];
+    checkCu(cuMemcpyDtoH(res, out, sizeof(res)), "d2h");
+
+    for (uint32_t tid = 0; tid < 64; ++tid) {
+        std::array<uint32_t, 4> v{tid, 0, 0, 0};
+        for (const auto &step : p.host)
+            step(v);
+        ASSERT_EQ(res[tid], v[0]) << "seed " << GetParam() << " tid "
+                                  << tid << "\n" << p.ptx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(1u, 13u));
+
+// --- Recursion through the ABI ----------------------------------------------
+
+TEST(RecursionTest, RecursiveFactorialOnDevice)
+{
+    resetDriver();
+    const char *src = R"(
+.func (.param .u32 out) fact(.param .u32 n)
+{
+    .reg .u32 %a<6>;
+    .reg .pred %p<2>;
+    ld.param.u32 %a1, [n];
+    setp.gt.u32 %p1, %a1, 1;
+    @%p1 bra REC;
+    st.param.u32 [out], 1;
+    ret;
+REC:
+    sub.u32 %a2, %a1, 1;
+    call (%a3), fact, (%a2);
+    mul.lo.u32 %a4, %a1, %a3;
+    st.param.u32 [out], %a4;
+    ret;
+}
+.visible .entry fk(.param .u64 dst, .param .u32 n)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    ld.param.u32 %r1, [n];
+    call (%r2), fact, (%r1);
+    ld.param.u64 %rd1, [dst];
+    mov.u32 %r3, %tid.x;
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    exit;
+}
+)";
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    ASSERT_EQ(cuModuleLoadData(&mod, src, 0), CUDA_SUCCESS);
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "fk"), "get");
+    CUdeviceptr dst;
+    checkCu(cuMemAlloc(&dst, 32 * 4), "alloc");
+    uint32_t n = 6;
+    void *params[] = {&dst, &n};
+    ASSERT_EQ(cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr, params,
+                             nullptr),
+              CUDA_SUCCESS);
+    uint32_t out[32];
+    checkCu(cuMemcpyDtoH(out, dst, sizeof(out)), "d2h");
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], 720u);
+    resetDriver();
+}
+
+} // namespace
+} // namespace nvbit

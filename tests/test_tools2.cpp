@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the branch-divergence profiler and the fault-injection
+ * tool, plus multi-context instrumentation.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "driver/api.hpp"
+#include "tools/branch_divergence.hpp"
+#include "tools/fault_injection.hpp"
+#include "tools/instr_count.hpp"
+
+namespace nvbit::tools {
+namespace {
+
+using namespace cudrv;
+
+/**
+ * Kernel with one uniform and one divergent conditional branch:
+ *  - `n` check: uniform within full warps (all take / none take);
+ *  - `tid & 1` check: always splits every warp.
+ */
+const char *kBranchKernel = R"(
+.visible .entry bk(.param .u64 out, .param .u32 n)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<3>;
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r3, %r1, %r2, %tid.x;
+    ld.param.u32 %r4, [n];
+    setp.ge.u32 %p1, %r3, %r4;
+    @%p1 bra DONE;
+    mov.u32 %r5, 100;
+    and.b32 %r2, %r3, 1;
+    setp.ne.u32 %p2, %r2, 0;
+    @%p2 bra ODD;
+    add.u32 %r5, %r5, 1;
+ODD:
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r5;
+DONE:
+    exit;
+}
+)";
+
+void
+launchBranchKernel(uint32_t n, std::vector<uint32_t> *out = nullptr)
+{
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    CUmodule mod;
+    checkCu(cuModuleLoadData(&mod, kBranchKernel, 0), "load");
+    CUfunction fn;
+    checkCu(cuModuleGetFunction(&fn, mod, "bk"), "get");
+    CUdeviceptr d;
+    checkCu(cuMemAlloc(&d, n * 4), "alloc");
+    void *params[] = {&d, &n};
+    checkCu(cuLaunchKernel(fn, (n + 127) / 128, 1, 1, 128, 1, 1, 0,
+                           nullptr, params, nullptr),
+            "launch");
+    if (out) {
+        out->resize(n);
+        checkCu(cuMemcpyDtoH(out->data(), d, n * 4), "d2h");
+    }
+}
+
+class Tools2Test : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetDriver(); }
+    void TearDown() override { resetDriver(); }
+};
+
+TEST_F(Tools2Test, BranchDivergenceDistinguishesUniformFromDivergent)
+{
+    BranchDivergenceTool tool;
+    std::vector<BranchDivergenceTool::Site> sites;
+    runApp(tool, [&] {
+        launchBranchKernel(256); // 8 full warps, n check uniform
+        sites = tool.sites();
+    });
+
+    ASSERT_EQ(sites.size(), 2u);
+    // Site 0: the bounds check (tid >= n) — never splits full warps.
+    EXPECT_EQ(sites[0].executions, 8u);
+    EXPECT_EQ(sites[0].divergent, 0u);
+    // Site 1: the odd/even branch — splits every warp.
+    EXPECT_EQ(sites[1].executions, 8u);
+    EXPECT_EQ(sites[1].divergent, 8u);
+}
+
+TEST_F(Tools2Test, BranchDivergencePartialWarpBoundsCheckDiverges)
+{
+    BranchDivergenceTool tool;
+    std::vector<BranchDivergenceTool::Site> sites;
+    runApp(tool, [&] {
+        launchBranchKernel(240); // last warp: 16 in-bounds, 16 out
+        sites = tool.sites();
+    });
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].executions, 8u);
+    EXPECT_EQ(sites[0].divergent, 1u); // only the ragged last warp
+}
+
+TEST_F(Tools2Test, FaultInjectionFlipsExactlyOneResultBit)
+{
+    // Golden (native) run.
+    std::vector<uint32_t> golden;
+    {
+        NvbitTool passive;
+        runApp(passive, [&] { launchBranchKernel(64, &golden); });
+    }
+
+    // Inject into the first IADD's destination (occurrence 5, bit 7).
+    FaultInjectionTool::Target t;
+    t.opcode_prefix = "ADD"; // matches no opcode: IADD is the name
+    t.opcode_prefix = "IADD";
+    t.site_index = 0;
+    t.occurrence = 5;
+    t.bit = 7;
+    FaultInjectionTool tool(t);
+    std::vector<uint32_t> faulty;
+    bool injected = false;
+    runApp(tool, [&] {
+        launchBranchKernel(64, &faulty);
+        injected = tool.injected();
+    });
+
+    EXPECT_TRUE(injected);
+    EXPECT_FALSE(tool.armedSass().empty());
+    ASSERT_EQ(faulty.size(), golden.size());
+    int diffs = 0;
+    for (size_t i = 0; i < golden.size(); ++i) {
+        if (golden[i] != faulty[i]) {
+            ++diffs;
+            // A single bit of the stored value differs.
+            EXPECT_EQ(__builtin_popcount(golden[i] ^ faulty[i]), 1) << i;
+        }
+    }
+    EXPECT_EQ(diffs, 1); // silent data corruption in one element
+}
+
+TEST_F(Tools2Test, FaultInjectionPastEndOfRunIsMasked)
+{
+    FaultInjectionTool::Target t;
+    t.opcode_prefix = "IADD";
+    t.site_index = 0;
+    t.occurrence = 1u << 30; // never reached
+    FaultInjectionTool tool(t);
+    std::vector<uint32_t> out;
+    bool injected = true;
+    uint64_t seen = 0;
+    runApp(tool, [&] {
+        launchBranchKernel(64, &out);
+        injected = tool.injected();
+        seen = tool.occurrencesSeen();
+    });
+    EXPECT_FALSE(injected);
+    EXPECT_GT(seen, 0u);
+}
+
+TEST_F(Tools2Test, InstrumentationSpansMultipleContexts)
+{
+    InstrCountTool tool;
+    uint64_t counted = 0;
+    runApp(tool, [&] {
+        checkCu(cuInit(0), "init");
+        CUcontext c1, c2;
+        checkCu(cuCtxCreate(&c1, 0, 0), "ctx1");
+        checkCu(cuCtxCreate(&c2, 0, 0), "ctx2"); // current is now c2
+
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kBranchKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "bk"), "get");
+        CUdeviceptr d;
+        checkCu(cuMemAlloc(&d, 64 * 4), "alloc");
+        uint32_t n = 64;
+        void *params[] = {&d, &n};
+        // The tool module was loaded into c1; kernels launched from a
+        // module in c2 must still reach the tool's counters.
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 64, 1, 1, 0, nullptr,
+                               params, nullptr),
+                "launch");
+        counted = tool.threadInstrs();
+    });
+    EXPECT_GT(counted, 64u * 10u);
+}
+
+} // namespace
+} // namespace nvbit::tools

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the benchmark workloads: every benchmark must run cleanly
+ * at every problem size class we exercise, and the structural
+ * properties the figures depend on must hold (unique-kernel counts,
+ * library-instruction share, data-dependent control flow).
+ */
+#include <gtest/gtest.h>
+
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "workloads/workloads.hpp"
+
+namespace nvbit::workloads {
+namespace {
+
+using namespace cudrv;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetDriver();
+        checkCu(cuInit(0), "init");
+        checkCu(cuCtxCreate(&ctx_, 0, 0), "ctx");
+    }
+    void TearDown() override { resetDriver(); }
+
+    CUcontext ctx_ = nullptr;
+};
+
+class SpecWorkloadTest : public WorkloadTest
+{};
+
+TEST_P(SpecWorkloadTest, RunsAtTestSize)
+{
+    auto wl = makeSpecWorkload(GetParam());
+    ASSERT_EQ(wl->name(), GetParam());
+    wl->run(ProblemSize::Test);
+    EXPECT_GT(deviceTotalStats().thread_instrs, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpec, SpecWorkloadTest,
+                         ::testing::ValuesIn(specSuiteNames()),
+                         [](const auto &info) { return info.param; });
+
+class MlWorkloadTest : public WorkloadTest
+{};
+
+TEST_P(MlWorkloadTest, RunsAtTestSize)
+{
+    auto wl = makeMlWorkload(GetParam());
+    wl->run(ProblemSize::Test);
+    EXPECT_GT(deviceTotalStats().thread_instrs, 100u);
+    EXPECT_EQ(wl->libraryModules().size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMl, MlWorkloadTest,
+                         ::testing::ValuesIn(mlSuiteNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST_F(WorkloadTest, IlbdcLaunchesManyUniqueKernels)
+{
+    auto wl = makeSpecWorkload("ilbdc");
+    wl->run(ProblemSize::Medium);
+    // Count distinct launched kernels across loaded modules.
+    size_t launched = 0;
+    for (const auto &mod : ctx_->modules) {
+        for (const auto &f : mod->funcs)
+            if (f->launch_count > 0)
+                ++launched;
+    }
+    EXPECT_GE(launched, 20u);
+}
+
+TEST_F(WorkloadTest, MlWorkloadsAreLibraryDominated)
+{
+    // The paper reports 74-96% of executed instructions inside
+    // pre-compiled libraries across the ML workloads.
+    for (const std::string &name : mlSuiteNames()) {
+        resetDriver();
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = makeMlWorkload(name);
+        wl->run(ProblemSize::Medium);
+
+        auto libs = wl->libraryModules();
+        uint64_t lib_instrs = 0;
+        for (const auto &[mod, st] : perModuleStats()) {
+            for (CUmodule m : libs)
+                if (mod == m)
+                    lib_instrs += st.thread_instrs;
+        }
+        uint64_t total = deviceTotalStats().thread_instrs;
+        ASSERT_GT(total, 0u);
+        double share = 100.0 * static_cast<double>(lib_instrs) /
+                       static_cast<double>(total);
+        EXPECT_GT(share, 55.0) << name;
+        EXPECT_LT(share, 99.5) << name;
+    }
+}
+
+TEST_F(WorkloadTest, MdForceCountsChangeAcrossSteps)
+{
+    // md's cutoff test is value-dependent and positions evolve, so the
+    // per-launch instruction counts drift — the paper's source of
+    // nonzero sampling error (Figure 9).
+    auto wl = makeSpecWorkload("md");
+    uint64_t before = deviceTotalStats().thread_instrs;
+    wl->run(ProblemSize::Test);
+    uint64_t after = deviceTotalStats().thread_instrs;
+    EXPECT_GT(after, before);
+    // Indirect check: run twice; the workload is deterministic, so
+    // totals must be reproducible even with data-dependent flow.
+    resetDriver();
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    auto wl2 = makeSpecWorkload("md");
+    wl2->run(ProblemSize::Test);
+    EXPECT_EQ(deviceTotalStats().thread_instrs, after - before);
+}
+
+} // namespace
+} // namespace nvbit::workloads
+
+namespace nvbit::workloads {
+namespace {
+
+TEST(WorkloadSm7x, SuiteRunsOnTheWideEncodingFamily)
+{
+    using namespace cudrv;
+    for (const char *name : {"ostencil", "cg"}) {
+        resetDriver();
+        sim::GpuConfig cfg;
+        cfg.family = isa::ArchFamily::SM7x;
+        setDeviceConfig(cfg);
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = makeSpecWorkload(name);
+        wl->run(ProblemSize::Test);
+        EXPECT_GT(deviceTotalStats().thread_instrs, 100u) << name;
+        resetDriver();
+    }
+}
+
+TEST(WorkloadSm7x, MlPipelineRunsOnTheWideEncodingFamily)
+{
+    using namespace cudrv;
+    resetDriver();
+    sim::GpuConfig cfg;
+    cfg.family = isa::ArchFamily::SM7x;
+    setDeviceConfig(cfg);
+    checkCu(cuInit(0), "init");
+    CUcontext ctx;
+    checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+    auto wl = makeMlWorkload("alexnet");
+    wl->run(ProblemSize::Test);
+    EXPECT_GT(deviceTotalStats().thread_instrs, 100u);
+    resetDriver();
+}
+
+} // namespace
+} // namespace nvbit::workloads
