@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bb_count.dir/ablation_bb_count.cpp.o"
+  "CMakeFiles/ablation_bb_count.dir/ablation_bb_count.cpp.o.d"
+  "ablation_bb_count"
+  "ablation_bb_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bb_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

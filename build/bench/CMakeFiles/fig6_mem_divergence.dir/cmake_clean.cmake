@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mem_divergence.dir/fig6_mem_divergence.cpp.o"
+  "CMakeFiles/fig6_mem_divergence.dir/fig6_mem_divergence.cpp.o.d"
+  "fig6_mem_divergence"
+  "fig6_mem_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mem_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_instr_histogram.dir/fig7_instr_histogram.cpp.o"
+  "CMakeFiles/fig7_instr_histogram.dir/fig7_instr_histogram.cpp.o.d"
+  "fig7_instr_histogram"
+  "fig7_instr_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_instr_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_wfft_emulation.dir/tab_wfft_emulation.cpp.o"
+  "CMakeFiles/tab_wfft_emulation.dir/tab_wfft_emulation.cpp.o.d"
+  "tab_wfft_emulation"
+  "tab_wfft_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_wfft_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

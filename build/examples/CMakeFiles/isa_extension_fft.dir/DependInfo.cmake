@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/isa_extension_fft.cpp" "examples/CMakeFiles/isa_extension_fft.dir/isa_extension_fft.cpp.o" "gcc" "examples/CMakeFiles/isa_extension_fft.dir/isa_extension_fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nvbit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/nvbit_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nvbit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/nvbit_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/nvbit_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvbit_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/nvbit_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nvbit_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvbit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_extension_fft.dir/isa_extension_fft.cpp.o"
+  "CMakeFiles/isa_extension_fft.dir/isa_extension_fft.cpp.o.d"
+  "isa_extension_fft"
+  "isa_extension_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_extension_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_divergence_ml.dir/mem_divergence_ml.cpp.o"
+  "CMakeFiles/mem_divergence_ml.dir/mem_divergence_ml.cpp.o.d"
+  "mem_divergence_ml"
+  "mem_divergence_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_divergence_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_run.dir/nvbit_run.cpp.o"
+  "CMakeFiles/nvbit_run.dir/nvbit_run.cpp.o.d"
+  "nvbit_run"
+  "nvbit_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

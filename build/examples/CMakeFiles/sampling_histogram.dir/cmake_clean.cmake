@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_histogram.dir/sampling_histogram.cpp.o"
+  "CMakeFiles/sampling_histogram.dir/sampling_histogram.cpp.o.d"
+  "sampling_histogram"
+  "sampling_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isa_extension_fft "/root/repo/build/examples/isa_extension_fft")
+set_tests_properties(example_isa_extension_fft PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_sim "/root/repo/build/examples/cache_sim" "miniGhost")
+set_tests_properties(example_cache_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sampling_histogram "/root/repo/build/examples/sampling_histogram" "ostencil")
+set_tests_properties(example_sampling_histogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nvbit_run "/root/repo/build/examples/nvbit_run" "--tool" "icount" "--size" "test" "ostencil")
+set_tests_properties(example_nvbit_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nvbit_run_bb "/root/repo/build/examples/nvbit_run" "--tool" "icount-bb" "--size" "test" "cg")
+set_tests_properties(example_nvbit_run_bb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

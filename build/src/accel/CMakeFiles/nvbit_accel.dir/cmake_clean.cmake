@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_accel.dir/simblas.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simblas.cpp.o.d"
+  "CMakeFiles/nvbit_accel.dir/simblas_image_sm5x.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simblas_image_sm5x.cpp.o.d"
+  "CMakeFiles/nvbit_accel.dir/simblas_image_sm7x.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simblas_image_sm7x.cpp.o.d"
+  "CMakeFiles/nvbit_accel.dir/simdnn.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simdnn.cpp.o.d"
+  "CMakeFiles/nvbit_accel.dir/simdnn_image_sm5x.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simdnn_image_sm5x.cpp.o.d"
+  "CMakeFiles/nvbit_accel.dir/simdnn_image_sm7x.cpp.o"
+  "CMakeFiles/nvbit_accel.dir/simdnn_image_sm7x.cpp.o.d"
+  "libnvbit_accel.a"
+  "libnvbit_accel.pdb"
+  "simblas_image_sm5x.cpp"
+  "simblas_image_sm7x.cpp"
+  "simdnn_image_sm5x.cpp"
+  "simdnn_image_sm7x.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

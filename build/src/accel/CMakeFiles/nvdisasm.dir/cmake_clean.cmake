@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdisasm.dir/nvdisasm.cpp.o"
+  "CMakeFiles/nvdisasm.dir/nvdisasm.cpp.o.d"
+  "nvdisasm"
+  "nvdisasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdisasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptxc.dir/ptxc.cpp.o"
+  "CMakeFiles/ptxc.dir/ptxc.cpp.o.d"
+  "ptxc"
+  "ptxc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptxc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/accel
+# Build directory: /root/repo/build/src/accel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ptxc_nvdisasm_pipeline "/usr/bin/cmake" "-DPTXC=/root/repo/build/src/accel/ptxc" "-DNVDISASM=/root/repo/build/src/accel/nvdisasm" "-DPTX=/root/repo/src/accel/kernels/simblas.ptx" "-DOUT=/root/repo/build/src/accel/test_simblas.bin" "-P" "/root/repo/src/accel/test_pipeline.cmake")
+set_tests_properties(ptxc_nvdisasm_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/accel/CMakeLists.txt;37;add_test;/root/repo/src/accel/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_common.dir/logging.cpp.o"
+  "CMakeFiles/nvbit_common.dir/logging.cpp.o.d"
+  "libnvbit_common.a"
+  "libnvbit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

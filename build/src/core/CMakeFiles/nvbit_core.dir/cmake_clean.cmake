@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_core.dir/builtins.cpp.o"
+  "CMakeFiles/nvbit_core.dir/builtins.cpp.o.d"
+  "CMakeFiles/nvbit_core.dir/core.cpp.o"
+  "CMakeFiles/nvbit_core.dir/core.cpp.o.d"
+  "CMakeFiles/nvbit_core.dir/hal.cpp.o"
+  "CMakeFiles/nvbit_core.dir/hal.cpp.o.d"
+  "CMakeFiles/nvbit_core.dir/instr.cpp.o"
+  "CMakeFiles/nvbit_core.dir/instr.cpp.o.d"
+  "CMakeFiles/nvbit_core.dir/nvbit_api.cpp.o"
+  "CMakeFiles/nvbit_core.dir/nvbit_api.cpp.o.d"
+  "libnvbit_core.a"
+  "libnvbit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

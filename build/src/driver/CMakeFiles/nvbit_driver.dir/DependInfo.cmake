@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/driver.cpp" "src/driver/CMakeFiles/nvbit_driver.dir/driver.cpp.o" "gcc" "src/driver/CMakeFiles/nvbit_driver.dir/driver.cpp.o.d"
+  "/root/repo/src/driver/module_image.cpp" "src/driver/CMakeFiles/nvbit_driver.dir/module_image.cpp.o" "gcc" "src/driver/CMakeFiles/nvbit_driver.dir/module_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvbit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nvbit_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvbit_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/nvbit_ptx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

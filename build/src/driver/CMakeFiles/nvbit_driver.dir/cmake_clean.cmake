@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_driver.dir/driver.cpp.o"
+  "CMakeFiles/nvbit_driver.dir/driver.cpp.o.d"
+  "CMakeFiles/nvbit_driver.dir/module_image.cpp.o"
+  "CMakeFiles/nvbit_driver.dir/module_image.cpp.o.d"
+  "libnvbit_driver.a"
+  "libnvbit_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_isa.dir/abi.cpp.o"
+  "CMakeFiles/nvbit_isa.dir/abi.cpp.o.d"
+  "CMakeFiles/nvbit_isa.dir/assembler.cpp.o"
+  "CMakeFiles/nvbit_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/nvbit_isa.dir/encoding.cpp.o"
+  "CMakeFiles/nvbit_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/nvbit_isa.dir/instruction.cpp.o"
+  "CMakeFiles/nvbit_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/nvbit_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/nvbit_isa.dir/opcodes.cpp.o.d"
+  "libnvbit_isa.a"
+  "libnvbit_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

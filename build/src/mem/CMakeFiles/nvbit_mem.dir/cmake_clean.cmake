@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_mem.dir/device_memory.cpp.o"
+  "CMakeFiles/nvbit_mem.dir/device_memory.cpp.o.d"
+  "libnvbit_mem.a"
+  "libnvbit_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

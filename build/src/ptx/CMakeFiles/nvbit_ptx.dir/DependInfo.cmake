@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptx/codegen.cpp" "src/ptx/CMakeFiles/nvbit_ptx.dir/codegen.cpp.o" "gcc" "src/ptx/CMakeFiles/nvbit_ptx.dir/codegen.cpp.o.d"
+  "/root/repo/src/ptx/compiler.cpp" "src/ptx/CMakeFiles/nvbit_ptx.dir/compiler.cpp.o" "gcc" "src/ptx/CMakeFiles/nvbit_ptx.dir/compiler.cpp.o.d"
+  "/root/repo/src/ptx/lexer.cpp" "src/ptx/CMakeFiles/nvbit_ptx.dir/lexer.cpp.o" "gcc" "src/ptx/CMakeFiles/nvbit_ptx.dir/lexer.cpp.o.d"
+  "/root/repo/src/ptx/parser.cpp" "src/ptx/CMakeFiles/nvbit_ptx.dir/parser.cpp.o" "gcc" "src/ptx/CMakeFiles/nvbit_ptx.dir/parser.cpp.o.d"
+  "/root/repo/src/ptx/regalloc.cpp" "src/ptx/CMakeFiles/nvbit_ptx.dir/regalloc.cpp.o" "gcc" "src/ptx/CMakeFiles/nvbit_ptx.dir/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvbit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nvbit_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

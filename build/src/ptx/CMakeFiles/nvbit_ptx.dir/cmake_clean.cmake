@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_ptx.dir/codegen.cpp.o"
+  "CMakeFiles/nvbit_ptx.dir/codegen.cpp.o.d"
+  "CMakeFiles/nvbit_ptx.dir/compiler.cpp.o"
+  "CMakeFiles/nvbit_ptx.dir/compiler.cpp.o.d"
+  "CMakeFiles/nvbit_ptx.dir/lexer.cpp.o"
+  "CMakeFiles/nvbit_ptx.dir/lexer.cpp.o.d"
+  "CMakeFiles/nvbit_ptx.dir/parser.cpp.o"
+  "CMakeFiles/nvbit_ptx.dir/parser.cpp.o.d"
+  "CMakeFiles/nvbit_ptx.dir/regalloc.cpp.o"
+  "CMakeFiles/nvbit_ptx.dir/regalloc.cpp.o.d"
+  "libnvbit_ptx.a"
+  "libnvbit_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

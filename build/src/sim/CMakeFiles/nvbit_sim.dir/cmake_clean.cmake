@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_sim.dir/cache.cpp.o"
+  "CMakeFiles/nvbit_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/nvbit_sim.dir/gpu.cpp.o"
+  "CMakeFiles/nvbit_sim.dir/gpu.cpp.o.d"
+  "libnvbit_sim.a"
+  "libnvbit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

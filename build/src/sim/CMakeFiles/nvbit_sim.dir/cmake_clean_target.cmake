@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvbit_sim.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/branch_divergence.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/branch_divergence.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/branch_divergence.cpp.o.d"
+  "/root/repo/src/tools/fault_injection.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/fault_injection.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/tools/instr_count.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/instr_count.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/instr_count.cpp.o.d"
+  "/root/repo/src/tools/mem_divergence.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/mem_divergence.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/mem_divergence.cpp.o.d"
+  "/root/repo/src/tools/mem_trace.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/mem_trace.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/mem_trace.cpp.o.d"
+  "/root/repo/src/tools/opcode_histogram.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/opcode_histogram.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/opcode_histogram.cpp.o.d"
+  "/root/repo/src/tools/wfft_emulator.cpp" "src/tools/CMakeFiles/nvbit_tools.dir/wfft_emulator.cpp.o" "gcc" "src/tools/CMakeFiles/nvbit_tools.dir/wfft_emulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nvbit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/nvbit_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvbit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvbit_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/nvbit_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nvbit_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvbit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_tools.dir/branch_divergence.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/branch_divergence.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/fault_injection.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/instr_count.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/instr_count.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/mem_divergence.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/mem_divergence.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/mem_trace.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/mem_trace.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/opcode_histogram.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/opcode_histogram.cpp.o.d"
+  "CMakeFiles/nvbit_tools.dir/wfft_emulator.cpp.o"
+  "CMakeFiles/nvbit_tools.dir/wfft_emulator.cpp.o.d"
+  "libnvbit_tools.a"
+  "libnvbit_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvbit_workloads.dir/kernel_factory.cpp.o"
+  "CMakeFiles/nvbit_workloads.dir/kernel_factory.cpp.o.d"
+  "CMakeFiles/nvbit_workloads.dir/ml_suite.cpp.o"
+  "CMakeFiles/nvbit_workloads.dir/ml_suite.cpp.o.d"
+  "CMakeFiles/nvbit_workloads.dir/spec_suite.cpp.o"
+  "CMakeFiles/nvbit_workloads.dir/spec_suite.cpp.o.d"
+  "libnvbit_workloads.a"
+  "libnvbit_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvbit_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

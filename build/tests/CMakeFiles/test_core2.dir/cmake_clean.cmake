@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core2.dir/test_core2.cpp.o"
+  "CMakeFiles/test_core2.dir/test_core2.cpp.o.d"
+  "test_core2"
+  "test_core2.pdb"
+  "test_core2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core3.dir/test_core3.cpp.o"
+  "CMakeFiles/test_core3.dir/test_core3.cpp.o.d"
+  "test_core3"
+  "test_core3.pdb"
+  "test_core3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ptx.cpp" "tests/CMakeFiles/test_ptx.dir/test_ptx.cpp.o" "gcc" "tests/CMakeFiles/test_ptx.dir/test_ptx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptx/CMakeFiles/nvbit_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nvbit_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvbit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptx.dir/test_ptx.cpp.o"
+  "CMakeFiles/test_ptx.dir/test_ptx.cpp.o.d"
+  "test_ptx"
+  "test_ptx.pdb"
+  "test_ptx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools2.dir/test_tools2.cpp.o"
+  "CMakeFiles/test_tools2.dir/test_tools2.cpp.o.d"
+  "test_tools2"
+  "test_tools2.pdb"
+  "test_tools2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
