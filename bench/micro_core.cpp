@@ -5,9 +5,17 @@
  * decomposition: encoding/decoding, disassembly, PTX compilation,
  * module (de)serialisation, code-swap memcpys, cache-model lookups and
  * raw simulator execution throughput.
+ *
+ * Besides the google-benchmark suite, main() runs a direct comparison
+ * of the four execution-engine configurations ({serial, parallel} x
+ * {byte-decode, predecode}) and writes the timings plus decode-cache
+ * hit/miss counts to BENCH_micro_core.json.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/timer.hpp"
 #include "driver/api.hpp"
 #include "driver/internal.hpp"
 #include "driver/module_image.hpp"
@@ -161,16 +169,16 @@ BM_CacheModel(benchmark::State &state)
 }
 BENCHMARK(BM_CacheModel);
 
-void
-BM_SimulatorThroughput(benchmark::State &state)
+/**
+ * Place the throughput kernel (64 ALU ops in a counted loop of 256
+ * iterations) into @p gpu and return its launch parameters
+ * (block 256, grid 4).
+ */
+sim::LaunchParams
+placeLoopKernel(sim::GpuDevice &gpu, uint32_t block = 256)
 {
-    // Raw warp-instruction execution rate of the SIMT engine.
-    sim::GpuConfig cfg;
-    cfg.mem_bytes = 16 << 20;
-    sim::GpuDevice gpu(cfg);
     std::vector<isa::Instruction> prog;
     prog.push_back(isa::makeMovImm(4, 0));
-    // 64 ALU ops in a counted loop of 256 iterations.
     prog.push_back(isa::makeMovImm(5, 256));
     size_t loop_start = prog.size();
     for (int i = 0; i < 64; ++i)
@@ -197,21 +205,178 @@ BM_SimulatorThroughput(benchmark::State &state)
 
     sim::LaunchParams lp;
     lp.entry_pc = entry;
-    lp.block[0] = 256;
+    lp.block[0] = block;
     lp.grid[0] = 4;
+    return lp;
+}
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Raw warp-instruction execution rate of the SIMT engine.
+    sim::GpuConfig cfg;
+    cfg.mem_bytes = 16 << 20;
+    sim::GpuDevice gpu(cfg);
+    sim::LaunchParams lp = placeLoopKernel(gpu);
 
     uint64_t warp_instrs = 0;
+    uint64_t hits = 0, misses = 0;
     for (auto _ : state) {
         sim::LaunchStats st = gpu.launch(lp);
         warp_instrs += st.warp_instrs;
+        hits += st.decode_cache_hits;
+        misses += st.decode_cache_misses;
     }
     state.SetItemsProcessed(static_cast<int64_t>(warp_instrs));
     state.counters["thread_instr_rate"] = benchmark::Counter(
         static_cast<double>(warp_instrs) * 32.0,
         benchmark::Counter::kIsRate);
+    state.counters["decode_cache_hits"] =
+        benchmark::Counter(static_cast<double>(hits));
+    state.counters["decode_cache_misses"] =
+        benchmark::Counter(static_cast<double>(misses));
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+// ---------------------------------------------------------------------
+// Engine-configuration comparison (BENCH_micro_core.json)
+// ---------------------------------------------------------------------
+
+struct EngineResult {
+    const char *name;
+    const char *kernel;
+    sim::ExecMode mode;
+    bool predecode;
+    double ms_per_launch = 0.0;
+    double warp_mips = 0.0;
+    uint64_t warp_instrs = 0;
+    uint64_t decode_cache_hits = 0;
+    uint64_t decode_cache_misses = 0;
+    uint64_t pages_built = 0;
+};
+
+EngineResult
+runEngine(const char *name, sim::ExecMode mode, bool predecode,
+          uint32_t block, const char *kernel, int reps)
+{
+    sim::GpuConfig cfg;
+    cfg.mem_bytes = 16 << 20;
+    cfg.exec_mode = mode;
+    cfg.use_predecode = predecode;
+    sim::GpuDevice gpu(cfg);
+    sim::LaunchParams lp = placeLoopKernel(gpu, block);
+
+    gpu.launch(lp); // warm-up (predecode pages, pool threads)
+
+    // Min over repetitions: robust against scheduler noise on a
+    // loaded machine (any one launch can only be slowed down).
+    EngineResult r{name, kernel, mode, predecode, 0, 0, 0, 0, 0, 0};
+    uint64_t best = UINT64_MAX;
+    for (int i = 0; i < reps; ++i) {
+        uint64_t t0 = nowNs();
+        sim::LaunchStats st = gpu.launch(lp);
+        uint64_t elapsed = nowNs() - t0;
+        if (elapsed < best)
+            best = elapsed;
+        r.warp_instrs = st.warp_instrs;
+        r.decode_cache_hits = st.decode_cache_hits;
+        r.decode_cache_misses = st.decode_cache_misses;
+    }
+    r.ms_per_launch = static_cast<double>(best) / 1e6;
+    r.warp_mips = static_cast<double>(r.warp_instrs) /
+                  (static_cast<double>(best) / 1e3);
+    r.pages_built = gpu.codeCache().pagesBuilt();
+    return r;
+}
+
+void
+emitEngineComparison()
+{
+    // Two kernels: "throughput" is backend-bound (32 active lanes per
+    // warp instruction, execution dominates); "frontend" runs one lane
+    // per warp so fetch+decode is a large fraction of the per-warp-
+    // instruction cost — it isolates what the predecode cache removes.
+    const EngineResult results[] = {
+        runEngine("serial_bytedecode", sim::ExecMode::Serial, false, 256,
+                  "throughput", 5),
+        runEngine("serial_predecode", sim::ExecMode::Serial, true, 256,
+                  "throughput", 5),
+        runEngine("parallel_bytedecode", sim::ExecMode::Parallel, false,
+                  256, "throughput", 5),
+        runEngine("parallel_predecode", sim::ExecMode::Parallel, true,
+                  256, "throughput", 5),
+        runEngine("serial_bytedecode", sim::ExecMode::Serial, false, 1,
+                  "frontend", 40),
+        runEngine("serial_predecode", sim::ExecMode::Serial, true, 1,
+                  "frontend", 40),
+    };
+
+    std::printf("\nExecution-engine comparison (loop kernel, grid 4)\n");
+    std::printf("%-12s %-22s %12s %12s %14s %14s\n", "kernel", "engine",
+                "ms/launch", "warp MIPS", "decode hits",
+                "decode misses");
+    for (const auto &r : results)
+        std::printf("%-12s %-22s %12.3f %12.2f %14llu %14llu\n",
+                    r.kernel, r.name, r.ms_per_launch, r.warp_mips,
+                    static_cast<unsigned long long>(r.decode_cache_hits),
+                    static_cast<unsigned long long>(r.decode_cache_misses));
+
+    const char *path = "BENCH_micro_core.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"engine_comparison\": [\n");
+    size_t n = sizeof(results) / sizeof(results[0]);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"engine\": \"%s\", \"kernel\": \"%s\", "
+            "\"exec_mode\": \"%s\", "
+            "\"predecode\": %s, \"ms_per_launch\": %.3f, "
+            "\"warp_mips\": %.2f, \"warp_instrs\": %llu, "
+            "\"decode_cache_hits\": %llu, "
+            "\"decode_cache_misses\": %llu, \"pages_built\": %llu}%s\n",
+            r.name, r.kernel,
+            r.mode == sim::ExecMode::Serial ? "serial" : "parallel",
+            r.predecode ? "true" : "false", r.ms_per_launch, r.warp_mips,
+            static_cast<unsigned long long>(r.warp_instrs),
+            static_cast<unsigned long long>(r.decode_cache_hits),
+            static_cast<unsigned long long>(r.decode_cache_misses),
+            static_cast<unsigned long long>(r.pages_built),
+            i + 1 < n ? "," : "");
+    }
+    auto ratio = [](const EngineResult &a, const EngineResult &b) {
+        return b.ms_per_launch > 0 ? a.ms_per_launch / b.ms_per_launch
+                                   : 0.0;
+    };
+    double sp_default = ratio(results[0], results[3]);
+    double sp_pre_tp = ratio(results[0], results[1]);
+    double sp_pre_fe = ratio(results[4], results[5]);
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"speedup_default_vs_reference\": %.3f,\n"
+                 "  \"speedup_predecode_throughput\": %.3f,\n"
+                 "  \"speedup_predecode_frontend\": %.3f\n}\n",
+                 sp_default, sp_pre_tp, sp_pre_fe);
+    std::fclose(f);
+    std::printf("wrote %s (predecode speedup: %.2fx throughput kernel, "
+                "%.2fx frontend kernel; default engine vs reference: "
+                "%.2fx)\n",
+                path, sp_pre_tp, sp_pre_fe, sp_default);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    emitEngineComparison();
+    return 0;
+}

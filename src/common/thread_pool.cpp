@@ -1,0 +1,85 @@
+#include "common/thread_pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace nvbit {
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+size_t
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return workers_.size();
+}
+
+void
+ThreadPool::ensureWorkersLocked(size_t n)
+{
+    // New threads block on mu_ until runAll publishes the batch.
+    while (workers_.size() < n) {
+        size_t slot = workers_.size();
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t slot)
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+        work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        std::function<void()> task;
+        if (slot < tasks_.size())
+            task = std::move(tasks_[slot]);
+        if (!task)
+            continue;
+        lk.unlock();
+        task();
+        lk.lock();
+        if (--remaining_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::runAll(std::vector<std::function<void()>> tasks)
+{
+    size_t live = 0;
+    for (const auto &t : tasks)
+        if (t)
+            ++live;
+    if (live == 0)
+        return;
+    if (live == 1) {
+        for (auto &t : tasks)
+            if (t)
+                t();
+        return;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    NVBIT_ASSERT(remaining_ == 0, "ThreadPool::runAll is not reentrant");
+    ensureWorkersLocked(tasks.size());
+    tasks_ = std::move(tasks);
+    remaining_ = live;
+    ++epoch_;
+    work_cv_.notify_all();
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    tasks_.clear();
+}
+
+} // namespace nvbit

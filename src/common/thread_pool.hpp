@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Slot-pinned thread pool for the parallel SM execution path.
+ *
+ * Unlike a work-stealing pool, every task in a batch is pinned to its
+ * own worker thread and all tasks of the batch run concurrently.  The
+ * simulator relies on this: SM tasks synchronise with each other
+ * through the atomic-commit gate (sim/sm.hpp), so a pool that queued
+ * two SM tasks behind one worker could deadlock — the queued task
+ * might be the one the running task is waiting for.
+ */
+#ifndef NVBIT_COMMON_THREAD_POOL_HPP
+#define NVBIT_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvbit {
+
+class ThreadPool
+{
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run every task in @p tasks concurrently (task i on worker i) and
+     * block until all have finished.  Tasks must not throw — run them
+     * under their own try/catch and report failures out-of-band.
+     * A batch of zero/one task runs inline on the caller's thread.
+     * Workers persist across batches and are grown on demand.
+     */
+    void runAll(std::vector<std::function<void()>> tasks);
+
+    /** Worker threads currently alive (for tests/telemetry). */
+    size_t workerCount() const;
+
+  private:
+    void workerLoop(size_t slot);
+    void ensureWorkersLocked(size_t n);
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    /** Batch tasks, indexed by worker slot; empty entries are skipped. */
+    std::vector<std::function<void()>> tasks_;
+    uint64_t epoch_ = 0;
+    size_t remaining_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace nvbit
+
+#endif // NVBIT_COMMON_THREAD_POOL_HPP

@@ -561,8 +561,10 @@ NvbitCore::generate(FuncState &st)
         jit_.swap_bytes += st.original_code.size();
         st.instrumented_resident = false;
     }
-    // Drop the previous trampoline region.
+    // Drop the previous trampoline region (and its predecoded pages,
+    // before the range can be reallocated for new code).
     if (st.tramp_base) {
+        gpu.invalidateCodeRange(st.tramp_base, st.tramp_bytes);
         gpu.memory().free(st.tramp_base);
         st.tramp_base = 0;
         st.tramp_bytes = 0;
@@ -682,6 +684,9 @@ NvbitCore::generate(FuncState &st)
             ++jit_.trampolines_generated;
         }
         gpu.memory().write(st.tramp_base, bulk.data(), bulk.size());
+        // The write above invalidated any stale predecoded pages;
+        // decode the fresh trampolines eagerly.
+        gpu.predecodeRange(st.tramp_base, st.tramp_bytes);
     }
 
     // Launch requirements of the instrumented version (paper: the Code
@@ -718,6 +723,11 @@ NvbitCore::applyResidency(FuncState &st)
                                        code.size());
         jit_.swap_bytes += code.size();
     }
+    // Cache-invalidation protocol: swapping code versions must drop
+    // the stale predecoded image (the write observer already did) and
+    // predecode the incoming version before the next fetch.
+    cudrv::device().invalidateCodeRange(f->code_addr, f->code_size);
+    cudrv::device().predecodeRange(f->code_addr, f->code_size);
     st.instrumented_resident = want;
 }
 
@@ -794,6 +804,8 @@ NvbitCore::resetInstrumented(CUcontext ctx, CUfunction f)
         st.instrumented_resident = false;
     }
     if (st.tramp_base) {
+        cudrv::device().invalidateCodeRange(st.tramp_base,
+                                            st.tramp_bytes);
         cudrv::device().memory().free(st.tramp_base);
         st.tramp_base = 0;
         st.tramp_bytes = 0;

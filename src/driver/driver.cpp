@@ -411,6 +411,11 @@ placeModule(CUctx_st *ctx, const ModuleData &data, bool is_tool_module,
         f->launch_stack_bytes = f->total_stack;
     }
 
+    // Prewarm the predecode cache now that relocations are patched,
+    // so first launches fetch decoded instructions immediately.
+    for (auto &f : mod->funcs)
+        gpu.predecodeRange(f->code_addr, f->code_size);
+
     ctx->modules.push_back(std::move(mod));
     *out = ctx->modules.back().get();
     if (is_tool_module) {
@@ -478,9 +483,12 @@ cuModuleUnload(CUmodule mod)
                            [&](const auto &m) { return m.get() == mod; });
     if (it == ctx->modules.end())
         return scope.status() = CUDA_ERROR_INVALID_VALUE;
-    // Free device resources.
-    for (auto &f : mod->funcs)
+    // Free device resources.  Predecoded pages are dropped before the
+    // address range can be reallocated to a new module's code.
+    for (auto &f : mod->funcs) {
+        ctx->gpu->invalidateCodeRange(f->code_addr, f->code_size);
         ctx->gpu->memory().free(f->code_addr);
+    }
     for (auto &[name, g] : mod->globals)
         ctx->gpu->memory().free(g.first);
     if (ctx->tool_module == mod)

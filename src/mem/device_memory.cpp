@@ -112,6 +112,8 @@ DeviceMemory::write(DevPtr addr, const void *in, size_t bytes)
 {
     checkRange(addr, bytes, true);
     std::memcpy(storage_.data() + addr, in, bytes);
+    if (observer_)
+        observer_(addr, bytes);
 }
 
 uint32_t
@@ -130,16 +132,22 @@ DeviceMemory::read64(DevPtr addr) const
     return v;
 }
 
+// write32/write64 back the simulator's STG/STL/ATOM stores.  They skip
+// the write observer on purpose: device-side stores do not keep the
+// predecode (instruction) cache coherent, matching real-GPU semantics
+// and keeping the store hot path free of std::function overhead.
 void
 DeviceMemory::write32(DevPtr addr, uint32_t v)
 {
-    write(addr, &v, sizeof(v));
+    checkRange(addr, sizeof(v), true);
+    std::memcpy(storage_.data() + addr, &v, sizeof(v));
 }
 
 void
 DeviceMemory::write64(DevPtr addr, uint64_t v)
 {
-    write(addr, &v, sizeof(v));
+    checkRange(addr, sizeof(v), true);
+    std::memcpy(storage_.data() + addr, &v, sizeof(v));
 }
 
 std::span<const uint8_t>
@@ -153,6 +161,8 @@ std::span<uint8_t>
 DeviceMemory::mutableView(DevPtr addr, size_t bytes)
 {
     checkRange(addr, bytes, true);
+    if (observer_)
+        observer_(addr, bytes);
     return {storage_.data() + addr, bytes};
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <span>
 #include <vector>
@@ -41,6 +42,16 @@ class DeviceMemory
 
     /** Default device size: 96 MiB (< 128 MiB JMP reach on SM5x). */
     static constexpr size_t kDefaultSize = 96ull << 20;
+
+    /**
+     * Observer for host-side mutations (bulk write() and
+     * mutableView()).  The simulator registers one to invalidate
+     * predecoded code pages when the driver or NVBit core rewrites
+     * code.  Simulated stores (write32/write64 from STG/ATOM) do NOT
+     * fire it: like real hardware, the instruction cache is incoherent
+     * with device-side writes and requires an explicit flush.
+     */
+    using WriteObserver = std::function<void(DevPtr, size_t)>;
 
     explicit DeviceMemory(size_t size = kDefaultSize);
 
@@ -79,6 +90,9 @@ class DeviceMemory
     std::span<const uint8_t> view(DevPtr addr, size_t bytes) const;
     std::span<uint8_t> mutableView(DevPtr addr, size_t bytes);
 
+    /** Install (or clear, with nullptr) the host-write observer. */
+    void setWriteObserver(WriteObserver obs) { observer_ = std::move(obs); }
+
   private:
     void checkRange(DevPtr addr, size_t bytes, bool is_write) const;
 
@@ -88,6 +102,7 @@ class DeviceMemory
     /** live allocations: start -> size */
     std::map<DevPtr, size_t> live_blocks_;
     size_t bytes_allocated_ = 0;
+    WriteObserver observer_;
 };
 
 } // namespace nvbit::mem

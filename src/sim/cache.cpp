@@ -61,12 +61,24 @@ CacheHierarchy::CacheHierarchy(const GpuConfig &cfg)
 CacheLevel
 CacheHierarchy::access(unsigned sm, uint64_t line_addr)
 {
-    NVBIT_ASSERT(sm < l1s_.size(), "SM index %u out of range", sm);
-    if (l1s_[sm].access(line_addr))
+    if (accessL1(sm, line_addr))
         return CacheLevel::L1;
-    if (l2_.access(line_addr))
+    if (accessL2(line_addr))
         return CacheLevel::L2;
     return CacheLevel::Memory;
+}
+
+bool
+CacheHierarchy::accessL1(unsigned sm, uint64_t line_addr)
+{
+    NVBIT_ASSERT(sm < l1s_.size(), "SM index %u out of range", sm);
+    return l1s_[sm].access(line_addr);
+}
+
+bool
+CacheHierarchy::accessL2(uint64_t line_addr)
+{
+    return l2_.access(line_addr);
 }
 
 void

@@ -55,6 +55,16 @@ class CacheHierarchy
     /** Access one line from SM @p sm; returns the level that served it. */
     CacheLevel access(unsigned sm, uint64_t line_addr);
 
+    /**
+     * Access only SM @p sm's private L1 (returns hit?).  Used by the
+     * parallel orchestrator, which replays the shared-L2 stream
+     * separately to keep results deterministic.
+     */
+    bool accessL1(unsigned sm, uint64_t line_addr);
+
+    /** Access only the shared L2 (returns hit?). */
+    bool accessL2(uint64_t line_addr);
+
     void invalidateAll();
 
     unsigned lineBytes() const { return line_bytes_; }

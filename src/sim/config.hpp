@@ -19,6 +19,12 @@ constexpr unsigned kWarpSize = 32;
 /** Maximum hardware return-stack depth per thread (CAL/RET nesting). */
 constexpr unsigned kMaxCallDepth = 64;
 
+/** How thread blocks are distributed over SMs at launch time. */
+enum class ExecMode : uint8_t {
+    Serial,   ///< one host thread walks the SMs in CTA order
+    Parallel, ///< one host thread per SM, joined at the launch barrier
+};
+
 /** Geometry/latency parameters of one cache level. */
 struct CacheConfig {
     size_t size_bytes;
@@ -49,6 +55,19 @@ struct GpuConfig {
 
     /** Watchdog: abort launches that exceed this many warp-instructions. */
     uint64_t max_warp_instrs_per_launch = 1ull << 33;
+
+    /**
+     * Host-side execution strategy.  Results are bit-identical in both
+     * modes; Parallel runs each SM's thread blocks on a worker thread.
+     * Env override: NVBIT_SIM_EXEC=serial|parallel.
+     */
+    ExecMode exec_mode = ExecMode::Parallel;
+    /**
+     * Fetch decoded instructions from the shared predecode cache
+     * instead of byte-decoding on every dynamic instruction.
+     * Env override: NVBIT_SIM_PREDECODE=0|1.
+     */
+    bool use_predecode = true;
 };
 
 } // namespace nvbit::sim

@@ -1,1087 +1,75 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
-#include <array>
-#include <bit>
-#include <cmath>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
-#include <limits>
-#include <set>
+#include <functional>
 
 #include "common/logging.hpp"
+#include "sim/sm.hpp"
 
 namespace nvbit::sim {
 
-using isa::Opcode;
-using isa::OpFormat;
-using isa::Instruction;
-using isa::DType;
-
 namespace {
 
-/** Per-thread architectural state. */
-struct ThreadCtx {
-    enum class St : uint8_t { Ready, Barrier, Exited };
-
-    std::array<uint32_t, isa::kNumRegNames> regs{};
-    uint8_t preds = 0;           // P0..P6 in bits 0..6
-    uint64_t pc = 0;
-    St state = St::Ready;
-    uint64_t ret_stack[kMaxCallDepth];
-    unsigned ret_depth = 0;
-    uint32_t tid[3] = {0, 0, 0};
-    uint32_t flat_tid = 0;
-};
-
-float
-asF32(uint32_t bits)
+/** Apply NVBIT_SIM_EXEC / NVBIT_SIM_PREDECODE overrides when present. */
+void
+applyEnvOverrides(GpuConfig &cfg)
 {
-    float f;
-    std::memcpy(&f, &bits, sizeof(f));
-    return f;
-}
-
-uint32_t
-asBits(float f)
-{
-    uint32_t b;
-    std::memcpy(&b, &f, sizeof(b));
-    return b;
-}
-
-/** f32 -> integer conversion with defined saturation semantics. */
-int64_t
-f2iClamp(float f, bool is_signed)
-{
-    if (std::isnan(f))
-        return 0;
-    if (is_signed) {
-        if (f >= 2147483647.0f)
-            return 2147483647;
-        if (f <= -2147483648.0f)
-            return -2147483648ll;
-        return static_cast<int64_t>(f);
+    if (const char *e = std::getenv("NVBIT_SIM_EXEC")) {
+        if (std::strcmp(e, "serial") == 0)
+            cfg.exec_mode = ExecMode::Serial;
+        else if (std::strcmp(e, "parallel") == 0)
+            cfg.exec_mode = ExecMode::Parallel;
+        else
+            warn("ignoring NVBIT_SIM_EXEC=%s (want serial|parallel)", e);
     }
-    if (f >= 4294967295.0f)
-        return 4294967295ll;
-    if (f <= 0.0f)
-        return 0;
-    return static_cast<int64_t>(f);
+    if (const char *p = std::getenv("NVBIT_SIM_PREDECODE"))
+        cfg.use_predecode = std::strcmp(p, "0") != 0;
 }
 
 } // namespace
-
-/**
- * Executes one thread block to completion.  Warps are stepped
- * round-robin with a quantum; each warp internally uses min-PC
- * scheduling over its live threads.
- */
-class GpuDevice::CtaRunner
-{
-  public:
-    CtaRunner(GpuDevice &gpu, const LaunchParams &lp, unsigned sm,
-              const uint32_t ctaid[3], LaunchStats &stats)
-        : gpu_(gpu), lp_(lp), sm_(sm), stats_(stats),
-          ib_(isa::instrBytes(gpu.family()))
-    {
-        ctaid_[0] = ctaid[0];
-        ctaid_[1] = ctaid[1];
-        ctaid_[2] = ctaid[2];
-        nthreads_ = lp.block[0] * lp.block[1] * lp.block[2];
-        NVBIT_ASSERT(nthreads_ > 0 && nthreads_ <= 1024,
-                     "invalid block size %u", nthreads_);
-        nwarps_ = (nthreads_ + kWarpSize - 1) / kWarpSize;
-        threads_.resize(nwarps_ * kWarpSize);
-        local_.assign(static_cast<size_t>(nthreads_) * lp.local_bytes, 0);
-        shared_.assign(lp.shared_bytes, 0);
-
-        for (uint32_t z = 0, i = 0; z < lp.block[2]; ++z) {
-            for (uint32_t y = 0; y < lp.block[1]; ++y) {
-                for (uint32_t x = 0; x < lp.block[0]; ++x, ++i) {
-                    ThreadCtx &t = threads_[i];
-                    t.tid[0] = x;
-                    t.tid[1] = y;
-                    t.tid[2] = z;
-                    t.flat_tid = i;
-                    t.pc = lp.entry_pc;
-                    // ABI: R1 = stack pointer (stack grows downward
-                    // from the top of the thread's local window).
-                    t.regs[isa::kAbiSpReg] = lp.local_bytes;
-                }
-            }
-        }
-        // Pad threads beyond the block size: born exited.
-        for (uint32_t i = nthreads_; i < nwarps_ * kWarpSize; ++i)
-            threads_[i].state = ThreadCtx::St::Exited;
-    }
-
-    /** Run the block to completion. */
-    void
-    run()
-    {
-        constexpr unsigned kQuantum = 128;
-        while (true) {
-            bool progressed = false;
-            bool any_live = false;
-            for (unsigned w = 0; w < nwarps_; ++w) {
-                for (unsigned q = 0; q < kQuantum; ++q) {
-                    StepResult r = stepWarp(w);
-                    if (r == StepResult::Progress) {
-                        progressed = true;
-                        any_live = true;
-                    } else {
-                        if (r == StepResult::Blocked)
-                            any_live = true;
-                        break;
-                    }
-                }
-            }
-            if (!any_live)
-                break;
-            if (!progressed) {
-                // Everyone alive is waiting at the barrier: release.
-                bool released = false;
-                for (ThreadCtx &t : threads_) {
-                    if (t.state == ThreadCtx::St::Barrier) {
-                        t.state = ThreadCtx::St::Ready;
-                        released = true;
-                    }
-                }
-                if (!released)
-                    throw SimTrap{"thread block deadlocked", 0};
-            }
-        }
-    }
-
-  private:
-    enum class StepResult { Progress, Blocked, AllExited };
-
-    // --- Register-file helpers ----------------------------------------
-
-    static uint32_t
-    readReg(const ThreadCtx &t, uint8_t r)
-    {
-        return r == isa::kRegZ ? 0 : t.regs[r];
-    }
-
-    static void
-    writeReg(ThreadCtx &t, uint8_t r, uint32_t v)
-    {
-        if (r != isa::kRegZ)
-            t.regs[r] = v;
-    }
-
-    static uint64_t
-    readPair(const ThreadCtx &t, uint8_t r)
-    {
-        if (r == isa::kRegZ)
-            return 0;
-        uint64_t lo = t.regs[r];
-        uint64_t hi = (r + 1 < isa::kRegZ) ? t.regs[r + 1] : 0;
-        return lo | (hi << 32);
-    }
-
-    static void
-    writePair(ThreadCtx &t, uint8_t r, uint64_t v)
-    {
-        if (r == isa::kRegZ)
-            return;
-        t.regs[r] = static_cast<uint32_t>(v);
-        if (r + 1 < isa::kRegZ)
-            t.regs[r + 1] = static_cast<uint32_t>(v >> 32);
-    }
-
-    static bool
-    readPred(const ThreadCtx &t, uint8_t p, bool neg)
-    {
-        bool v = (p == isa::kPredT) ? true : ((t.preds >> p) & 1) != 0;
-        return neg ? !v : v;
-    }
-
-    static void
-    writePred(ThreadCtx &t, uint8_t p, bool v)
-    {
-        if (p == isa::kPredT)
-            return;
-        if (v)
-            t.preds |= static_cast<uint8_t>(1u << p);
-        else
-            t.preds &= static_cast<uint8_t>(~(1u << p));
-    }
-
-    // --- Memory helpers ------------------------------------------------
-
-    [[noreturn]] void
-    memTrap(uint64_t addr, uint64_t pc, const char *space, bool write)
-    {
-        throw SimTrap{strfmt("illegal %s %s at address 0x%llx", space,
-                             write ? "store" : "load",
-                             static_cast<unsigned long long>(addr)),
-                      pc};
-    }
-
-    uint64_t
-    loadGlobal(uint64_t addr, unsigned bytes, uint64_t pc)
-    {
-        try {
-            return bytes == 8 ? gpu_.memory().read64(addr)
-                              : gpu_.memory().read32(addr);
-        } catch (const mem::DeviceMemory::MemFault &) {
-            memTrap(addr, pc, "global", false);
-        }
-    }
-
-    void
-    storeGlobal(uint64_t addr, unsigned bytes, uint64_t v, uint64_t pc)
-    {
-        try {
-            if (bytes == 8)
-                gpu_.memory().write64(addr, v);
-            else
-                gpu_.memory().write32(addr, static_cast<uint32_t>(v));
-        } catch (const mem::DeviceMemory::MemFault &) {
-            memTrap(addr, pc, "global", true);
-        }
-    }
-
-    uint8_t *
-    localPtr(const ThreadCtx &t, uint64_t addr, unsigned bytes, uint64_t pc)
-    {
-        if (addr + bytes > lp_.local_bytes) {
-            memTrap(addr, pc, "local", false);
-        }
-        return local_.data() +
-               static_cast<size_t>(t.flat_tid) * lp_.local_bytes + addr;
-    }
-
-    uint8_t *
-    sharedPtr(uint64_t addr, unsigned bytes, uint64_t pc, bool write)
-    {
-        if (addr + bytes > shared_.size())
-            memTrap(addr, pc, "shared", write);
-        return shared_.data() + addr;
-    }
-
-    /** Charge the cache/timing model for one warp memory access. */
-    void
-    accountGlobalAccess(const std::set<uint64_t> &lines)
-    {
-        if (lines.empty())
-            return;
-        ++stats_.global_mem_warp_instrs;
-        stats_.unique_lines_sum += lines.size();
-        cycles_ += lines.size() - 1; // extra issue slots for divergence
-        for (uint64_t line : lines) {
-            switch (gpu_.caches_.access(sm_, line)) {
-              case CacheLevel::L1:
-                ++stats_.l1_hits;
-                break;
-              case CacheLevel::L2:
-                ++stats_.l1_misses;
-                ++stats_.l2_hits;
-                cycles_ += gpu_.cfg_.l1_miss_penalty;
-                break;
-              case CacheLevel::Memory:
-                ++stats_.l1_misses;
-                ++stats_.l2_misses;
-                cycles_ += gpu_.cfg_.l1_miss_penalty +
-                           gpu_.cfg_.l2_miss_penalty;
-                break;
-            }
-        }
-    }
-
-    uint32_t
-    specialReg(const ThreadCtx &t, isa::SpecialReg sr) const
-    {
-        using SR = isa::SpecialReg;
-        switch (sr) {
-          case SR::TID_X: return t.tid[0];
-          case SR::TID_Y: return t.tid[1];
-          case SR::TID_Z: return t.tid[2];
-          case SR::NTID_X: return lp_.block[0];
-          case SR::NTID_Y: return lp_.block[1];
-          case SR::NTID_Z: return lp_.block[2];
-          case SR::CTAID_X: return ctaid_[0];
-          case SR::CTAID_Y: return ctaid_[1];
-          case SR::CTAID_Z: return ctaid_[2];
-          case SR::NCTAID_X: return lp_.grid[0];
-          case SR::NCTAID_Y: return lp_.grid[1];
-          case SR::NCTAID_Z: return lp_.grid[2];
-          case SR::LANEID: return t.flat_tid % kWarpSize;
-          case SR::WARPID: return t.flat_tid / kWarpSize;
-          case SR::SMID: return sm_;
-          case SR::CLOCKLO: return static_cast<uint32_t>(cycles_);
-          default:
-            break;
-        }
-        throw SimTrap{strfmt("S2R of unknown special register %u",
-                             static_cast<unsigned>(sr)), t.pc};
-    }
-
-    uint64_t
-    constRead(const Instruction &in, uint64_t pc) const
-    {
-        unsigned bank = isa::modGetCBank(in.mod);
-        unsigned bytes = in.memAccessBytes();
-        const std::vector<uint8_t> *b = nullptr;
-        if (bank == 0)
-            b = &lp_.bank0;
-        else if (bank == 1)
-            b = &lp_.bank1;
-        else if (bank == 2)
-            b = &lp_.bank2;
-        else
-            throw SimTrap{strfmt("LDC from unmapped bank %u", bank), pc};
-        uint64_t off = static_cast<uint64_t>(in.imm);
-        if (off + bytes > b->size()) {
-            throw SimTrap{strfmt("LDC out of range: c[%u][0x%llx]", bank,
-                                 static_cast<unsigned long long>(off)),
-                          pc};
-        }
-        uint64_t v = 0;
-        std::memcpy(&v, b->data() + off, bytes);
-        return v;
-    }
-
-    static uint64_t
-    atomApply(isa::AtomOp op, DType dt, uint64_t old_v, uint64_t b,
-              uint64_t c)
-    {
-        using isa::AtomOp;
-        switch (op) {
-          case AtomOp::ADD:
-            if (dt == DType::F32)
-                return asBits(asF32(static_cast<uint32_t>(old_v)) +
-                              asF32(static_cast<uint32_t>(b)));
-            if (dt == DType::U64)
-                return old_v + b;
-            return static_cast<uint32_t>(old_v) + static_cast<uint32_t>(b);
-          case AtomOp::MIN:
-            if (dt == DType::S32)
-                return static_cast<uint32_t>(
-                    std::min(static_cast<int32_t>(old_v),
-                             static_cast<int32_t>(b)));
-            if (dt == DType::F32)
-                return asBits(std::min(asF32(static_cast<uint32_t>(old_v)),
-                                       asF32(static_cast<uint32_t>(b))));
-            if (dt == DType::U64)
-                return std::min(old_v, b);
-            return std::min(static_cast<uint32_t>(old_v),
-                            static_cast<uint32_t>(b));
-          case AtomOp::MAX:
-            if (dt == DType::S32)
-                return static_cast<uint32_t>(
-                    std::max(static_cast<int32_t>(old_v),
-                             static_cast<int32_t>(b)));
-            if (dt == DType::F32)
-                return asBits(std::max(asF32(static_cast<uint32_t>(old_v)),
-                                       asF32(static_cast<uint32_t>(b))));
-            if (dt == DType::U64)
-                return std::max(old_v, b);
-            return std::max(static_cast<uint32_t>(old_v),
-                            static_cast<uint32_t>(b));
-          case AtomOp::EXCH:
-            return b;
-          case AtomOp::CAS:
-            return old_v == b ? c : old_v;
-          case AtomOp::AND:
-            return old_v & b;
-          case AtomOp::OR:
-            return old_v | b;
-          case AtomOp::XOR:
-            return old_v ^ b;
-        }
-        return old_v;
-    }
-
-    // --- The heart: execute one warp instruction ----------------------
-
-    StepResult
-    stepWarp(unsigned w)
-    {
-        ThreadCtx *warp = &threads_[w * kWarpSize];
-
-        uint64_t minpc = std::numeric_limits<uint64_t>::max();
-        bool any_not_exited = false;
-        for (unsigned l = 0; l < kWarpSize; ++l) {
-            const ThreadCtx &t = warp[l];
-            if (t.state == ThreadCtx::St::Exited)
-                continue;
-            any_not_exited = true;
-            if (t.state == ThreadCtx::St::Ready)
-                minpc = std::min(minpc, t.pc);
-        }
-        if (!any_not_exited)
-            return StepResult::AllExited;
-        if (minpc == std::numeric_limits<uint64_t>::max())
-            return StepResult::Blocked; // all live threads at barrier
-
-        // Active set: live threads converged at min PC.
-        uint32_t active_mask = 0;
-        for (unsigned l = 0; l < kWarpSize; ++l) {
-            if (warp[l].state == ThreadCtx::St::Ready &&
-                warp[l].pc == minpc) {
-                active_mask |= 1u << l;
-            }
-        }
-
-        Instruction in;
-        try {
-            auto bytes = gpu_.memory().view(minpc, ib_);
-            if (!isa::decode(gpu_.family(), bytes.data(), in))
-                throw SimTrap{"illegal instruction encoding", minpc};
-        } catch (const mem::DeviceMemory::MemFault &) {
-            throw SimTrap{"instruction fetch from unmapped memory", minpc};
-        }
-
-        // Evaluate guard predicates.
-        uint32_t exec_mask = 0;
-        for (unsigned l = 0; l < kWarpSize; ++l) {
-            if ((active_mask >> l) & 1) {
-                if (readPred(warp[l], in.pred, in.pred_neg))
-                    exec_mask |= 1u << l;
-            }
-        }
-
-        const uint64_t next_pc = minpc + ib_;
-        // All active threads advance; control flow overrides below.
-        for (unsigned l = 0; l < kWarpSize; ++l) {
-            if ((active_mask >> l) & 1)
-                warp[l].pc = next_pc;
-        }
-
-        ++stats_.warp_instrs;
-        ++cycles_;
-        stats_.thread_instrs += std::popcount(exec_mask);
-        stats_.warp_instrs_by_op[static_cast<size_t>(in.op)] += 1;
-        stats_.thread_instrs_by_op[static_cast<size_t>(in.op)] +=
-            std::popcount(exec_mask);
-        if (stats_.warp_instrs > gpu_.cfg_.max_warp_instrs_per_launch) {
-            throw SimTrap{"launch exceeded the warp-instruction watchdog",
-                          minpc};
-        }
-
-        execute(in, warp, active_mask, exec_mask, minpc, next_pc);
-        return StepResult::Progress;
-    }
-
-    void
-    execute(const Instruction &in, ThreadCtx *warp, uint32_t active_mask,
-            uint32_t exec_mask, uint64_t pc, uint64_t next_pc)
-    {
-        (void)active_mask;
-        const bool imm_alu = (in.mod & isa::kModImmSrc2) != 0;
-        const DType dt = isa::modGetDType(in.mod);
-
-        auto forEachExec = [&](auto &&fn) {
-            for (unsigned l = 0; l < kWarpSize; ++l)
-                if ((exec_mask >> l) & 1)
-                    fn(warp[l], l);
-        };
-
-        auto src2 = [&](const ThreadCtx &t) -> uint32_t {
-            return imm_alu ? static_cast<uint32_t>(in.imm)
-                           : readReg(t, in.rb);
-        };
-        auto src2Pair = [&](const ThreadCtx &t) -> uint64_t {
-            return imm_alu ? static_cast<uint64_t>(in.imm)
-                           : readPair(t, in.rb);
-        };
-
-        switch (in.op) {
-          case Opcode::NOP:
-            break;
-
-          case Opcode::EXIT:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.state = ThreadCtx::St::Exited;
-            });
-            break;
-
-          case Opcode::BRA:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.pc = next_pc + in.imm;
-            });
-            break;
-
-          case Opcode::JMP:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.pc = static_cast<uint64_t>(in.imm) * isa::kJmpScale;
-            });
-            break;
-
-          case Opcode::BRX:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.pc = readReg(t, in.ra);
-            });
-            break;
-
-          case Opcode::CAL:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (t.ret_depth >= kMaxCallDepth)
-                    throw SimTrap{"call stack overflow", pc};
-                t.ret_stack[t.ret_depth++] = next_pc;
-                t.pc = static_cast<uint64_t>(in.imm) * isa::kJmpScale;
-            });
-            break;
-
-          case Opcode::RET:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (t.ret_depth == 0)
-                    throw SimTrap{"RET with empty call stack", pc};
-                t.pc = t.ret_stack[--t.ret_depth];
-            });
-            break;
-
-          case Opcode::BAR:
-            if (!in.alwaysExecutes())
-                throw SimTrap{"predicated BAR is not supported", pc};
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.state = ThreadCtx::St::Barrier;
-            });
-            break;
-
-          case Opcode::MOV:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64) {
-                    // Alu1 form: the register source is ra.
-                    writePair(t, in.rd,
-                              imm_alu ? static_cast<uint64_t>(in.imm)
-                                      : readPair(t, in.ra));
-                } else {
-                    writeReg(t, in.rd,
-                             imm_alu ? static_cast<uint32_t>(in.imm)
-                                     : readReg(t, in.ra));
-                }
-            });
-            break;
-
-          case Opcode::LUI:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd,
-                         static_cast<uint32_t>(in.imm) << 16);
-            });
-            break;
-
-          case Opcode::SEL:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                bool p = readPred(t, isa::modGetSelPred(in.mod),
-                                  isa::modGetSelPredNeg(in.mod));
-                writeReg(t, in.rd, p ? readReg(t, in.ra)
-                                     : readReg(t, in.rb));
-            });
-            break;
-
-          case Opcode::SHL:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64) {
-                    writePair(t, in.rd,
-                              readPair(t, in.ra)
-                                  << (src2(t) & 63));
-                } else {
-                    writeReg(t, in.rd, readReg(t, in.ra)
-                                           << (src2(t) & 31));
-                }
-            });
-            break;
-
-          case Opcode::SHR:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64) {
-                    writePair(t, in.rd,
-                              readPair(t, in.ra) >> (src2(t) & 63));
-                } else if (dt == DType::S32) {
-                    writeReg(t, in.rd,
-                             static_cast<uint32_t>(
-                                 static_cast<int32_t>(readReg(t, in.ra)) >>
-                                 (src2(t) & 31)));
-                } else {
-                    writeReg(t, in.rd,
-                             readReg(t, in.ra) >> (src2(t) & 31));
-                }
-            });
-            break;
-
-          case Opcode::AND:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, readReg(t, in.ra) & src2(t));
-            });
-            break;
-          case Opcode::OR:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, readReg(t, in.ra) | src2(t));
-            });
-            break;
-          case Opcode::XOR:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, readReg(t, in.ra) ^ src2(t));
-            });
-            break;
-          case Opcode::NOT:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, ~readReg(t, in.ra));
-            });
-            break;
-
-          case Opcode::IADD:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64)
-                    writePair(t, in.rd, readPair(t, in.ra) + src2Pair(t));
-                else
-                    writeReg(t, in.rd, readReg(t, in.ra) + src2(t));
-            });
-            break;
-          case Opcode::ISUB:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64)
-                    writePair(t, in.rd, readPair(t, in.ra) - src2Pair(t));
-                else
-                    writeReg(t, in.rd, readReg(t, in.ra) - src2(t));
-            });
-            break;
-          case Opcode::IMUL:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64) {
-                    writePair(t, in.rd, readPair(t, in.ra) * src2Pair(t));
-                } else {
-                    writeReg(t, in.rd, readReg(t, in.ra) * src2(t));
-                }
-            });
-            break;
-          case Opcode::IMAD:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                if (dt == DType::U64) {
-                    // Wide form: pair = u32 * u32 + pair.
-                    uint64_t prod =
-                        static_cast<uint64_t>(readReg(t, in.ra)) *
-                        static_cast<uint64_t>(readReg(t, in.rb));
-                    writePair(t, in.rd, prod + readPair(t, in.rc));
-                } else {
-                    writeReg(t, in.rd,
-                             readReg(t, in.ra) * readReg(t, in.rb) +
-                                 readReg(t, in.rc));
-                }
-            });
-            break;
-          case Opcode::IMNMX:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                bool want_max = (in.mod & isa::kModMnmxMax) != 0;
-                uint32_t a = readReg(t, in.ra), b = src2(t);
-                uint32_t r;
-                if (dt == DType::S32) {
-                    int32_t sa = static_cast<int32_t>(a);
-                    int32_t sb = static_cast<int32_t>(b);
-                    r = static_cast<uint32_t>(want_max ? std::max(sa, sb)
-                                                       : std::min(sa, sb));
-                } else {
-                    r = want_max ? std::max(a, b) : std::min(a, b);
-                }
-                writeReg(t, in.rd, r);
-            });
-            break;
-          case Opcode::POPC:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd,
-                         static_cast<uint32_t>(
-                             std::popcount(readReg(t, in.ra))));
-            });
-            break;
-
-          case Opcode::FADD:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, asBits(asF32(readReg(t, in.ra)) +
-                                          asF32(src2(t))));
-            });
-            break;
-          case Opcode::FMUL:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, asBits(asF32(readReg(t, in.ra)) *
-                                          asF32(src2(t))));
-            });
-            break;
-          case Opcode::FFMA:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd,
-                         asBits(std::fma(asF32(readReg(t, in.ra)),
-                                         asF32(readReg(t, in.rb)),
-                                         asF32(readReg(t, in.rc)))));
-            });
-            break;
-          case Opcode::FMNMX:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                float a = asF32(readReg(t, in.ra));
-                float b = asF32(src2(t));
-                bool want_max = (in.mod & isa::kModMnmxMax) != 0;
-                writeReg(t, in.rd,
-                         asBits(want_max ? std::fmax(a, b)
-                                         : std::fmin(a, b)));
-            });
-            break;
-          case Opcode::MUFU:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                float a = asF32(readReg(t, in.ra));
-                float r = 0.0f;
-                switch (isa::modGetMufu(in.mod)) {
-                  case isa::MufuOp::RCP: r = 1.0f / a; break;
-                  case isa::MufuOp::SQRT: r = std::sqrt(a); break;
-                  case isa::MufuOp::RSQ: r = 1.0f / std::sqrt(a); break;
-                  case isa::MufuOp::EX2: r = std::exp2(a); break;
-                  case isa::MufuOp::LG2: r = std::log2(a); break;
-                  case isa::MufuOp::SIN: r = std::sin(a); break;
-                  case isa::MufuOp::COS: r = std::cos(a); break;
-                }
-                writeReg(t, in.rd, asBits(r));
-            });
-            break;
-          case Opcode::I2F:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint32_t a = readReg(t, in.ra);
-                float r = (dt == DType::S32)
-                              ? static_cast<float>(
-                                    static_cast<int32_t>(a))
-                              : static_cast<float>(a);
-                writeReg(t, in.rd, asBits(r));
-            });
-            break;
-          case Opcode::F2I:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                float a = asF32(readReg(t, in.ra));
-                writeReg(t, in.rd,
-                         static_cast<uint32_t>(
-                             f2iClamp(a, dt == DType::S32)));
-            });
-            break;
-
-          case Opcode::ISETP: {
-            const bool imm_setp = (in.mod & isa::kModSetpImm) != 0;
-            const DType sdt = isa::modGetSetpDType(in.mod);
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                bool r;
-                if (sdt == DType::U64) {
-                    uint64_t a = readPair(t, in.ra);
-                    uint64_t b = imm_setp
-                                     ? static_cast<uint64_t>(in.imm)
-                                     : readPair(t, in.rb);
-                    r = cmpApply(isa::modGetCmp(in.mod), a, b);
-                } else if (sdt == DType::S32) {
-                    int64_t a = static_cast<int32_t>(readReg(t, in.ra));
-                    int64_t b = imm_setp
-                                    ? in.imm
-                                    : static_cast<int32_t>(
-                                          readReg(t, in.rb));
-                    r = cmpApplySigned(isa::modGetCmp(in.mod), a, b);
-                } else {
-                    uint64_t a = readReg(t, in.ra);
-                    uint64_t b = imm_setp
-                                     ? static_cast<uint32_t>(in.imm)
-                                     : readReg(t, in.rb);
-                    r = cmpApply(isa::modGetCmp(in.mod), a, b);
-                }
-                writePred(t, in.rd & 0x7, r);
-            });
-            break;
-          }
-          case Opcode::FSETP: {
-            const bool imm_setp = (in.mod & isa::kModSetpImm) != 0;
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                float a = asF32(readReg(t, in.ra));
-                float b = imm_setp
-                              ? static_cast<float>(in.imm)
-                              : asF32(readReg(t, in.rb));
-                bool r = false;
-                switch (isa::modGetCmp(in.mod)) {
-                  case isa::CmpOp::LT: r = a < b; break;
-                  case isa::CmpOp::EQ: r = a == b; break;
-                  case isa::CmpOp::LE: r = a <= b; break;
-                  case isa::CmpOp::GT: r = a > b; break;
-                  case isa::CmpOp::NE: r = a != b; break;
-                  case isa::CmpOp::GE: r = a >= b; break;
-                }
-                writePred(t, in.rd & 0x7, r);
-            });
-            break;
-          }
-          case Opcode::P2R:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, t.preds);
-            });
-            break;
-          case Opcode::R2P:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                t.preds = static_cast<uint8_t>(readReg(t, in.ra) & 0x7F);
-            });
-            break;
-
-          case Opcode::LDG: {
-            std::set<uint64_t> lines;
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readPair(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                lines.insert(addr & ~static_cast<uint64_t>(
-                                        gpu_.caches_.lineBytes() - 1));
-                uint64_t v = loadGlobal(addr, bytes, pc);
-                if (bytes == 8)
-                    writePair(t, in.rd, v);
-                else
-                    writeReg(t, in.rd, static_cast<uint32_t>(v));
-            });
-            accountGlobalAccess(lines);
-            break;
-          }
-          case Opcode::STG: {
-            std::set<uint64_t> lines;
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readPair(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                lines.insert(addr & ~static_cast<uint64_t>(
-                                        gpu_.caches_.lineBytes() - 1));
-                uint64_t v = bytes == 8 ? readPair(t, in.rb)
-                                        : readReg(t, in.rb);
-                storeGlobal(addr, bytes, v, pc);
-            });
-            accountGlobalAccess(lines);
-            break;
-          }
-          case Opcode::LDL: {
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readReg(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                uint64_t v = 0;
-                std::memcpy(&v, localPtr(t, addr, bytes, pc), bytes);
-                if (bytes == 8)
-                    writePair(t, in.rd, v);
-                else
-                    writeReg(t, in.rd, static_cast<uint32_t>(v));
-            });
-            break;
-          }
-          case Opcode::STL: {
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readReg(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                uint64_t v = bytes == 8 ? readPair(t, in.rb)
-                                        : readReg(t, in.rb);
-                std::memcpy(localPtr(t, addr, bytes, pc), &v, bytes);
-            });
-            break;
-          }
-          case Opcode::LDS: {
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readReg(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                uint64_t v = 0;
-                std::memcpy(&v, sharedPtr(addr, bytes, pc, false), bytes);
-                if (bytes == 8)
-                    writePair(t, in.rd, v);
-                else
-                    writeReg(t, in.rd, static_cast<uint32_t>(v));
-            });
-            break;
-          }
-          case Opcode::STS: {
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readReg(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                uint64_t v = bytes == 8 ? readPair(t, in.rb)
-                                        : readReg(t, in.rb);
-                std::memcpy(sharedPtr(addr, bytes, pc, true), &v, bytes);
-            });
-            break;
-          }
-          case Opcode::LDC: {
-            unsigned bytes = in.memAccessBytes();
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t v = constRead(in, pc);
-                if (bytes == 8)
-                    writePair(t, in.rd, v);
-                else
-                    writeReg(t, in.rd, static_cast<uint32_t>(v));
-            });
-            break;
-          }
-          case Opcode::ATOM: {
-            std::set<uint64_t> lines;
-            const isa::AtomOp aop = isa::modGetAtomOp(in.mod);
-            const DType adt = isa::modGetAtomDType(in.mod);
-            const unsigned bytes = (adt == DType::U64) ? 8 : 4;
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                uint64_t addr = readPair(t, in.ra) +
-                                static_cast<uint64_t>(in.imm);
-                lines.insert(addr & ~static_cast<uint64_t>(
-                                        gpu_.caches_.lineBytes() - 1));
-                uint64_t old_v = loadGlobal(addr, bytes, pc);
-                uint64_t b = bytes == 8 ? readPair(t, in.rb)
-                                        : readReg(t, in.rb);
-                uint64_t c = bytes == 8 ? readPair(t, in.rc)
-                                        : readReg(t, in.rc);
-                uint64_t new_v = atomApply(aop, adt, old_v, b, c);
-                storeGlobal(addr, bytes, new_v, pc);
-                if (bytes == 8)
-                    writePair(t, in.rd, old_v);
-                else
-                    writeReg(t, in.rd, static_cast<uint32_t>(old_v));
-            });
-            accountGlobalAccess(lines);
-            break;
-          }
-
-          case Opcode::VOTE: {
-            uint32_t ballot = 0;
-            uint8_t psrc = isa::modGetVotePred(in.mod);
-            bool pneg = isa::modGetVotePredNeg(in.mod);
-            forEachExec([&](ThreadCtx &t, unsigned l) {
-                if (readPred(t, psrc, pneg))
-                    ballot |= 1u << l;
-            });
-            uint32_t result;
-            switch (isa::modGetVoteMode(in.mod)) {
-              case isa::VoteMode::BALLOT:
-                result = ballot;
-                break;
-              case isa::VoteMode::ANY:
-                result = ballot != 0;
-                break;
-              case isa::VoteMode::ALL:
-              default:
-                result = (ballot == exec_mask);
-                break;
-            }
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd, result);
-            });
-            break;
-          }
-          case Opcode::MATCH: {
-            const bool wide = (in.mod & isa::kModSize64) != 0;
-            std::array<uint64_t, kWarpSize> vals{};
-            forEachExec([&](ThreadCtx &t, unsigned l) {
-                vals[l] = wide ? readPair(t, in.ra) : readReg(t, in.ra);
-            });
-            forEachExec([&](ThreadCtx &t, unsigned l) {
-                uint32_t m = 0;
-                for (unsigned j = 0; j < kWarpSize; ++j) {
-                    if (((exec_mask >> j) & 1) && vals[j] == vals[l])
-                        m |= 1u << j;
-                }
-                writeReg(t, in.rd, m);
-            });
-            break;
-          }
-          case Opcode::SHFL: {
-            const bool imm_lane = (in.mod & isa::kModShflImm) != 0;
-            std::array<uint32_t, kWarpSize> vals{};
-            forEachExec([&](ThreadCtx &t, unsigned l) {
-                vals[l] = readReg(t, in.ra);
-            });
-            forEachExec([&](ThreadCtx &t, unsigned l) {
-                uint32_t b = imm_lane ? static_cast<uint32_t>(in.imm)
-                                      : readReg(t, in.rb);
-                int src;
-                switch (isa::modGetShflMode(in.mod)) {
-                  case isa::ShflMode::IDX: src = b & 31; break;
-                  case isa::ShflMode::UP:
-                    src = static_cast<int>(l) - static_cast<int>(b);
-                    break;
-                  case isa::ShflMode::DOWN:
-                    src = static_cast<int>(l) + static_cast<int>(b);
-                    break;
-                  case isa::ShflMode::BFLY:
-                  default:
-                    src = static_cast<int>(l ^ b) & 31;
-                    break;
-                }
-                uint32_t v = vals[l]; // out-of-range keeps own value
-                if (src >= 0 && src < static_cast<int>(kWarpSize) &&
-                    ((exec_mask >> src) & 1)) {
-                    v = vals[src];
-                }
-                writeReg(t, in.rd, v);
-            });
-            break;
-          }
-          case Opcode::S2R:
-            forEachExec([&](ThreadCtx &t, unsigned) {
-                writeReg(t, in.rd,
-                         specialReg(t, static_cast<isa::SpecialReg>(
-                                           in.imm)));
-            });
-            break;
-
-          case Opcode::PROXY:
-            if (exec_mask != 0) {
-                throw SimTrap{
-                    strfmt("PROXY instruction (id %lld) executed without "
-                           "emulation — an NVBit tool must replace it",
-                           static_cast<long long>(in.imm)),
-                    pc};
-            }
-            break;
-
-          default:
-            throw SimTrap{strfmt("unimplemented opcode %s",
-                                 isa::opcodeName(in.op)),
-                          pc};
-        }
-    }
-
-    static bool
-    cmpApply(isa::CmpOp c, uint64_t a, uint64_t b)
-    {
-        switch (c) {
-          case isa::CmpOp::LT: return a < b;
-          case isa::CmpOp::EQ: return a == b;
-          case isa::CmpOp::LE: return a <= b;
-          case isa::CmpOp::GT: return a > b;
-          case isa::CmpOp::NE: return a != b;
-          case isa::CmpOp::GE: return a >= b;
-        }
-        return false;
-    }
-
-    static bool
-    cmpApplySigned(isa::CmpOp c, int64_t a, int64_t b)
-    {
-        switch (c) {
-          case isa::CmpOp::LT: return a < b;
-          case isa::CmpOp::EQ: return a == b;
-          case isa::CmpOp::LE: return a <= b;
-          case isa::CmpOp::GT: return a > b;
-          case isa::CmpOp::NE: return a != b;
-          case isa::CmpOp::GE: return a >= b;
-        }
-        return false;
-    }
-
-  public:
-    uint64_t cycles() const { return cycles_; }
-
-  private:
-    GpuDevice &gpu_;
-    const LaunchParams &lp_;
-    unsigned sm_;
-    LaunchStats &stats_;
-    size_t ib_;
-    uint32_t ctaid_[3];
-    uint32_t nthreads_ = 0;
-    unsigned nwarps_ = 0;
-    std::vector<ThreadCtx> threads_;
-    std::vector<uint8_t> local_;
-    std::vector<uint8_t> shared_;
-    uint64_t cycles_ = 0;
-};
 
 GpuDevice::GpuDevice(const GpuConfig &cfg)
     : cfg_(cfg),
       memory_(std::make_unique<mem::DeviceMemory>(cfg.mem_bytes)),
       caches_(cfg)
-{}
+{
+    applyEnvOverrides(cfg_);
+    code_cache_ = std::make_unique<CodeCache>(*memory_, cfg_.family);
+    pool_ = std::make_unique<ThreadPool>();
+    // Host-side writes (module loads, trampoline patches, cuMemcpy)
+    // invalidate any stale predecoded pages they overlap.
+    memory_->setWriteObserver([this](mem::DevPtr addr, size_t bytes) {
+        code_cache_->invalidateRange(addr, bytes);
+    });
+}
+
+GpuDevice::~GpuDevice()
+{
+    memory_->setWriteObserver(nullptr);
+}
+
+void
+GpuDevice::invalidateCaches()
+{
+    caches_.invalidateAll();
+    code_cache_->invalidateAll();
+}
+
+void
+GpuDevice::invalidateCodeRange(mem::DevPtr addr, size_t bytes)
+{
+    code_cache_->invalidateRange(addr, bytes);
+}
+
+void
+GpuDevice::predecodeRange(mem::DevPtr addr, size_t bytes)
+{
+    if (cfg_.use_predecode)
+        code_cache_->prewarm(addr, bytes);
+}
 
 unsigned
 GpuDevice::occupancyWarps(uint32_t num_regs, uint32_t shared_bytes) const
@@ -1099,24 +87,102 @@ LaunchStats
 GpuDevice::launch(const LaunchParams &lp)
 {
     NVBIT_ASSERT(lp.entry_pc != 0, "launch with null entry PC");
-    LaunchStats stats;
-    std::vector<uint64_t> sm_cycles(cfg_.num_sms, 0);
 
+    // No execution threads exist between launches: safe to reclaim
+    // pages invalidated since the previous launch.
+    code_cache_->collectRetired();
+
+    // Enumerate the grid and assign CTAs round-robin over SMs.
+    std::vector<CtaWork> all;
+    all.reserve(static_cast<size_t>(lp.grid[0]) * lp.grid[1] *
+                lp.grid[2]);
     uint64_t cta_index = 0;
-    for (uint32_t z = 0; z < lp.grid[2]; ++z) {
-        for (uint32_t y = 0; y < lp.grid[1]; ++y) {
-            for (uint32_t x = 0; x < lp.grid[0]; ++x, ++cta_index) {
-                unsigned sm =
-                    static_cast<unsigned>(cta_index % cfg_.num_sms);
-                uint32_t ctaid[3] = {x, y, z};
-                CtaRunner runner(*this, lp, sm, ctaid, stats);
-                runner.run();
-                sm_cycles[sm] += runner.cycles();
-                ++stats.ctas;
-            }
+    for (uint32_t z = 0; z < lp.grid[2]; ++z)
+        for (uint32_t y = 0; y < lp.grid[1]; ++y)
+            for (uint32_t x = 0; x < lp.grid[0]; ++x, ++cta_index)
+                all.push_back(CtaWork{cta_index, {x, y, z}});
+
+    const unsigned nsm = cfg_.num_sms;
+    CodeCache *cc = cfg_.use_predecode ? code_cache_.get() : nullptr;
+    std::vector<std::unique_ptr<SmExecutor>> execs;
+    execs.reserve(nsm);
+    for (unsigned sm = 0; sm < nsm; ++sm)
+        execs.push_back(std::make_unique<SmExecutor>(
+            sm, cfg_, *memory_, caches_, cc));
+
+    std::vector<std::vector<CtaWork>> per_sm(nsm);
+    for (const CtaWork &w : all)
+        per_sm[w.cta_index % nsm].push_back(w);
+
+    AtomicGate gate(all.size());
+    if (cfg_.exec_mode == ExecMode::Serial) {
+        // Same executors, same per-SM streams — just one host thread
+        // walking the grid in flat order.
+        for (const CtaWork &w : all) {
+            SmExecutor &ex = *execs[w.cta_index % nsm];
+            ex.runCta(lp, w, gate);
+            gate.markDone(w.cta_index);
+        }
+    } else {
+        std::atomic<bool> abort{false};
+        std::vector<std::function<void()>> tasks(nsm);
+        for (unsigned sm = 0; sm < nsm; ++sm) {
+            if (per_sm[sm].empty())
+                continue;
+            tasks[sm] = [&, sm] {
+                execs[sm]->runAssigned(lp, per_sm[sm], gate, abort);
+            };
+        }
+        pool_->runAll(std::move(tasks));
+
+        // Surface the fault of the earliest CTA in grid order, which
+        // is the one the serial path would have hit first.
+        const SmExecutor::CapturedTrap *first = nullptr;
+        for (const auto &ex : execs) {
+            const auto &t = ex->trap();
+            if (t && (!first || t->cta_index < first->cta_index))
+                first = &*t;
+        }
+        if (first) {
+            if (first->other)
+                std::rethrow_exception(first->other);
+            throw first->trap;
         }
     }
-    stats.cycles = *std::max_element(sm_cycles.begin(), sm_cycles.end());
+
+    // Replay the deferred L2 stream in grid order.  Each SM's log
+    // entries appear in its own execution order, which is increasing
+    // grid order, so one cursor per SM suffices.
+    std::vector<size_t> cursor(nsm, 0);
+    for (const CtaWork &w : all) {
+        unsigned sm = static_cast<unsigned>(w.cta_index % nsm);
+        SmExecutor &ex = *execs[sm];
+        const auto &logs = ex.l2Logs();
+        NVBIT_ASSERT(cursor[sm] < logs.size() &&
+                         logs[cursor[sm]].first == w.cta_index,
+                     "L2 replay log out of order for CTA %llu",
+                     static_cast<unsigned long long>(w.cta_index));
+        for (uint64_t line : logs[cursor[sm]].second) {
+            if (caches_.accessL2(line)) {
+                ++ex.shard().l2_hits;
+                ex.addCycles(cfg_.l1_miss_penalty);
+            } else {
+                ++ex.shard().l2_misses;
+                ex.addCycles(cfg_.l1_miss_penalty + cfg_.l2_miss_penalty);
+            }
+        }
+        ++cursor[sm];
+    }
+
+    // Aggregate the per-SM shards; launch time is the slowest SM.
+    LaunchStats stats;
+    uint64_t max_cycles = 0;
+    for (const auto &ex : execs) {
+        stats.merge(ex->shard());
+        max_cycles = std::max(max_cycles, ex->cycleTotal());
+    }
+    stats.cycles = max_cycles;
+
     totals_.merge(stats);
     return stats;
 }

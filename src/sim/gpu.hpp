@@ -1,17 +1,24 @@
 /**
  * @file
- * Functional + timing SIMT GPU simulator.
+ * The simulated GPU device: memory, caches, predecode cache, and the
+ * launch orchestrator.
  *
  * The simulator executes binary machine code resident in simulated
  * device memory.  This property is essential for NVBit: the framework
  * patches code bytes (jump-to-trampoline rewrites, code swapping) and
  * the simulator, like real hardware, simply fetches whatever bytes are
- * at the PC.
+ * at the PC.  Since the predecode cache (sim/predecode.hpp) memoises
+ * decoded instructions, host-side code writes invalidate the affected
+ * pages through DeviceMemory's write observer plus explicit calls on
+ * the NVBit patching paths — the same protocol the paper describes for
+ * instrumented-function caches.
  *
- * Divergence is handled with per-thread PCs and min-PC scheduling
- * (threads whose PC is smallest execute first), which reconverges
- * structured control flow and supports arbitrary code layouts —
- * including NVBit trampolines placed far from the original function.
+ * Execution is layered: GpuDevice assigns thread blocks to SMs
+ * (round-robin by flat grid index) and runs the per-SM executors
+ * (sim/sm.hpp) either serially or on a thread pool; each SM drives a
+ * warp scheduler (min-PC reconvergence, sim/warp_scheduler.hpp) and an
+ * interpreter (sim/interpreter.hpp).  Both modes produce bit-identical
+ * memory contents and statistics; see docs/execution_pipeline.md.
  *
  * Timing model: each SM issues one warp-instruction per cycle;
  * global-memory instructions add per-unique-line penalties depending on
@@ -30,42 +37,16 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "isa/arch.hpp"
 #include "mem/device_memory.hpp"
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
+#include "sim/launch.hpp"
+#include "sim/predecode.hpp"
 #include "sim/stats.hpp"
 
 namespace nvbit::sim {
-
-/** Thrown when simulated code faults (illegal address, PROXY, ...). */
-struct SimTrap {
-    std::string reason;
-    uint64_t pc = 0;
-};
-
-/** Everything needed to run one kernel grid. */
-struct LaunchParams {
-    uint64_t entry_pc = 0;
-    uint32_t grid[3] = {1, 1, 1};
-    uint32_t block[3] = {1, 1, 1};
-    /** Registers per thread (used for occupancy accounting). */
-    uint32_t num_regs = 32;
-    /** Per-thread local-memory (stack) bytes; R1 is initialised to it. */
-    uint32_t local_bytes = 1024;
-    /** Shared memory bytes per thread block. */
-    uint32_t shared_bytes = 0;
-    /** Constant bank 0: kernel parameters. */
-    std::vector<uint8_t> bank0;
-    /** Constant bank 1: module constants (incl. global-address table). */
-    std::vector<uint8_t> bank1;
-    /**
-     * Constant bank 2: NVBit tool-module constants.  Mapped by the
-     * driver whenever a tool module is loaded, so injected device
-     * functions can reach their globals from any kernel.
-     */
-    std::vector<uint8_t> bank2;
-};
 
 /**
  * The simulated GPU device: memory, caches, and the execution engine.
@@ -74,6 +55,7 @@ class GpuDevice
 {
   public:
     explicit GpuDevice(const GpuConfig &cfg = GpuConfig{});
+    ~GpuDevice();
 
     const GpuConfig &config() const { return cfg_; }
     isa::ArchFamily family() const { return cfg_.family; }
@@ -93,15 +75,28 @@ class GpuDevice
     /** Running total of all launches since construction. */
     const LaunchStats &totals() const { return totals_; }
 
-    void invalidateCaches() { caches_.invalidateAll(); }
+    /** Flush the data caches AND the predecoded-code cache. */
+    void invalidateCaches();
+
+    /**
+     * Drop predecoded state for [addr, addr+bytes).  Host writes
+     * through DeviceMemory fire this automatically; NVBit's patching
+     * paths also call it explicitly (cache-invalidation protocol).
+     */
+    void invalidateCodeRange(mem::DevPtr addr, size_t bytes);
+
+    /** Eagerly predecode [addr, addr+bytes) (e.g. at module load). */
+    void predecodeRange(mem::DevPtr addr, size_t bytes);
+
+    /** The shared predecode cache (stats/inspection). */
+    const CodeCache &codeCache() const { return *code_cache_; }
 
   private:
-    class CtaRunner;
-    friend class CtaRunner;
-
     GpuConfig cfg_;
     std::unique_ptr<mem::DeviceMemory> memory_;
     CacheHierarchy caches_;
+    std::unique_ptr<CodeCache> code_cache_;
+    std::unique_ptr<ThreadPool> pool_;
     LaunchStats totals_;
 };
 

@@ -1,0 +1,821 @@
+#include "sim/interpreter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace nvbit::sim {
+
+using isa::DType;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+float
+asF32(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+/** f32 -> integer conversion with defined saturation semantics. */
+int64_t
+f2iClamp(float f, bool is_signed)
+{
+    if (std::isnan(f))
+        return 0;
+    if (is_signed) {
+        if (f >= 2147483647.0f)
+            return 2147483647;
+        if (f <= -2147483648.0f)
+            return -2147483648ll;
+        return static_cast<int64_t>(f);
+    }
+    if (f >= 4294967295.0f)
+        return 4294967295ll;
+    if (f <= 0.0f)
+        return 0;
+    return static_cast<int64_t>(f);
+}
+
+uint64_t
+atomApply(isa::AtomOp op, DType dt, uint64_t old_v, uint64_t b, uint64_t c)
+{
+    using isa::AtomOp;
+    switch (op) {
+      case AtomOp::ADD:
+        if (dt == DType::F32)
+            return asBits(asF32(static_cast<uint32_t>(old_v)) +
+                          asF32(static_cast<uint32_t>(b)));
+        if (dt == DType::U64)
+            return old_v + b;
+        return static_cast<uint32_t>(old_v) + static_cast<uint32_t>(b);
+      case AtomOp::MIN:
+        if (dt == DType::S32)
+            return static_cast<uint32_t>(
+                std::min(static_cast<int32_t>(old_v),
+                         static_cast<int32_t>(b)));
+        if (dt == DType::F32)
+            return asBits(std::min(asF32(static_cast<uint32_t>(old_v)),
+                                   asF32(static_cast<uint32_t>(b))));
+        if (dt == DType::U64)
+            return std::min(old_v, b);
+        return std::min(static_cast<uint32_t>(old_v),
+                        static_cast<uint32_t>(b));
+      case AtomOp::MAX:
+        if (dt == DType::S32)
+            return static_cast<uint32_t>(
+                std::max(static_cast<int32_t>(old_v),
+                         static_cast<int32_t>(b)));
+        if (dt == DType::F32)
+            return asBits(std::max(asF32(static_cast<uint32_t>(old_v)),
+                                   asF32(static_cast<uint32_t>(b))));
+        if (dt == DType::U64)
+            return std::max(old_v, b);
+        return std::max(static_cast<uint32_t>(old_v),
+                        static_cast<uint32_t>(b));
+      case AtomOp::EXCH:
+        return b;
+      case AtomOp::CAS:
+        return old_v == b ? c : old_v;
+      case AtomOp::AND:
+        return old_v & b;
+      case AtomOp::OR:
+        return old_v | b;
+      case AtomOp::XOR:
+        return old_v ^ b;
+    }
+    return old_v;
+}
+
+bool
+cmpApply(isa::CmpOp c, uint64_t a, uint64_t b)
+{
+    switch (c) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::NE: return a != b;
+      case isa::CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+bool
+cmpApplySigned(isa::CmpOp c, int64_t a, int64_t b)
+{
+    switch (c) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::NE: return a != b;
+      case isa::CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const GpuConfig &cfg, mem::DeviceMemory &mem,
+                         const LaunchParams &lp, unsigned sm,
+                         const uint32_t ctaid[3],
+                         std::vector<uint8_t> &local,
+                         std::vector<uint8_t> &shared,
+                         const uint64_t &cycles, MemModel &mm)
+    : cfg_(cfg), mem_(mem), lp_(lp), sm_(sm),
+      line_bytes_(cfg.l1.line_bytes), local_(local), shared_(shared),
+      cycles_(cycles), mm_(mm)
+{
+    ctaid_[0] = ctaid[0];
+    ctaid_[1] = ctaid[1];
+    ctaid_[2] = ctaid[2];
+}
+
+void
+Interpreter::memTrap(uint64_t addr, uint64_t pc, const char *space,
+                     bool write)
+{
+    throw SimTrap{strfmt("illegal %s %s at address 0x%llx", space,
+                         write ? "store" : "load",
+                         static_cast<unsigned long long>(addr)),
+                  pc};
+}
+
+uint64_t
+Interpreter::loadGlobal(uint64_t addr, unsigned bytes, uint64_t pc)
+{
+    try {
+        return bytes == 8 ? mem_.read64(addr) : mem_.read32(addr);
+    } catch (const mem::DeviceMemory::MemFault &) {
+        memTrap(addr, pc, "global", false);
+    }
+}
+
+void
+Interpreter::storeGlobal(uint64_t addr, unsigned bytes, uint64_t v,
+                         uint64_t pc)
+{
+    try {
+        if (bytes == 8)
+            mem_.write64(addr, v);
+        else
+            mem_.write32(addr, static_cast<uint32_t>(v));
+    } catch (const mem::DeviceMemory::MemFault &) {
+        memTrap(addr, pc, "global", true);
+    }
+}
+
+uint8_t *
+Interpreter::localPtr(const ThreadCtx &t, uint64_t addr, unsigned bytes,
+                      uint64_t pc)
+{
+    if (addr + bytes > lp_.local_bytes) {
+        memTrap(addr, pc, "local", false);
+    }
+    return local_.data() +
+           static_cast<size_t>(t.flat_tid) * lp_.local_bytes + addr;
+}
+
+uint8_t *
+Interpreter::sharedPtr(uint64_t addr, unsigned bytes, uint64_t pc,
+                       bool write)
+{
+    if (addr + bytes > shared_.size())
+        memTrap(addr, pc, "shared", write);
+    return shared_.data() + addr;
+}
+
+uint32_t
+Interpreter::specialReg(const ThreadCtx &t, isa::SpecialReg sr) const
+{
+    using SR = isa::SpecialReg;
+    switch (sr) {
+      case SR::TID_X: return t.tid[0];
+      case SR::TID_Y: return t.tid[1];
+      case SR::TID_Z: return t.tid[2];
+      case SR::NTID_X: return lp_.block[0];
+      case SR::NTID_Y: return lp_.block[1];
+      case SR::NTID_Z: return lp_.block[2];
+      case SR::CTAID_X: return ctaid_[0];
+      case SR::CTAID_Y: return ctaid_[1];
+      case SR::CTAID_Z: return ctaid_[2];
+      case SR::NCTAID_X: return lp_.grid[0];
+      case SR::NCTAID_Y: return lp_.grid[1];
+      case SR::NCTAID_Z: return lp_.grid[2];
+      case SR::LANEID: return t.flat_tid % kWarpSize;
+      case SR::WARPID: return t.flat_tid / kWarpSize;
+      case SR::SMID: return sm_;
+      case SR::CLOCKLO: return static_cast<uint32_t>(cycles_);
+      default:
+        break;
+    }
+    throw SimTrap{strfmt("S2R of unknown special register %u",
+                         static_cast<unsigned>(sr)), t.pc};
+}
+
+uint64_t
+Interpreter::constRead(const Instruction &in, uint64_t pc) const
+{
+    unsigned bank = isa::modGetCBank(in.mod);
+    unsigned bytes = in.memAccessBytes();
+    const std::vector<uint8_t> *b = nullptr;
+    if (bank == 0)
+        b = &lp_.bank0;
+    else if (bank == 1)
+        b = &lp_.bank1;
+    else if (bank == 2)
+        b = &lp_.bank2;
+    else
+        throw SimTrap{strfmt("LDC from unmapped bank %u", bank), pc};
+    uint64_t off = static_cast<uint64_t>(in.imm);
+    if (off + bytes > b->size()) {
+        throw SimTrap{strfmt("LDC out of range: c[%u][0x%llx]", bank,
+                             static_cast<unsigned long long>(off)),
+                      pc};
+    }
+    uint64_t v = 0;
+    std::memcpy(&v, b->data() + off, bytes);
+    return v;
+}
+
+void
+Interpreter::execute(const Instruction &in, ThreadCtx *warp,
+                     uint32_t active_mask, uint32_t exec_mask,
+                     uint64_t pc, uint64_t next_pc)
+{
+    (void)active_mask;
+    const bool imm_alu = (in.mod & isa::kModImmSrc2) != 0;
+    const DType dt = isa::modGetDType(in.mod);
+
+    auto forEachExec = [&](auto &&fn) {
+        for (unsigned l = 0; l < kWarpSize; ++l)
+            if ((exec_mask >> l) & 1)
+                fn(warp[l], l);
+    };
+
+    auto src2 = [&](const ThreadCtx &t) -> uint32_t {
+        return imm_alu ? static_cast<uint32_t>(in.imm)
+                       : readReg(t, in.rb);
+    };
+    auto src2Pair = [&](const ThreadCtx &t) -> uint64_t {
+        return imm_alu ? static_cast<uint64_t>(in.imm)
+                       : readPair(t, in.rb);
+    };
+
+    switch (in.op) {
+      case Opcode::NOP:
+        break;
+
+      case Opcode::EXIT:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.state = ThreadCtx::St::Exited;
+        });
+        break;
+
+      case Opcode::BRA:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.pc = next_pc + in.imm;
+        });
+        break;
+
+      case Opcode::JMP:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.pc = static_cast<uint64_t>(in.imm) * isa::kJmpScale;
+        });
+        break;
+
+      case Opcode::BRX:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.pc = readReg(t, in.ra);
+        });
+        break;
+
+      case Opcode::CAL:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (t.ret_depth >= kMaxCallDepth)
+                throw SimTrap{"call stack overflow", pc};
+            t.ret_stack[t.ret_depth++] = next_pc;
+            t.pc = static_cast<uint64_t>(in.imm) * isa::kJmpScale;
+        });
+        break;
+
+      case Opcode::RET:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (t.ret_depth == 0)
+                throw SimTrap{"RET with empty call stack", pc};
+            t.pc = t.ret_stack[--t.ret_depth];
+        });
+        break;
+
+      case Opcode::BAR:
+        if (!in.alwaysExecutes())
+            throw SimTrap{"predicated BAR is not supported", pc};
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.state = ThreadCtx::St::Barrier;
+        });
+        break;
+
+      case Opcode::MOV:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64) {
+                // Alu1 form: the register source is ra.
+                writePair(t, in.rd,
+                          imm_alu ? static_cast<uint64_t>(in.imm)
+                                  : readPair(t, in.ra));
+            } else {
+                writeReg(t, in.rd,
+                         imm_alu ? static_cast<uint32_t>(in.imm)
+                                 : readReg(t, in.ra));
+            }
+        });
+        break;
+
+      case Opcode::LUI:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, static_cast<uint32_t>(in.imm) << 16);
+        });
+        break;
+
+      case Opcode::SEL:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            bool p = readPred(t, isa::modGetSelPred(in.mod),
+                              isa::modGetSelPredNeg(in.mod));
+            writeReg(t, in.rd, p ? readReg(t, in.ra)
+                                 : readReg(t, in.rb));
+        });
+        break;
+
+      case Opcode::SHL:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64) {
+                writePair(t, in.rd,
+                          readPair(t, in.ra) << (src2(t) & 63));
+            } else {
+                writeReg(t, in.rd, readReg(t, in.ra)
+                                       << (src2(t) & 31));
+            }
+        });
+        break;
+
+      case Opcode::SHR:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64) {
+                writePair(t, in.rd,
+                          readPair(t, in.ra) >> (src2(t) & 63));
+            } else if (dt == DType::S32) {
+                writeReg(t, in.rd,
+                         static_cast<uint32_t>(
+                             static_cast<int32_t>(readReg(t, in.ra)) >>
+                             (src2(t) & 31)));
+            } else {
+                writeReg(t, in.rd, readReg(t, in.ra) >> (src2(t) & 31));
+            }
+        });
+        break;
+
+      case Opcode::AND:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, readReg(t, in.ra) & src2(t));
+        });
+        break;
+      case Opcode::OR:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, readReg(t, in.ra) | src2(t));
+        });
+        break;
+      case Opcode::XOR:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, readReg(t, in.ra) ^ src2(t));
+        });
+        break;
+      case Opcode::NOT:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, ~readReg(t, in.ra));
+        });
+        break;
+
+      case Opcode::IADD:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64)
+                writePair(t, in.rd, readPair(t, in.ra) + src2Pair(t));
+            else
+                writeReg(t, in.rd, readReg(t, in.ra) + src2(t));
+        });
+        break;
+      case Opcode::ISUB:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64)
+                writePair(t, in.rd, readPair(t, in.ra) - src2Pair(t));
+            else
+                writeReg(t, in.rd, readReg(t, in.ra) - src2(t));
+        });
+        break;
+      case Opcode::IMUL:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64) {
+                writePair(t, in.rd, readPair(t, in.ra) * src2Pair(t));
+            } else {
+                writeReg(t, in.rd, readReg(t, in.ra) * src2(t));
+            }
+        });
+        break;
+      case Opcode::IMAD:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            if (dt == DType::U64) {
+                // Wide form: pair = u32 * u32 + pair.
+                uint64_t prod =
+                    static_cast<uint64_t>(readReg(t, in.ra)) *
+                    static_cast<uint64_t>(readReg(t, in.rb));
+                writePair(t, in.rd, prod + readPair(t, in.rc));
+            } else {
+                writeReg(t, in.rd,
+                         readReg(t, in.ra) * readReg(t, in.rb) +
+                             readReg(t, in.rc));
+            }
+        });
+        break;
+      case Opcode::IMNMX:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            bool want_max = (in.mod & isa::kModMnmxMax) != 0;
+            uint32_t a = readReg(t, in.ra), b = src2(t);
+            uint32_t r;
+            if (dt == DType::S32) {
+                int32_t sa = static_cast<int32_t>(a);
+                int32_t sb = static_cast<int32_t>(b);
+                r = static_cast<uint32_t>(want_max ? std::max(sa, sb)
+                                                   : std::min(sa, sb));
+            } else {
+                r = want_max ? std::max(a, b) : std::min(a, b);
+            }
+            writeReg(t, in.rd, r);
+        });
+        break;
+      case Opcode::POPC:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd,
+                     static_cast<uint32_t>(
+                         std::popcount(readReg(t, in.ra))));
+        });
+        break;
+
+      case Opcode::FADD:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, asBits(asF32(readReg(t, in.ra)) +
+                                      asF32(src2(t))));
+        });
+        break;
+      case Opcode::FMUL:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, asBits(asF32(readReg(t, in.ra)) *
+                                      asF32(src2(t))));
+        });
+        break;
+      case Opcode::FFMA:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd,
+                     asBits(std::fma(asF32(readReg(t, in.ra)),
+                                     asF32(readReg(t, in.rb)),
+                                     asF32(readReg(t, in.rc)))));
+        });
+        break;
+      case Opcode::FMNMX:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            float a = asF32(readReg(t, in.ra));
+            float b = asF32(src2(t));
+            bool want_max = (in.mod & isa::kModMnmxMax) != 0;
+            writeReg(t, in.rd,
+                     asBits(want_max ? std::fmax(a, b)
+                                     : std::fmin(a, b)));
+        });
+        break;
+      case Opcode::MUFU:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            float a = asF32(readReg(t, in.ra));
+            float r = 0.0f;
+            switch (isa::modGetMufu(in.mod)) {
+              case isa::MufuOp::RCP: r = 1.0f / a; break;
+              case isa::MufuOp::SQRT: r = std::sqrt(a); break;
+              case isa::MufuOp::RSQ: r = 1.0f / std::sqrt(a); break;
+              case isa::MufuOp::EX2: r = std::exp2(a); break;
+              case isa::MufuOp::LG2: r = std::log2(a); break;
+              case isa::MufuOp::SIN: r = std::sin(a); break;
+              case isa::MufuOp::COS: r = std::cos(a); break;
+            }
+            writeReg(t, in.rd, asBits(r));
+        });
+        break;
+      case Opcode::I2F:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint32_t a = readReg(t, in.ra);
+            float r = (dt == DType::S32)
+                          ? static_cast<float>(static_cast<int32_t>(a))
+                          : static_cast<float>(a);
+            writeReg(t, in.rd, asBits(r));
+        });
+        break;
+      case Opcode::F2I:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            float a = asF32(readReg(t, in.ra));
+            writeReg(t, in.rd,
+                     static_cast<uint32_t>(
+                         f2iClamp(a, dt == DType::S32)));
+        });
+        break;
+
+      case Opcode::ISETP: {
+        const bool imm_setp = (in.mod & isa::kModSetpImm) != 0;
+        const DType sdt = isa::modGetSetpDType(in.mod);
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            bool r;
+            if (sdt == DType::U64) {
+                uint64_t a = readPair(t, in.ra);
+                uint64_t b = imm_setp
+                                 ? static_cast<uint64_t>(in.imm)
+                                 : readPair(t, in.rb);
+                r = cmpApply(isa::modGetCmp(in.mod), a, b);
+            } else if (sdt == DType::S32) {
+                int64_t a = static_cast<int32_t>(readReg(t, in.ra));
+                int64_t b = imm_setp
+                                ? in.imm
+                                : static_cast<int32_t>(
+                                      readReg(t, in.rb));
+                r = cmpApplySigned(isa::modGetCmp(in.mod), a, b);
+            } else {
+                uint64_t a = readReg(t, in.ra);
+                uint64_t b = imm_setp
+                                 ? static_cast<uint32_t>(in.imm)
+                                 : readReg(t, in.rb);
+                r = cmpApply(isa::modGetCmp(in.mod), a, b);
+            }
+            writePred(t, in.rd & 0x7, r);
+        });
+        break;
+      }
+      case Opcode::FSETP: {
+        const bool imm_setp = (in.mod & isa::kModSetpImm) != 0;
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            float a = asF32(readReg(t, in.ra));
+            float b = imm_setp
+                          ? static_cast<float>(in.imm)
+                          : asF32(readReg(t, in.rb));
+            bool r = false;
+            switch (isa::modGetCmp(in.mod)) {
+              case isa::CmpOp::LT: r = a < b; break;
+              case isa::CmpOp::EQ: r = a == b; break;
+              case isa::CmpOp::LE: r = a <= b; break;
+              case isa::CmpOp::GT: r = a > b; break;
+              case isa::CmpOp::NE: r = a != b; break;
+              case isa::CmpOp::GE: r = a >= b; break;
+            }
+            writePred(t, in.rd & 0x7, r);
+        });
+        break;
+      }
+      case Opcode::P2R:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, t.preds);
+        });
+        break;
+      case Opcode::R2P:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            t.preds = static_cast<uint8_t>(readReg(t, in.ra) & 0x7F);
+        });
+        break;
+
+      case Opcode::LDG: {
+        std::set<uint64_t> lines;
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readPair(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            lines.insert(addr &
+                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            uint64_t v = loadGlobal(addr, bytes, pc);
+            if (bytes == 8)
+                writePair(t, in.rd, v);
+            else
+                writeReg(t, in.rd, static_cast<uint32_t>(v));
+        });
+        mm_.accountGlobalAccess(lines);
+        break;
+      }
+      case Opcode::STG: {
+        std::set<uint64_t> lines;
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readPair(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            lines.insert(addr &
+                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            uint64_t v = bytes == 8 ? readPair(t, in.rb)
+                                    : readReg(t, in.rb);
+            storeGlobal(addr, bytes, v, pc);
+        });
+        mm_.accountGlobalAccess(lines);
+        break;
+      }
+      case Opcode::LDL: {
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readReg(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            uint64_t v = 0;
+            std::memcpy(&v, localPtr(t, addr, bytes, pc), bytes);
+            if (bytes == 8)
+                writePair(t, in.rd, v);
+            else
+                writeReg(t, in.rd, static_cast<uint32_t>(v));
+        });
+        break;
+      }
+      case Opcode::STL: {
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readReg(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            uint64_t v = bytes == 8 ? readPair(t, in.rb)
+                                    : readReg(t, in.rb);
+            std::memcpy(localPtr(t, addr, bytes, pc), &v, bytes);
+        });
+        break;
+      }
+      case Opcode::LDS: {
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readReg(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            uint64_t v = 0;
+            std::memcpy(&v, sharedPtr(addr, bytes, pc, false), bytes);
+            if (bytes == 8)
+                writePair(t, in.rd, v);
+            else
+                writeReg(t, in.rd, static_cast<uint32_t>(v));
+        });
+        break;
+      }
+      case Opcode::STS: {
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readReg(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            uint64_t v = bytes == 8 ? readPair(t, in.rb)
+                                    : readReg(t, in.rb);
+            std::memcpy(sharedPtr(addr, bytes, pc, true), &v, bytes);
+        });
+        break;
+      }
+      case Opcode::LDC: {
+        unsigned bytes = in.memAccessBytes();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t v = constRead(in, pc);
+            if (bytes == 8)
+                writePair(t, in.rd, v);
+            else
+                writeReg(t, in.rd, static_cast<uint32_t>(v));
+        });
+        break;
+      }
+      case Opcode::ATOM: {
+        std::set<uint64_t> lines;
+        const isa::AtomOp aop = isa::modGetAtomOp(in.mod);
+        const DType adt = isa::modGetAtomDType(in.mod);
+        const unsigned bytes = (adt == DType::U64) ? 8 : 4;
+        if (exec_mask != 0)
+            mm_.atomicFence();
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            uint64_t addr = readPair(t, in.ra) +
+                            static_cast<uint64_t>(in.imm);
+            lines.insert(addr &
+                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            uint64_t old_v = loadGlobal(addr, bytes, pc);
+            uint64_t b = bytes == 8 ? readPair(t, in.rb)
+                                    : readReg(t, in.rb);
+            uint64_t c = bytes == 8 ? readPair(t, in.rc)
+                                    : readReg(t, in.rc);
+            uint64_t new_v = atomApply(aop, adt, old_v, b, c);
+            storeGlobal(addr, bytes, new_v, pc);
+            if (bytes == 8)
+                writePair(t, in.rd, old_v);
+            else
+                writeReg(t, in.rd, static_cast<uint32_t>(old_v));
+        });
+        mm_.accountGlobalAccess(lines);
+        break;
+      }
+
+      case Opcode::VOTE: {
+        uint32_t ballot = 0;
+        uint8_t psrc = isa::modGetVotePred(in.mod);
+        bool pneg = isa::modGetVotePredNeg(in.mod);
+        forEachExec([&](ThreadCtx &t, unsigned l) {
+            if (readPred(t, psrc, pneg))
+                ballot |= 1u << l;
+        });
+        uint32_t result;
+        switch (isa::modGetVoteMode(in.mod)) {
+          case isa::VoteMode::BALLOT:
+            result = ballot;
+            break;
+          case isa::VoteMode::ANY:
+            result = ballot != 0;
+            break;
+          case isa::VoteMode::ALL:
+          default:
+            result = (ballot == exec_mask);
+            break;
+        }
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd, result);
+        });
+        break;
+      }
+      case Opcode::MATCH: {
+        const bool wide = (in.mod & isa::kModSize64) != 0;
+        std::array<uint64_t, kWarpSize> vals{};
+        forEachExec([&](ThreadCtx &t, unsigned l) {
+            vals[l] = wide ? readPair(t, in.ra) : readReg(t, in.ra);
+        });
+        forEachExec([&](ThreadCtx &t, unsigned l) {
+            uint32_t m = 0;
+            for (unsigned j = 0; j < kWarpSize; ++j) {
+                if (((exec_mask >> j) & 1) && vals[j] == vals[l])
+                    m |= 1u << j;
+            }
+            writeReg(t, in.rd, m);
+        });
+        break;
+      }
+      case Opcode::SHFL: {
+        const bool imm_lane = (in.mod & isa::kModShflImm) != 0;
+        std::array<uint32_t, kWarpSize> vals{};
+        forEachExec([&](ThreadCtx &t, unsigned l) {
+            vals[l] = readReg(t, in.ra);
+        });
+        forEachExec([&](ThreadCtx &t, unsigned l) {
+            uint32_t b = imm_lane ? static_cast<uint32_t>(in.imm)
+                                  : readReg(t, in.rb);
+            int src;
+            switch (isa::modGetShflMode(in.mod)) {
+              case isa::ShflMode::IDX: src = b & 31; break;
+              case isa::ShflMode::UP:
+                src = static_cast<int>(l) - static_cast<int>(b);
+                break;
+              case isa::ShflMode::DOWN:
+                src = static_cast<int>(l) + static_cast<int>(b);
+                break;
+              case isa::ShflMode::BFLY:
+              default:
+                src = static_cast<int>(l ^ b) & 31;
+                break;
+            }
+            uint32_t v = vals[l]; // out-of-range keeps own value
+            if (src >= 0 && src < static_cast<int>(kWarpSize) &&
+                ((exec_mask >> src) & 1)) {
+                v = vals[src];
+            }
+            writeReg(t, in.rd, v);
+        });
+        break;
+      }
+      case Opcode::S2R:
+        forEachExec([&](ThreadCtx &t, unsigned) {
+            writeReg(t, in.rd,
+                     specialReg(t, static_cast<isa::SpecialReg>(
+                                       in.imm)));
+        });
+        break;
+
+      case Opcode::PROXY:
+        if (exec_mask != 0) {
+            throw SimTrap{
+                strfmt("PROXY instruction (id %lld) executed without "
+                       "emulation — an NVBit tool must replace it",
+                       static_cast<long long>(in.imm)),
+                pc};
+        }
+        break;
+
+      default:
+        throw SimTrap{strfmt("unimplemented opcode %s",
+                             isa::opcodeName(in.op)),
+                      pc};
+    }
+}
+
+} // namespace nvbit::sim

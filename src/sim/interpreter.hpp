@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Interpreter layer: architectural execution of one warp instruction.
+ *
+ * The interpreter is purely functional with respect to the timing
+ * model — it updates thread state and memory, and reports
+ * global-memory traffic and atomic commits through the MemModel
+ * interface so the SM layer can charge caches and order cross-CTA
+ * atomics without the interpreter knowing about threading.
+ */
+#ifndef NVBIT_SIM_INTERPRETER_HPP
+#define NVBIT_SIM_INTERPRETER_HPP
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "mem/device_memory.hpp"
+#include "sim/config.hpp"
+#include "sim/launch.hpp"
+#include "sim/warp_scheduler.hpp"
+
+namespace nvbit::sim {
+
+/**
+ * Memory-system callbacks the SM layer provides to the interpreter.
+ */
+class MemModel
+{
+  public:
+    /** Charge the cache/timing model for one warp memory access. */
+    virtual void accountGlobalAccess(const std::set<uint64_t> &lines) = 0;
+
+    /**
+     * Called before an ATOM's read-modify-write.  The parallel SM
+     * layer blocks here until every thread block with a smaller
+     * global index has terminated, which serialises atomics in grid
+     * order and keeps parallel results bit-identical to serial ones.
+     */
+    virtual void atomicFence() = 0;
+
+  protected:
+    ~MemModel() = default;
+};
+
+/** Executes decoded instructions for one resident thread block. */
+class Interpreter
+{
+  public:
+    /**
+     * @param local   backing store of nthreads * lp.local_bytes bytes
+     * @param shared  backing store of lp.shared_bytes bytes
+     * @param cycles  the SM's running cycle counter (read by %clock)
+     */
+    Interpreter(const GpuConfig &cfg, mem::DeviceMemory &mem,
+                const LaunchParams &lp, unsigned sm,
+                const uint32_t ctaid[3], std::vector<uint8_t> &local,
+                std::vector<uint8_t> &shared, const uint64_t &cycles,
+                MemModel &mm);
+
+    /**
+     * Execute one warp instruction.  @p warp points at the 32 thread
+     * contexts; active threads have already been advanced to
+     * @p next_pc (control flow overrides that here).
+     * @throws SimTrap on faults.
+     */
+    void execute(const isa::Instruction &in, ThreadCtx *warp,
+                 uint32_t active_mask, uint32_t exec_mask, uint64_t pc,
+                 uint64_t next_pc);
+
+  private:
+    [[noreturn]] void memTrap(uint64_t addr, uint64_t pc,
+                              const char *space, bool write);
+    uint64_t loadGlobal(uint64_t addr, unsigned bytes, uint64_t pc);
+    void storeGlobal(uint64_t addr, unsigned bytes, uint64_t v,
+                     uint64_t pc);
+    uint8_t *localPtr(const ThreadCtx &t, uint64_t addr, unsigned bytes,
+                      uint64_t pc);
+    uint8_t *sharedPtr(uint64_t addr, unsigned bytes, uint64_t pc,
+                       bool write);
+    uint32_t specialReg(const ThreadCtx &t, isa::SpecialReg sr) const;
+    uint64_t constRead(const isa::Instruction &in, uint64_t pc) const;
+
+    const GpuConfig &cfg_;
+    mem::DeviceMemory &mem_;
+    const LaunchParams &lp_;
+    unsigned sm_;
+    uint32_t ctaid_[3];
+    unsigned line_bytes_;
+    std::vector<uint8_t> &local_;
+    std::vector<uint8_t> &shared_;
+    const uint64_t &cycles_;
+    MemModel &mm_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_INTERPRETER_HPP

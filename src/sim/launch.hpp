@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Launch-level types shared by every layer of the execution pipeline
+ * (warp scheduler, interpreter, SM executor, device orchestration).
+ */
+#ifndef NVBIT_SIM_LAUNCH_HPP
+#define NVBIT_SIM_LAUNCH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvbit::sim {
+
+/** Thrown when simulated code faults (illegal address, PROXY, ...). */
+struct SimTrap {
+    std::string reason;
+    uint64_t pc = 0;
+};
+
+/** Everything needed to run one kernel grid. */
+struct LaunchParams {
+    uint64_t entry_pc = 0;
+    uint32_t grid[3] = {1, 1, 1};
+    uint32_t block[3] = {1, 1, 1};
+    /** Registers per thread (used for occupancy accounting). */
+    uint32_t num_regs = 32;
+    /** Per-thread local-memory (stack) bytes; R1 is initialised to it. */
+    uint32_t local_bytes = 1024;
+    /** Shared memory bytes per thread block. */
+    uint32_t shared_bytes = 0;
+    /** Constant bank 0: kernel parameters. */
+    std::vector<uint8_t> bank0;
+    /** Constant bank 1: module constants (incl. global-address table). */
+    std::vector<uint8_t> bank1;
+    /**
+     * Constant bank 2: NVBit tool-module constants.  Mapped by the
+     * driver whenever a tool module is loaded, so injected device
+     * functions can reach their globals from any kernel.
+     */
+    std::vector<uint8_t> bank2;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_LAUNCH_HPP

@@ -1,0 +1,112 @@
+#include "sim/predecode.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nvbit::sim {
+
+CodeCache::CodeCache(const mem::DeviceMemory &mem, isa::ArchFamily fam)
+    : mem_(mem), fam_(fam), ib_(isa::instrBytes(fam)),
+      slots_((mem.size() + kPageBytes - 1) / kPageBytes)
+{
+    static_assert(kPageBytes % 16 == 0 && (kPageBytes & (kPageBytes - 1)) == 0,
+                  "page size must be a power of two holding whole "
+                  "instructions of either family");
+}
+
+PredecodedImage *
+CodeCache::buildPage(mem::DevPtr base) const
+{
+    auto page = new PredecodedImage;
+    page->base = base;
+    page->entries.resize(kPageBytes / ib_);
+    for (size_t i = 0; i < page->entries.size(); ++i) {
+        PredecodedEntry &e = page->entries[i];
+        mem::DevPtr pc = base + i * ib_;
+        try {
+            auto bytes = mem_.view(pc, ib_);
+            e.status = isa::decode(fam_, bytes.data(), e.in)
+                           ? PredecodeStatus::Valid
+                           : PredecodeStatus::Illegal;
+        } catch (const mem::DeviceMemory::MemFault &) {
+            e.status = PredecodeStatus::Unmapped;
+        }
+    }
+    return page;
+}
+
+const PredecodedImage *
+CodeCache::acquire(mem::DevPtr pc)
+{
+    size_t slot = pc / kPageBytes;
+    if (slot >= slots_.size())
+        return nullptr;
+    PredecodedImage *page = slots_[slot].load(std::memory_order_acquire);
+    if (page)
+        return page;
+    std::lock_guard<std::mutex> lk(fill_mu_);
+    page = slots_[slot].load(std::memory_order_relaxed);
+    if (page)
+        return page;
+    page = buildPage(pageBase(pc));
+    owned_[slot] = std::unique_ptr<PredecodedImage>(page);
+    pages_built_.fetch_add(1, std::memory_order_relaxed);
+    slots_[slot].store(page, std::memory_order_release);
+    return page;
+}
+
+void
+CodeCache::invalidateRange(mem::DevPtr addr, size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    size_t first = addr / kPageBytes;
+    size_t last = (addr + bytes - 1) / kPageBytes;
+    if (first >= slots_.size())
+        return;
+    last = std::min(last, slots_.size() - 1);
+    std::lock_guard<std::mutex> lk(fill_mu_);
+    for (size_t slot = first; slot <= last; ++slot) {
+        if (!slots_[slot].load(std::memory_order_relaxed))
+            continue;
+        slots_[slot].store(nullptr, std::memory_order_release);
+        auto it = owned_.find(slot);
+        NVBIT_ASSERT(it != owned_.end(), "code cache slot %zu untracked",
+                     slot);
+        retired_.push_back(std::move(it->second));
+        owned_.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+CodeCache::invalidateAll()
+{
+    invalidateRange(0, slots_.size() * kPageBytes);
+}
+
+void
+CodeCache::prewarm(mem::DevPtr addr, size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    for (mem::DevPtr p = pageBase(addr); p < addr + bytes; p += kPageBytes)
+        acquire(p);
+}
+
+void
+CodeCache::collectRetired()
+{
+    std::lock_guard<std::mutex> lk(fill_mu_);
+    retired_.clear();
+}
+
+size_t
+CodeCache::residentPages() const
+{
+    std::lock_guard<std::mutex> lk(fill_mu_);
+    return owned_.size();
+}
+
+} // namespace nvbit::sim

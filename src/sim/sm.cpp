@@ -1,0 +1,223 @@
+#include "sim/sm.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace nvbit::sim {
+
+SmExecutor::SmExecutor(unsigned sm, const GpuConfig &cfg,
+                       mem::DeviceMemory &mem, CacheHierarchy &caches,
+                       CodeCache *code_cache)
+    : sm_(sm), cfg_(cfg), mem_(mem), caches_(caches),
+      code_cache_(code_cache), ib_(isa::instrBytes(cfg.family)),
+      ib_shift_(std::countr_zero(ib_))
+{}
+
+const isa::Instruction *
+SmExecutor::byteDecode(uint64_t pc, isa::Instruction &scratch)
+{
+    try {
+        auto bytes = mem_.view(pc, ib_);
+        if (!isa::decode(cfg_.family, bytes.data(), scratch))
+            throw SimTrap{"illegal instruction encoding", pc};
+    } catch (const mem::DeviceMemory::MemFault &) {
+        throw SimTrap{"instruction fetch from unmapped memory", pc};
+    }
+    return &scratch;
+}
+
+const isa::Instruction *
+SmExecutor::fetch(uint64_t pc, isa::Instruction &scratch)
+{
+    if (!code_cache_) {
+        ++shard_.decode_cache_misses;
+        return byteDecode(pc, scratch);
+    }
+    if ((pc & (ib_ - 1)) != 0) {
+        // Misaligned PC (e.g. a BRX through a garbage register): the
+        // page index would be wrong, so fall back to byte decoding.
+        ++shard_.decode_cache_misses;
+        return byteDecode(pc, scratch);
+    }
+    const PredecodedImage *page = cached_page_;
+    if (!page || pc < page->base ||
+        pc >= page->base + CodeCache::kPageBytes) {
+        ++shard_.decode_cache_misses;
+        page = code_cache_->acquire(pc);
+        cached_page_ = page;
+        if (!page)
+            throw SimTrap{"instruction fetch from unmapped memory", pc};
+    } else {
+        ++shard_.decode_cache_hits;
+    }
+    const PredecodedEntry &e =
+        page->entries[(pc - page->base) >> ib_shift_];
+    switch (e.status) {
+      case PredecodeStatus::Valid:
+        return &e.in;
+      case PredecodeStatus::Illegal:
+        throw SimTrap{"illegal instruction encoding", pc};
+      case PredecodeStatus::Unmapped:
+        break;
+    }
+    throw SimTrap{"instruction fetch from unmapped memory", pc};
+}
+
+void
+SmExecutor::accountGlobalAccess(const std::set<uint64_t> &lines)
+{
+    if (lines.empty())
+        return;
+    ++shard_.global_mem_warp_instrs;
+    shard_.unique_lines_sum += lines.size();
+    cta_cycles_ += lines.size() - 1; // extra issue slots for divergence
+    for (uint64_t line : lines) {
+        if (caches_.accessL1(sm_, line)) {
+            ++shard_.l1_hits;
+        } else {
+            ++shard_.l1_misses;
+            // L2 outcome and penalty are resolved in the post-join
+            // replay so the shared L2 sees accesses in grid order.
+            cur_l2_log_.push_back(line);
+        }
+    }
+}
+
+void
+SmExecutor::atomicFence()
+{
+    if (gate_ && cur_cta_)
+        gate_->waitForPriorCtas(cur_cta_->cta_index);
+}
+
+SmExecutor::StepResult
+SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
+{
+    WarpScheduler::IssueSlot slot;
+    switch (sched.pick(w, slot)) {
+      case WarpScheduler::Pick::AllExited:
+        return StepResult::AllExited;
+      case WarpScheduler::Pick::Blocked:
+        return StepResult::Blocked;
+      case WarpScheduler::Pick::Issue:
+        break;
+    }
+    const uint64_t minpc = slot.pc;
+    const uint32_t active_mask = slot.active_mask;
+
+    isa::Instruction scratch;
+    const isa::Instruction *in = fetch(minpc, scratch);
+
+    // Evaluate guard predicates.
+    ThreadCtx *warp = sched.warp(w);
+    uint32_t exec_mask = 0;
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        if ((active_mask >> l) & 1) {
+            if (readPred(warp[l], in->pred, in->pred_neg))
+                exec_mask |= 1u << l;
+        }
+    }
+
+    const uint64_t next_pc = minpc + ib_;
+    // All active threads advance; control flow overrides below.
+    sched.advance(w, active_mask, next_pc);
+
+    ++shard_.warp_instrs;
+    ++cta_cycles_;
+    shard_.thread_instrs += std::popcount(exec_mask);
+    shard_.warp_instrs_by_op[static_cast<size_t>(in->op)] += 1;
+    shard_.thread_instrs_by_op[static_cast<size_t>(in->op)] +=
+        std::popcount(exec_mask);
+    if (shard_.warp_instrs > cfg_.max_warp_instrs_per_launch) {
+        throw SimTrap{"launch exceeded the warp-instruction watchdog",
+                      minpc};
+    }
+
+    interp.execute(*in, warp, active_mask, exec_mask, minpc, next_pc);
+    return StepResult::Progress;
+}
+
+void
+SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
+                   AtomicGate &gate)
+{
+    WarpScheduler sched(lp);
+    local_.assign(
+        static_cast<size_t>(sched.numThreads()) * lp.local_bytes, 0);
+    shared_.assign(lp.shared_bytes, 0);
+    cta_cycles_ = 0;
+    cur_l2_log_.clear();
+    cur_cta_ = &w;
+    gate_ = &gate;
+
+    Interpreter interp(cfg_, mem_, lp, sm_, w.ctaid, local_, shared_,
+                       cta_cycles_, *this);
+    try {
+        constexpr unsigned kQuantum = 128;
+        while (true) {
+            bool progressed = false;
+            bool any_live = false;
+            for (unsigned wi = 0; wi < sched.numWarps(); ++wi) {
+                for (unsigned q = 0; q < kQuantum; ++q) {
+                    StepResult r = stepWarp(sched, interp, wi);
+                    if (r == StepResult::Progress) {
+                        progressed = true;
+                        any_live = true;
+                    } else {
+                        if (r == StepResult::Blocked)
+                            any_live = true;
+                        break;
+                    }
+                }
+            }
+            if (!any_live)
+                break;
+            if (!progressed) {
+                // Everyone alive is waiting at the barrier: release.
+                if (!sched.releaseBarrier())
+                    throw SimTrap{"thread block deadlocked", 0};
+            }
+        }
+    } catch (...) {
+        cur_cta_ = nullptr;
+        gate_ = nullptr;
+        throw;
+    }
+
+    cycle_total_ += cta_cycles_;
+    ++shard_.ctas;
+    l2_logs_.emplace_back(w.cta_index, std::move(cur_l2_log_));
+    cur_l2_log_ = {};
+    cur_cta_ = nullptr;
+    gate_ = nullptr;
+}
+
+void
+SmExecutor::runAssigned(const LaunchParams &lp,
+                        const std::vector<CtaWork> &ctas,
+                        AtomicGate &gate,
+                        std::atomic<bool> &abort) noexcept
+{
+    for (const CtaWork &w : ctas) {
+        if (!abort.load(std::memory_order_acquire)) {
+            try {
+                runCta(lp, w, gate);
+                gate.markDone(w.cta_index);
+                continue;
+            } catch (const SimTrap &t) {
+                if (!trap_)
+                    trap_ = CapturedTrap{t, nullptr, w.cta_index};
+            } catch (...) {
+                if (!trap_)
+                    trap_ = CapturedTrap{SimTrap{}, std::current_exception(),
+                                         w.cta_index};
+            }
+            abort.store(true, std::memory_order_release);
+        }
+        // Aborted or trapped: release gate waiters on this CTA.
+        gate.markDone(w.cta_index);
+    }
+}
+
+} // namespace nvbit::sim

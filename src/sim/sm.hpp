@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SM layer: one executor per streaming multiprocessor.
+ *
+ * An SmExecutor owns everything one SM touches during a launch — its
+ * stats shard, its private L1 stream, its cached predecoded page and
+ * its deferred-L2 access log — so the parallel path has no shared
+ * mutable counters in the hot loop.  Determinism vs. the serial path
+ * is preserved by three rules:
+ *
+ *  1. CTA → SM assignment is `cta_index % num_sms` in both modes, and
+ *     each SM runs its CTAs in increasing global index, so every SM
+ *     sees the identical L1 access stream either way.
+ *  2. The shared L2 is not touched during execution; each CTA logs
+ *     its L1-miss lines and the orchestrator replays them against the
+ *     L2 in global CTA order after the join — the exact sequence the
+ *     serial order produces.
+ *  3. Cross-CTA atomics commit in grid order: an ATOM in CTA k blocks
+ *     on the AtomicGate until all CTAs with smaller global index have
+ *     terminated.  This is deadlock-free because the smallest
+ *     unfinished CTA never waits and every SM task runs on its own
+ *     pool thread.
+ */
+#ifndef NVBIT_SIM_SM_HPP
+#define NVBIT_SIM_SM_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mem/device_memory.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/launch.hpp"
+#include "sim/predecode.hpp"
+#include "sim/stats.hpp"
+#include "sim/warp_scheduler.hpp"
+
+namespace nvbit::sim {
+
+/** One thread block's identity within a launch. */
+struct CtaWork {
+    uint64_t cta_index = 0; ///< flat grid index (x fastest)
+    uint32_t ctaid[3] = {0, 0, 0};
+};
+
+/**
+ * Orders cross-CTA atomic commits: an atomic in CTA k proceeds only
+ * after CTAs 0..k-1 have terminated, serialising atomics in grid
+ * order so parallel results match serial ones bit-for-bit.
+ */
+class AtomicGate
+{
+  public:
+    explicit AtomicGate(uint64_t num_ctas) : done_(num_ctas, 0) {}
+
+    /** Block until every CTA with index < @p cta has terminated. */
+    void
+    waitForPriorCtas(uint64_t cta)
+    {
+        if (low_water_.load(std::memory_order_acquire) >= cta)
+            return;
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return next_ >= cta; });
+    }
+
+    /** Mark CTA @p cta terminated (or abandoned on abort). */
+    void
+    markDone(uint64_t cta)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_[cta] = 1;
+        while (next_ < done_.size() && done_[next_])
+            ++next_;
+        low_water_.store(next_, std::memory_order_release);
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<char> done_;
+    /** CTAs 0..next_-1 are all done. */
+    uint64_t next_ = 0;
+    std::atomic<uint64_t> low_water_{0};
+};
+
+/**
+ * Executes thread blocks assigned to one SM.  Not thread-safe itself;
+ * each instance is driven by exactly one thread per launch.
+ */
+class SmExecutor : public MemModel
+{
+  public:
+    /** A fault captured on the parallel path. */
+    struct CapturedTrap {
+        SimTrap trap;
+        std::exception_ptr other; ///< set instead for non-SimTrap
+        uint64_t cta_index = 0;
+    };
+
+    SmExecutor(unsigned sm, const GpuConfig &cfg, mem::DeviceMemory &mem,
+               CacheHierarchy &caches, CodeCache *code_cache);
+
+    /**
+     * Run one thread block to completion (serial orchestration).
+     * @throws SimTrap on faults.
+     */
+    void runCta(const LaunchParams &lp, const CtaWork &w,
+                AtomicGate &gate);
+
+    /**
+     * Run this SM's assigned thread blocks (parallel orchestration).
+     * Never throws: faults are captured in trap() and @p abort is
+     * raised so sibling SMs stop picking up new blocks.
+     */
+    void runAssigned(const LaunchParams &lp,
+                     const std::vector<CtaWork> &ctas, AtomicGate &gate,
+                     std::atomic<bool> &abort) noexcept;
+
+    LaunchStats &shard() { return shard_; }
+    const LaunchStats &shard() const { return shard_; }
+
+    /** Issue + stall cycles accumulated by this SM. */
+    uint64_t cycleTotal() const { return cycle_total_; }
+    /** Charge post-join L2-replay penalty cycles to this SM. */
+    void addCycles(uint64_t c) { cycle_total_ += c; }
+
+    /** Per-CTA L1-miss lines, in this SM's execution order. */
+    const std::vector<std::pair<uint64_t, std::vector<uint64_t>>> &
+    l2Logs() const
+    {
+        return l2_logs_;
+    }
+
+    const std::optional<CapturedTrap> &trap() const { return trap_; }
+
+    // MemModel
+    void accountGlobalAccess(const std::set<uint64_t> &lines) override;
+    void atomicFence() override;
+
+  private:
+    enum class StepResult { Progress, Blocked, AllExited };
+
+    StepResult stepWarp(WarpScheduler &sched, Interpreter &interp,
+                        unsigned w);
+    const isa::Instruction *fetch(uint64_t pc, isa::Instruction &scratch);
+    const isa::Instruction *byteDecode(uint64_t pc,
+                                       isa::Instruction &scratch);
+
+    unsigned sm_;
+    const GpuConfig &cfg_;
+    mem::DeviceMemory &mem_;
+    CacheHierarchy &caches_;
+    CodeCache *code_cache_; ///< nullptr in byte-decode mode
+    size_t ib_;
+    unsigned ib_shift_; ///< log2(ib_): page index by shift, not div
+
+    LaunchStats shard_;
+    uint64_t cycle_total_ = 0;
+    /** Cycle counter of the block currently running (read by %clock). */
+    uint64_t cta_cycles_ = 0;
+
+    /** Fast path: the page the last fetch came from. */
+    const PredecodedImage *cached_page_ = nullptr;
+
+    /** Current CTA context (valid while runCta is on the stack). */
+    const CtaWork *cur_cta_ = nullptr;
+    AtomicGate *gate_ = nullptr;
+    std::vector<uint64_t> cur_l2_log_;
+    std::vector<std::pair<uint64_t, std::vector<uint64_t>>> l2_logs_;
+
+    /** Reused per-CTA backing stores. */
+    std::vector<uint8_t> local_;
+    std::vector<uint8_t> shared_;
+
+    std::optional<CapturedTrap> trap_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_SM_HPP

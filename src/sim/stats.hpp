@@ -46,6 +46,12 @@ struct LaunchStats {
     /** Thread blocks executed. */
     uint64_t ctas = 0;
 
+    /** Instruction fetches served by an SM's cached predecoded page. */
+    uint64_t decode_cache_hits = 0;
+    /** Instruction fetches that had to consult the shared code cache
+     *  (page-pointer change, byte-decode mode, or misaligned fetch). */
+    uint64_t decode_cache_misses = 0;
+
     /** Merge another launch's stats into this one. */
     void
     merge(const LaunchStats &o)
@@ -64,6 +70,8 @@ struct LaunchStats {
         l2_hits += o.l2_hits;
         l2_misses += o.l2_misses;
         ctas += o.ctas;
+        decode_cache_hits += o.decode_cache_hits;
+        decode_cache_misses += o.decode_cache_misses;
     }
 };
 

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Warp scheduling layer: per-thread contexts and min-PC issue logic.
+ *
+ * Divergence is handled with per-thread PCs and min-PC scheduling
+ * (threads whose PC is smallest execute first), which reconverges
+ * structured control flow and supports arbitrary code layouts —
+ * including NVBit trampolines placed far from the original function.
+ */
+#ifndef NVBIT_SIM_WARP_SCHEDULER_HPP
+#define NVBIT_SIM_WARP_SCHEDULER_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "sim/config.hpp"
+#include "sim/launch.hpp"
+
+namespace nvbit::sim {
+
+/** Per-thread architectural state. */
+struct ThreadCtx {
+    enum class St : uint8_t { Ready, Barrier, Exited };
+
+    std::array<uint32_t, isa::kNumRegNames> regs{};
+    uint8_t preds = 0;           // P0..P6 in bits 0..6
+    uint64_t pc = 0;
+    St state = St::Ready;
+    uint64_t ret_stack[kMaxCallDepth];
+    unsigned ret_depth = 0;
+    uint32_t tid[3] = {0, 0, 0};
+    uint32_t flat_tid = 0;
+};
+
+// --- Register-file helpers shared by scheduler and interpreter ----------
+
+inline uint32_t
+readReg(const ThreadCtx &t, uint8_t r)
+{
+    return r == isa::kRegZ ? 0 : t.regs[r];
+}
+
+inline void
+writeReg(ThreadCtx &t, uint8_t r, uint32_t v)
+{
+    if (r != isa::kRegZ)
+        t.regs[r] = v;
+}
+
+inline uint64_t
+readPair(const ThreadCtx &t, uint8_t r)
+{
+    if (r == isa::kRegZ)
+        return 0;
+    uint64_t lo = t.regs[r];
+    uint64_t hi = (r + 1 < isa::kRegZ) ? t.regs[r + 1] : 0;
+    return lo | (hi << 32);
+}
+
+inline void
+writePair(ThreadCtx &t, uint8_t r, uint64_t v)
+{
+    if (r == isa::kRegZ)
+        return;
+    t.regs[r] = static_cast<uint32_t>(v);
+    if (r + 1 < isa::kRegZ)
+        t.regs[r + 1] = static_cast<uint32_t>(v >> 32);
+}
+
+inline bool
+readPred(const ThreadCtx &t, uint8_t p, bool neg)
+{
+    bool v = (p == isa::kPredT) ? true : ((t.preds >> p) & 1) != 0;
+    return neg ? !v : v;
+}
+
+inline void
+writePred(ThreadCtx &t, uint8_t p, bool v)
+{
+    if (p == isa::kPredT)
+        return;
+    if (v)
+        t.preds |= static_cast<uint8_t>(1u << p);
+    else
+        t.preds &= static_cast<uint8_t>(~(1u << p));
+}
+
+/**
+ * Owns the thread contexts of one resident thread block and decides,
+ * per warp, which PC to issue next.
+ */
+class WarpScheduler
+{
+  public:
+    /** What pick() found for a warp. */
+    enum class Pick : uint8_t {
+        Issue,     ///< slot holds a PC and active mask to execute
+        Blocked,   ///< live threads exist but all wait at the barrier
+        AllExited, ///< every thread of the warp has exited
+    };
+
+    struct IssueSlot {
+        uint64_t pc = 0;
+        uint32_t active_mask = 0;
+    };
+
+    /** Initialise thread state for one thread block of @p lp. */
+    WarpScheduler(const LaunchParams &lp);
+
+    unsigned numWarps() const { return nwarps_; }
+    uint32_t numThreads() const { return nthreads_; }
+
+    ThreadCtx *warp(unsigned w) { return &threads_[w * kWarpSize]; }
+
+    /**
+     * Min-PC selection: the issue PC is the smallest PC among the
+     * warp's Ready threads; the active set is every Ready thread
+     * converged at that PC.
+     */
+    Pick pick(unsigned w, IssueSlot &slot) const;
+
+    /** Advance all active threads to @p next_pc (control flow in the
+     *  interpreter then overrides the divergent ones). */
+    void advance(unsigned w, uint32_t active_mask, uint64_t next_pc);
+
+    /** Release every thread waiting at the barrier.
+     *  @return false if no thread was waiting (deadlock upstream). */
+    bool releaseBarrier();
+
+  private:
+    uint32_t nthreads_ = 0;
+    unsigned nwarps_ = 0;
+    std::vector<ThreadCtx> threads_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_WARP_SCHEDULER_HPP

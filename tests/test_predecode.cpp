@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the predecoded-image execution pipeline.
+ *
+ * Three groups:
+ *  1. Differential property test: every tier-1 workload runs under all
+ *     four engine configurations ({serial, parallel} x {byte-decode,
+ *     predecode}) and must produce identical device-memory contents
+ *     and launch statistics.
+ *  2. Cache-coherence unit tests: patching code after it has been
+ *     predecoded invalidates the affected pages and the next launch
+ *     re-predecodes and observes the new bytes (the simulator-level
+ *     analogue of NVBit's instrumented-code cache-invalidation
+ *     protocol).
+ *  3. Shard-aggregate test: per-SM statistics shards merged after a
+ *     parallel launch equal the serial totals field by field.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "isa/abi.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/workloads.hpp"
+
+namespace nvbit {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::DType;
+
+/** FNV-1a over a byte range. */
+uint64_t
+fnv1a(const uint8_t *p, size_t n)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * Compare every LaunchStats field.  Decode-cache counters are only
+ * comparable between runs with the same predecode setting (byte-decode
+ * mode records every fetch as a miss), so they are gated.
+ */
+void
+expectStatsEq(const sim::LaunchStats &a, const sim::LaunchStats &b,
+              bool compare_decode_counters)
+{
+    EXPECT_EQ(a.thread_instrs, b.thread_instrs);
+    EXPECT_EQ(a.warp_instrs, b.warp_instrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    for (size_t i = 0; i < a.warp_instrs_by_op.size(); ++i) {
+        EXPECT_EQ(a.warp_instrs_by_op[i], b.warp_instrs_by_op[i])
+            << "warp_instrs_by_op[" << i << "]";
+        EXPECT_EQ(a.thread_instrs_by_op[i], b.thread_instrs_by_op[i])
+            << "thread_instrs_by_op[" << i << "]";
+    }
+    EXPECT_EQ(a.global_mem_warp_instrs, b.global_mem_warp_instrs);
+    EXPECT_EQ(a.unique_lines_sum, b.unique_lines_sum);
+    EXPECT_EQ(a.l1_hits, b.l1_hits);
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.l2_hits, b.l2_hits);
+    EXPECT_EQ(a.l2_misses, b.l2_misses);
+    EXPECT_EQ(a.ctas, b.ctas);
+    if (compare_decode_counters) {
+        EXPECT_EQ(a.decode_cache_hits, b.decode_cache_hits);
+        EXPECT_EQ(a.decode_cache_misses, b.decode_cache_misses);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Workload differential test
+// ---------------------------------------------------------------------
+
+struct RunResult {
+    uint64_t mem_hash = 0;
+    sim::LaunchStats totals;
+};
+
+/** Run one tier-1 workload to completion under the given engine
+ *  configuration and fingerprint the resulting device state. */
+RunResult
+runWorkload(bool spec, const std::string &name, sim::ExecMode mode,
+            bool predecode)
+{
+    cudrv::resetDriver();
+    sim::GpuConfig cfg;
+    cfg.exec_mode = mode;
+    cfg.use_predecode = predecode;
+    cudrv::setDeviceConfig(cfg);
+    cudrv::checkCu(cudrv::cuInit(0), "init");
+    cudrv::CUcontext ctx = nullptr;
+    cudrv::checkCu(cudrv::cuCtxCreate(&ctx, 0, 0), "ctx");
+
+    auto wl = spec ? workloads::makeSpecWorkload(name)
+                   : workloads::makeMlWorkload(name);
+    wl->run(workloads::ProblemSize::Test);
+
+    RunResult r;
+    const auto &m = cudrv::device().memory();
+    // Page 0 is unmapped; fingerprint everything usable.
+    constexpr mem::DevPtr kFirstUsable = 4096;
+    auto v = m.view(kFirstUsable, m.size() - kFirstUsable);
+    r.mem_hash = fnv1a(v.data(), v.size());
+    r.totals = cudrv::deviceTotalStats();
+    cudrv::resetDriver();
+    return r;
+}
+
+class EngineDifferentialTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The engine honours NVBIT_SIM_EXEC / NVBIT_SIM_PREDECODE when
+        // set; clear them so setDeviceConfig() fully controls each run.
+        unsetenv("NVBIT_SIM_EXEC");
+        unsetenv("NVBIT_SIM_PREDECODE");
+    }
+    void TearDown() override { cudrv::resetDriver(); }
+};
+
+TEST_P(EngineDifferentialTest, AllEngineConfigsAgree)
+{
+    std::string param = GetParam();
+    bool spec = param.rfind("spec_", 0) == 0;
+    std::string name = spec ? param.substr(5) : param.substr(3);
+
+    auto base = runWorkload(spec, name, sim::ExecMode::Serial, false);
+    auto ser_pre = runWorkload(spec, name, sim::ExecMode::Serial, true);
+    auto par_byte = runWorkload(spec, name, sim::ExecMode::Parallel, false);
+    auto par_pre = runWorkload(spec, name, sim::ExecMode::Parallel, true);
+
+    // Memory contents must be bit-identical across all four engines.
+    EXPECT_EQ(base.mem_hash, ser_pre.mem_hash);
+    EXPECT_EQ(base.mem_hash, par_byte.mem_hash);
+    EXPECT_EQ(base.mem_hash, par_pre.mem_hash);
+
+    // Architectural + timing stats identical everywhere; decode-cache
+    // counters identical between serial/parallel at the same predecode
+    // setting (the fetch streams per SM are the same by construction).
+    expectStatsEq(base.totals, ser_pre.totals, false);
+    expectStatsEq(base.totals, par_byte.totals, true);
+    expectStatsEq(ser_pre.totals, par_pre.totals, true);
+
+    // Every fetch is classified exactly once.
+    EXPECT_EQ(base.totals.decode_cache_hits +
+                  base.totals.decode_cache_misses,
+              base.totals.warp_instrs);
+    EXPECT_EQ(ser_pre.totals.decode_cache_hits +
+                  ser_pre.totals.decode_cache_misses,
+              ser_pre.totals.warp_instrs);
+
+    // Byte-decode mode never hits; predecode mode overwhelmingly does.
+    EXPECT_EQ(base.totals.decode_cache_hits, 0u);
+    EXPECT_GT(ser_pre.totals.decode_cache_hits,
+              ser_pre.totals.decode_cache_misses);
+}
+
+std::vector<std::string>
+allWorkloadParams()
+{
+    std::vector<std::string> v;
+    for (const auto &n : workloads::specSuiteNames())
+        v.push_back("spec_" + n);
+    for (const auto &n : workloads::mlSuiteNames())
+        v.push_back("ml_" + n);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineDifferentialTest,
+                         ::testing::ValuesIn(allWorkloadParams()));
+
+// ---------------------------------------------------------------------
+// 2. Cache-coherence unit tests on a bare device
+// ---------------------------------------------------------------------
+
+class PredecodeTest : public ::testing::Test
+{
+  protected:
+    sim::GpuConfig
+    smallConfig()
+    {
+        sim::GpuConfig cfg;
+        cfg.num_sms = 4;
+        cfg.mem_bytes = 8 << 20;
+        return cfg;
+    }
+
+    void
+    SetUp() override
+    {
+        unsetenv("NVBIT_SIM_EXEC");
+        unsetenv("NVBIT_SIM_PREDECODE");
+        gpu_ = std::make_unique<sim::GpuDevice>(smallConfig());
+    }
+
+    uint64_t
+    place(const std::vector<Instruction> &prog)
+    {
+        auto bytes = isa::encodeAll(gpu_->family(), prog);
+        mem::DevPtr p = gpu_->memory().alloc(bytes.size(), 16);
+        gpu_->memory().write(p, bytes.data(), bytes.size());
+        return p;
+    }
+
+    sim::LaunchParams
+    oneThread(uint64_t entry)
+    {
+        sim::LaunchParams lp;
+        lp.entry_pc = entry;
+        lp.block[0] = 1;
+        return lp;
+    }
+
+    /** MOV R5, value; R6:R7 = buf; STG [R6], R5; EXIT. */
+    std::vector<Instruction>
+    storeImmProgram(mem::DevPtr buf, int32_t value)
+    {
+        std::vector<Instruction> prog;
+        prog.push_back(isa::makeMovImm(5, value));
+        isa::emitMaterialize32(prog, 6, static_cast<uint32_t>(buf));
+        isa::emitMaterialize32(prog, 7, static_cast<uint32_t>(buf >> 32));
+        prog.push_back(isa::makeStore(Opcode::STG, 6, 0, 5));
+        prog.push_back(isa::makeExit());
+        return prog;
+    }
+
+    std::unique_ptr<sim::GpuDevice> gpu_;
+};
+
+TEST_F(PredecodeTest, HostWriteInvalidatesAndRepredecodes)
+{
+    mem::DevPtr buf = gpu_->memory().alloc(4);
+    uint64_t entry = place(storeImmProgram(buf, 111));
+
+    gpu_->launch(oneThread(entry));
+    EXPECT_EQ(gpu_->memory().read32(buf), 111u);
+    uint64_t built0 = gpu_->codeCache().pagesBuilt();
+    uint64_t inv0 = gpu_->codeCache().invalidations();
+    EXPECT_GE(built0, 1u);
+
+    // Patch the first instruction (MOV R5, 111 -> MOV R5, 222) through
+    // a host-side write.  The write observer must invalidate the page.
+    uint8_t enc[16];
+    isa::encode(gpu_->family(), isa::makeMovImm(5, 222), enc);
+    gpu_->memory().write(entry, enc, isa::instrBytes(gpu_->family()));
+    EXPECT_GT(gpu_->codeCache().invalidations(), inv0);
+
+    gpu_->launch(oneThread(entry));
+    EXPECT_EQ(gpu_->memory().read32(buf), 222u);
+    EXPECT_GT(gpu_->codeCache().pagesBuilt(), built0);
+}
+
+TEST_F(PredecodeTest, ExplicitInvalidationProtocol)
+{
+    mem::DevPtr buf = gpu_->memory().alloc(4);
+    std::vector<Instruction> prog = storeImmProgram(buf, 7);
+    auto bytes = isa::encodeAll(gpu_->family(), prog);
+    uint64_t entry = place(prog);
+
+    // Eager predecode (the driver does this at module load).
+    gpu_->predecodeRange(entry, bytes.size());
+    EXPECT_GE(gpu_->codeCache().residentPages(), 1u);
+    uint64_t built0 = gpu_->codeCache().pagesBuilt();
+
+    // A launch over a prewarmed image builds no new pages.
+    sim::LaunchStats st = gpu_->launch(oneThread(entry));
+    EXPECT_EQ(gpu_->codeCache().pagesBuilt(), built0);
+    EXPECT_EQ(gpu_->memory().read32(buf), 7u);
+    EXPECT_EQ(st.decode_cache_hits + st.decode_cache_misses,
+              st.warp_instrs);
+
+    // Explicit range invalidation (the NVBit patching path).
+    uint64_t inv0 = gpu_->codeCache().invalidations();
+    gpu_->invalidateCodeRange(entry, bytes.size());
+    EXPECT_GT(gpu_->codeCache().invalidations(), inv0);
+
+    // Full flush drops everything resident.
+    gpu_->predecodeRange(entry, bytes.size());
+    EXPECT_GE(gpu_->codeCache().residentPages(), 1u);
+    gpu_->invalidateCaches();
+    EXPECT_EQ(gpu_->codeCache().residentPages(), 0u);
+
+    // Still executes correctly after a full flush (lazy rebuild).
+    gpu_->launch(oneThread(entry));
+    EXPECT_EQ(gpu_->memory().read32(buf), 7u);
+}
+
+TEST_F(PredecodeTest, ByteDecodeModeBypassesCache)
+{
+    sim::GpuConfig cfg = smallConfig();
+    cfg.use_predecode = false;
+    auto gpu = std::make_unique<sim::GpuDevice>(cfg);
+
+    mem::DevPtr buf = gpu->memory().alloc(4);
+    std::vector<Instruction> prog;
+    prog.push_back(isa::makeMovImm(5, 42));
+    isa::emitMaterialize32(prog, 6, static_cast<uint32_t>(buf));
+    isa::emitMaterialize32(prog, 7, static_cast<uint32_t>(buf >> 32));
+    prog.push_back(isa::makeStore(Opcode::STG, 6, 0, 5));
+    prog.push_back(isa::makeExit());
+    auto bytes = isa::encodeAll(gpu->family(), prog);
+    mem::DevPtr entry = gpu->memory().alloc(bytes.size(), 16);
+    gpu->memory().write(entry, bytes.data(), bytes.size());
+
+    sim::LaunchParams lp;
+    lp.entry_pc = entry;
+    lp.block[0] = 1;
+    sim::LaunchStats st = gpu->launch(lp);
+    EXPECT_EQ(gpu->memory().read32(buf), 42u);
+    EXPECT_EQ(st.decode_cache_hits, 0u);
+    EXPECT_EQ(st.decode_cache_misses, st.warp_instrs);
+    EXPECT_EQ(gpu->codeCache().pagesBuilt(), 0u);
+}
+
+TEST_F(PredecodeTest, EnvOverridesControlEngine)
+{
+    setenv("NVBIT_SIM_EXEC", "serial", 1);
+    setenv("NVBIT_SIM_PREDECODE", "0", 1);
+    sim::GpuDevice gpu(smallConfig());
+    EXPECT_EQ(gpu.config().exec_mode, sim::ExecMode::Serial);
+    EXPECT_FALSE(gpu.config().use_predecode);
+    unsetenv("NVBIT_SIM_EXEC");
+    unsetenv("NVBIT_SIM_PREDECODE");
+
+    sim::GpuDevice dflt(smallConfig());
+    EXPECT_EQ(dflt.config().exec_mode, sim::ExecMode::Parallel);
+    EXPECT_TRUE(dflt.config().use_predecode);
+}
+
+// ---------------------------------------------------------------------
+// 3. Shard aggregation: parallel totals == serial totals
+// ---------------------------------------------------------------------
+
+TEST_F(PredecodeTest, ParallelShardsAggregateToSerialTotals)
+{
+    auto run = [&](sim::ExecMode mode) {
+        sim::GpuConfig cfg = smallConfig();
+        cfg.exec_mode = mode;
+        auto gpu = std::make_unique<sim::GpuDevice>(cfg);
+
+        mem::DevPtr counter = gpu->memory().alloc(4);
+        gpu->memory().write32(counter, 0);
+        mem::DevPtr buf = gpu->memory().alloc(64 * 4);
+
+        // Per-lane store with IMAD.WIDE addressing plus a grid-wide
+        // atomic increment: exercises caches, divergence accounting,
+        // and the atomic serialisation gate across 10 CTAs.
+        std::vector<Instruction> prog;
+        prog.push_back(isa::makeS2R(4, isa::SpecialReg::LANEID));
+        isa::emitMaterialize32(prog, 6, static_cast<uint32_t>(buf));
+        isa::emitMaterialize32(prog, 7, static_cast<uint32_t>(buf >> 32));
+        prog.push_back(isa::makeMovImm(10, 4));
+        Instruction mad;
+        mad.op = Opcode::IMAD;
+        mad.mod = isa::modSetDType(0, DType::U64);
+        mad.rd = 8;
+        mad.ra = 4;
+        mad.rb = 10;
+        mad.rc = 6;
+        prog.push_back(mad);
+        prog.push_back(isa::makeStore(Opcode::STG, 8, 0, 4));
+        isa::emitMaterialize32(prog, 12, static_cast<uint32_t>(counter));
+        isa::emitMaterialize32(prog, 13,
+                               static_cast<uint32_t>(counter >> 32));
+        prog.push_back(isa::makeMovImm(14, 1));
+        Instruction atom;
+        atom.op = Opcode::ATOM;
+        atom.mod = isa::modSetAtomDType(
+            isa::modSetAtomOp(0, isa::AtomOp::ADD), DType::U32);
+        atom.rd = isa::kRegZ;
+        atom.ra = 12;
+        atom.rb = 14;
+        prog.push_back(atom);
+        prog.push_back(isa::makeExit());
+
+        auto bytes = isa::encodeAll(gpu->family(), prog);
+        mem::DevPtr entry = gpu->memory().alloc(bytes.size(), 16);
+        gpu->memory().write(entry, bytes.data(), bytes.size());
+
+        sim::LaunchParams lp;
+        lp.entry_pc = entry;
+        lp.grid[0] = 10;
+        lp.block[0] = 64;
+        sim::LaunchStats st = gpu->launch(lp);
+        EXPECT_EQ(gpu->memory().read32(counter), 640u);
+        return st;
+    };
+
+    sim::LaunchStats serial = run(sim::ExecMode::Serial);
+    sim::LaunchStats parallel = run(sim::ExecMode::Parallel);
+    expectStatsEq(serial, parallel, true);
+    EXPECT_EQ(serial.ctas, 10u);
+}
+
+} // namespace
+} // namespace nvbit
