@@ -1,0 +1,164 @@
+/**
+ * @file
+ * SASSIFI-style fault-injection campaign (paper Section 1 cites fault
+ * injection as a flagship NVBit use case).
+ *
+ * A small saxpy-with-loop kernel is swept with single-bit flips in the
+ * destination registers of three opcode classes:
+ *   - FADD: the accumulating float add (data faults -> masked / SDC),
+ *   - IADD: address arithmetic and the loop counter (faults -> SDC or
+ *     out-of-bounds traps, i.e. DUEs),
+ *   - LDC:  parameter loads (pointer faults -> DUEs; flipping a high
+ *     bit of the loop bound -> watchdog timeout).
+ *
+ * Each injection is a fresh tool-injected run; the campaign runner
+ * resets the device between injections, classifies every outcome as
+ * masked / SDC / DUE / timeout, and emits a JSON report.
+ */
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "driver/api.hpp"
+#include "tools/fault_injection.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+using nvbit::tools::FaultCampaignRunner;
+using nvbit::tools::FaultOutcome;
+
+namespace {
+
+const char *kKernelPtx = R"(
+.visible .entry fc(.param .u64 A, .param .u64 B, .param .u32 n,
+                   .param .u32 iters)
+{
+    .reg .u32 %r<10>;
+    .reg .u64 %rd<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<3>;
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mad.lo.u32 %r4, %r1, %r2, %tid.x;
+    ld.param.u32 %r5, [n];
+    setp.ge.u32 %p1, %r4, %r5;
+    @%p1 bra DONE;
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    mul.wide.u32 %rd4, %r4, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    add.u64 %rd6, %rd2, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    ld.param.u32 %r6, [iters];
+    mov.u32 %r7, 0;
+LOOP:
+    add.f32 %f1, %f1, 0f3DCCCCCD;
+    add.u32 %r7, %r7, 1;
+    setp.lt.u32 %p2, %r7, %r6;
+    @%p2 bra LOOP;
+    st.global.f32 [%rd6], %f1;
+DONE:
+    exit;
+}
+)";
+
+/**
+ * The application under test.  It must tolerate launch failures (a
+ * fault campaign expects them): the worst CUresult is reported instead
+ * of aborting, and the observable output is returned for golden
+ * comparison.
+ */
+FaultCampaignRunner::AppResult
+appMain()
+{
+    FaultCampaignRunner::AppResult res;
+    auto cu = [&res](CUresult r) {
+        if (r != CUDA_SUCCESS && res.status == CUDA_SUCCESS)
+            res.status = r;
+        return r;
+    };
+    if (cu(cuInit(0)) != CUDA_SUCCESS)
+        return res;
+    CUcontext ctx;
+    if (cu(cuCtxCreate(&ctx, 0, 0)) != CUDA_SUCCESS)
+        return res;
+    CUmodule mod;
+    if (cu(cuModuleLoadData(&mod, kKernelPtx, 0)) != CUDA_SUCCESS)
+        return res;
+    CUfunction fn;
+    cu(cuModuleGetFunction(&fn, mod, "fc"));
+
+    const uint32_t n = 256, iters = 8;
+    std::vector<float> a(n);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i] = 0.25f * static_cast<float>(i);
+    CUdeviceptr da = 0, db = 0;
+    cu(cuMemAlloc(&da, n * 4));
+    cu(cuMemAlloc(&db, n * 4));
+    cu(cuMemcpyHtoD(da, a.data(), n * 4));
+
+    void *params[] = {&da, &db, const_cast<uint32_t *>(&n),
+                      const_cast<uint32_t *>(&iters)};
+    cu(cuLaunchKernel(fn, 2, 1, 1, 128, 1, 1, 0, nullptr, params,
+                      nullptr));
+
+    res.output.resize(n * 4);
+    if (cu(cuMemcpyDtoH(res.output.data(), db, n * 4)) != CUDA_SUCCESS)
+        res.output.clear(); // poisoned context: no observable output
+    return res;
+}
+
+tools::CampaignReport
+sweep(const char *prefix, std::vector<uint32_t> bits,
+      std::vector<uint32_t> occurrences)
+{
+    FaultCampaignRunner::Config cfg;
+    cfg.opcode_prefix = prefix;
+    cfg.bits = std::move(bits);
+    cfg.occurrences = std::move(occurrences);
+    cfg.watchdog_cycles = 2000000; // runaway loops -> timeout class
+    tools::CampaignReport rep = FaultCampaignRunner(cfg).run(appMain);
+    std::printf("%-5s %2u sites, %3zu injections: masked=%zu sdc=%zu "
+                "due=%zu timeout=%zu\n",
+                prefix, rep.sites, rep.injections.size(),
+                rep.countOf(FaultOutcome::Masked),
+                rep.countOf(FaultOutcome::SDC),
+                rep.countOf(FaultOutcome::DUE),
+                rep.countOf(FaultOutcome::Timeout));
+    return rep;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Data faults: only the stored values can change.
+    tools::CampaignReport rep =
+        sweep("FADD", {0, 5, 12, 22, 30, 31}, {0, 7});
+    // Address arithmetic + loop counter: SDCs and traps.
+    tools::CampaignReport r2 = sweep("IADD", {4, 12, 30, 31}, {0, 9});
+    // Parameter loads: pointer faults and a runaway loop bound.
+    tools::CampaignReport r3 = sweep("LDC", {30}, {0, 1});
+
+    rep.sites += r2.sites + r3.sites;
+    rep.injections.insert(rep.injections.end(), r2.injections.begin(),
+                          r2.injections.end());
+    rep.injections.insert(rep.injections.end(), r3.injections.begin(),
+                          r3.injections.end());
+
+    std::printf("total %zu injections: masked=%zu sdc=%zu due=%zu "
+                "timeout=%zu\n",
+                rep.injections.size(),
+                rep.countOf(FaultOutcome::Masked),
+                rep.countOf(FaultOutcome::SDC),
+                rep.countOf(FaultOutcome::DUE),
+                rep.countOf(FaultOutcome::Timeout));
+
+    const char *path =
+        argc > 1 ? argv[1] : "fault_campaign_report.json";
+    std::ofstream out(path);
+    out << rep.toJson();
+    std::printf("report written to %s\n", path);
+    return 0;
+}

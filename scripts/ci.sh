@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then the same suite
+# under ASan+UBSan via the `sanitize` CMake preset.
+#
+# Usage: scripts/ci.sh [--no-sanitize]
+#
+# The fault/exception suite alone can be run with
+#   ctest --test-dir build -L faults
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_sanitize=1
+[[ "${1:-}" == "--no-sanitize" ]] && run_sanitize=0
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$jobs"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_sanitize" == 1 ]]; then
+    echo "==> sanitize (ASan+UBSan): configure + build"
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "$jobs"
+
+    echo "==> sanitize: ctest"
+    ctest --preset sanitize
+fi
+
+echo "==> CI OK"

@@ -49,6 +49,7 @@ NvbitCore::uninject()
     init_ctx_ = nullptr;
     tool_module_ = nullptr;
     builtin_syms_.clear();
+    builtin_ranges_.clear();
     save_addr_.clear();
     restore_addr_.clear();
     fstate_.clear();
@@ -115,6 +116,19 @@ NvbitCore::onDriverCall(CUcontext ctx, bool is_exit, CallbackId cbid,
         if (!is_exit) {
             onLaunchEntry(
                 static_cast<cudrv::cuLaunchKernel_params *>(params));
+        } else if (*status != cudrv::CUDA_SUCCESS) {
+            attributeException(ctx);
+        }
+        break;
+      case CallbackId::cuDevicePrimaryCtxReset:
+        if (is_exit && *status == cudrv::CUDA_SUCCESS) {
+            // The reset restored every app module's pristine code, so
+            // any resident instrumented version is gone; mark it
+            // non-resident and applyResidency() re-swaps it in at the
+            // next launch.  Trampoline regions are core allocations
+            // and survive the reset untouched.
+            for (auto &[f, st] : fstate_)
+                st->instrumented_resident = false;
         }
         break;
       default:
@@ -139,6 +153,7 @@ NvbitCore::initForContext(CUcontext ctx)
         mem::DevPtr addr =
             gpu.memory().alloc(bytes.size(), hal_->codeAlignment());
         gpu.memory().write(addr, bytes.data(), bytes.size());
+        builtin_ranges_.emplace_back(addr, bytes.size());
         return addr;
     };
     for (unsigned k : kSaveBuckets) {
@@ -399,6 +414,8 @@ struct PendingTrampoline {
     int reloc_bra_pos = -1;  ///< index of the relocated BRA, if any
     int64_t orig_bra_imm = 0;
     size_t offset = 0;       ///< byte offset within the bulk region
+    size_t orig_slot = 0;    ///< instruction slot of the relocated orig
+    bool has_orig = false;   ///< false under nvbit_remove_orig
 };
 
 } // namespace
@@ -569,6 +586,7 @@ NvbitCore::generate(FuncState &st)
         st.tramp_base = 0;
         st.tramp_bytes = 0;
     }
+    st.tramp_spans.clear();
 
     st.instrumented_code = st.original_code;
     unsigned max_k = 0;
@@ -619,6 +637,8 @@ NvbitCore::generate(FuncState &st)
         // Relocated original instruction (paper Figure 4 step 5), or a
         // NOP under nvbit_remove_orig.
         const Instruction &orig = I.decoded();
+        tr.orig_slot = tr.code.size();
+        tr.has_orig = !reqs.remove_orig;
         if (reqs.remove_orig) {
             tr.code.push_back(isa::makeNop());
         } else {
@@ -645,6 +665,13 @@ NvbitCore::generate(FuncState &st)
         for (PendingTrampoline &tr : tramps) {
             tr.offset = total;
             total += tr.code.size() * ib;
+        }
+        st.tramp_spans.reserve(tramps.size());
+        for (const PendingTrampoline &tr : tramps) {
+            st.tramp_spans.push_back(
+                FuncState::TrampSpan{tr.offset, tr.code.size() * ib,
+                                     tr.instr_idx, tr.orig_slot * ib,
+                                     tr.has_orig});
         }
         st.tramp_base = gpu.memory().alloc(
             total, std::max(hal_->codeAlignment(), size_t{16}));
@@ -773,6 +800,96 @@ NvbitCore::onLaunchEntry(cudrv::cuLaunchKernel_params *p)
     updateLaunchRequirements(f);
 }
 
+// --- Fault attribution -------------------------------------------------------
+
+namespace {
+
+/** Span containing trampoline-region offset @p off, or nullptr. */
+const FuncState::TrampSpan *
+findSpan(const FuncState &st, uint64_t off)
+{
+    for (const FuncState::TrampSpan &sp : st.tramp_spans) {
+        if (off >= sp.offset && off < sp.offset + sp.bytes)
+            return &sp;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+void
+NvbitCore::attributeException(CUcontext ctx)
+{
+    cudrv::CUexceptionInfo *info = cudrv::mutableExceptionInfo(ctx);
+    if (!info || !info->valid ||
+        info->origin != cudrv::CU_EXCEPTION_ORIGIN_UNKNOWN)
+        return;
+    const sim::DeviceException &e = info->exc;
+    const size_t ib = hal_ ? hal_->instrBytes() : 8;
+
+    // Where does a pc live?  (a) inside a trampoline region: the span
+    // maps it back to the instrumented app instruction, and the
+    // relocated-original slot is the only app-origin instruction in
+    // the span.  (b) inside a tool device function or a builtin
+    // save/restore/Device-API routine: tool origin.  (c) anywhere
+    // else: application code.
+    auto inToolCode = [&](uint64_t pc) {
+        if (tool_module_) {
+            for (const auto &fn : tool_module_->funcs) {
+                if (pc >= fn->code_addr &&
+                    pc < fn->code_addr + fn->code_size)
+                    return true;
+            }
+        }
+        for (const auto &[addr, bytes] : builtin_ranges_) {
+            if (pc >= addr && pc < addr + bytes)
+                return true;
+        }
+        return false;
+    };
+    auto inTrampoline = [&](uint64_t pc)
+        -> std::pair<const FuncState *, const FuncState::TrampSpan *> {
+        for (const auto &[f, st] : fstate_) {
+            if (st->tramp_base && pc >= st->tramp_base &&
+                pc < st->tramp_base + st->tramp_bytes) {
+                return {st.get(),
+                        findSpan(*st, pc - st->tramp_base)};
+            }
+        }
+        return {nullptr, nullptr};
+    };
+
+    info->origin = cudrv::CU_EXCEPTION_ORIGIN_APP;
+    info->app_pc = e.pc;
+    if (auto [st, sp] = inTrampoline(e.pc); st) {
+        info->app_pc =
+            sp ? st->func->code_addr + sp->instr_idx * ib : e.pc;
+        bool at_orig = sp && sp->has_orig &&
+                       (e.pc - st->tramp_base) - sp->offset ==
+                           sp->orig_slot_off;
+        // Faulting on the relocated original instruction is the app's
+        // own fault; anywhere else in the span is injected machinery.
+        info->origin = at_orig ? cudrv::CU_EXCEPTION_ORIGIN_APP
+                               : cudrv::CU_EXCEPTION_ORIGIN_TOOL;
+    } else if (inToolCode(e.pc)) {
+        info->origin = cudrv::CU_EXCEPTION_ORIGIN_TOOL;
+        // Walk the return stack (innermost last) for the trampoline
+        // call site, recovering the app instruction being
+        // instrumented when the tool function faulted.
+        for (auto it = e.ret_stack.rbegin(); it != e.ret_stack.rend();
+             ++it) {
+            if (auto [st, sp] = inTrampoline(*it); st && sp) {
+                info->app_pc =
+                    st->func->code_addr + sp->instr_idx * ib;
+                break;
+            }
+        }
+    }
+
+    if (tool_)
+        tool_->nvbit_at_exception(ctx, *info);
+}
+
 void
 NvbitCore::enableInstrumented(CUcontext ctx, CUfunction f, bool enable,
                               bool apply_related)
@@ -810,6 +927,7 @@ NvbitCore::resetInstrumented(CUcontext ctx, CUfunction f)
         st.tramp_base = 0;
         st.tramp_bytes = 0;
     }
+    st.tramp_spans.clear();
     st.requests.clear();
     st.last_call = nullptr;
     st.generated = false;

@@ -77,6 +77,21 @@ struct FuncState {
     std::vector<uint8_t> instrumented_code;
     uint64_t tramp_base = 0;
     size_t tramp_bytes = 0;
+    /**
+     * Layout of each emitted trampoline within the bulk region, kept
+     * for fault attribution: a faulting pc inside a span maps back to
+     * the instrumented application instruction (`instr_idx`), and the
+     * offset of the relocated original instruction distinguishes an
+     * app-origin fault from one raised by injected tool machinery.
+     */
+    struct TrampSpan {
+        size_t offset = 0;        ///< byte offset within the region
+        size_t bytes = 0;         ///< span length in bytes
+        uint32_t instr_idx = 0;   ///< instrumented app instruction
+        size_t orig_slot_off = 0; ///< offset of the relocated original
+        bool has_orig = false;    ///< false under nvbit_remove_orig
+    };
+    std::vector<TrampSpan> tramp_spans;
     uint32_t instr_num_regs = 0;   ///< launch regs when instrumented
     uint32_t instr_stack_bytes = 0;///< launch stack when instrumented
 
@@ -158,6 +173,14 @@ class NvbitCore
     /** Handle a kernel launch (entry side). */
     void onLaunchEntry(cudrv::cuLaunchKernel_params *p);
 
+    /**
+     * Fault attribution (exit side of a failed launch): classify the
+     * pending exception as tool- vs app-origin, map trampoline pcs
+     * back to instrumented app instructions, then fire the tool's
+     * nvbit_at_exception callback.
+     */
+    void attributeException(cudrv::CUcontext ctx);
+
     /** Drop all state for functions of a module being unloaded. */
     void onModuleUnload(cudrv::CUmodule mod);
 
@@ -182,6 +205,8 @@ class NvbitCore
 
     /** Builtin routine name -> device address. */
     std::map<std::string, cudrv::CUdeviceptr> builtin_syms_;
+    /** Device ranges of the builtin routines (for fault attribution). */
+    std::vector<std::pair<cudrv::CUdeviceptr, size_t>> builtin_ranges_;
     std::map<unsigned, cudrv::CUdeviceptr> save_addr_;
     std::map<unsigned, cudrv::CUdeviceptr> restore_addr_;
 

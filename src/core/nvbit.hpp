@@ -74,6 +74,16 @@ class NvbitTool
                               void * /*params*/, CUresult * /*status*/)
     {}
 
+    /**
+     * Called when a kernel launch raises a device exception, after the
+     * core has attributed the fault (origin tool vs app, app-level pc)
+     * — see docs/exceptions.md.  The record stays queryable through
+     * cuCtxGetExceptionInfo until cuDevicePrimaryCtxReset.
+     */
+    virtual void nvbit_at_exception(CUcontext /*ctx*/,
+                                    const cudrv::CUexceptionInfo &)
+    {}
+
     /** PTX source of the tool's device functions (may be empty). */
     const std::string &deviceFunctionSource() const { return dev_src_; }
 

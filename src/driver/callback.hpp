@@ -38,6 +38,7 @@ enum class CallbackId : uint32_t {
     cuMemcpyDtoD,
     cuMemsetD8,
     cuLaunchKernel,
+    cuDevicePrimaryCtxReset,
     NumCallbackIds
 };
 
@@ -103,6 +104,9 @@ struct cuLaunchKernel_params {
     CUstream hStream;
     void **kernelParams;
     void **extra;
+};
+struct cuDevicePrimaryCtxReset_params {
+    CUdevice dev;
 };
 
 /**

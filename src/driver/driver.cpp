@@ -25,6 +25,9 @@ struct DriverState {
     /** The NVBit tool module, visible to launches from any context
      *  (device memory and constant bank 2 are device-wide). */
     CUmod_st *tool_module = nullptr;
+    /** Live cuMemAlloc allocations (addr -> bytes), zero-filled by
+     *  cuDevicePrimaryCtxReset. */
+    std::map<mem::DevPtr, size_t> user_allocs;
 };
 
 DriverState &
@@ -63,6 +66,7 @@ const char *kCallbackNames[] = {
     "cuMemcpyDtoD",
     "cuMemsetD8",
     "cuLaunchKernel",
+    "cuDevicePrimaryCtxReset",
 };
 
 static_assert(sizeof(kCallbackNames) / sizeof(kCallbackNames[0]) ==
@@ -131,6 +135,39 @@ findInContext(CUctx_st *ctx, const std::string &name)
             return f;
     }
     return nullptr;
+}
+
+/** Sticky error of the current context, or CUDA_SUCCESS. */
+CUresult
+stickyError()
+{
+    CUcontext ctx = state().current;
+    return ctx ? ctx->sticky_error : CUDA_SUCCESS;
+}
+
+/** Map a structured device trap onto the CUresult CUDA would report. */
+CUresult
+resultOfTrap(sim::TrapCode code)
+{
+    switch (code) {
+      case sim::TrapCode::MisalignedAddress:
+      case sim::TrapCode::OutOfBoundsGlobal:
+      case sim::TrapCode::OutOfBoundsLocal:
+      case sim::TrapCode::OutOfBoundsShared:
+      case sim::TrapCode::OutOfBoundsConst:
+      case sim::TrapCode::InvalidPc:
+        return CUDA_ERROR_ILLEGAL_ADDRESS;
+      case sim::TrapCode::IllegalInstruction:
+        return CUDA_ERROR_ILLEGAL_INSTRUCTION;
+      case sim::TrapCode::WatchdogTimeout:
+        return CUDA_ERROR_LAUNCH_TIMEOUT;
+      case sim::TrapCode::CallStackOverflow:
+      case sim::TrapCode::CallStackUnderflow:
+      case sim::TrapCode::BarrierDeadlock:
+      case sim::TrapCode::None:
+        break;
+    }
+    return CUDA_ERROR_LAUNCH_FAILED;
 }
 
 } // namespace
@@ -212,6 +249,7 @@ resetDriver()
     s.totals = sim::LaunchStats{};
     s.module_stats.clear();
     s.tool_module = nullptr;
+    s.user_allocs.clear();
 }
 
 sim::GpuDevice &
@@ -283,6 +321,8 @@ CUresult
 cuCtxSynchronize()
 {
     ApiScope scope(CallbackId::cuCtxSynchronize, nullptr);
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     // Launches are synchronous in the simulator; nothing to wait for.
     return scope.status() = CUDA_SUCCESS;
 }
@@ -416,6 +456,23 @@ placeModule(CUctx_st *ctx, const ModuleData &data, bool is_tool_module,
     for (auto &f : mod->funcs)
         gpu.predecodeRange(f->code_addr, f->code_size);
 
+    // Snapshot load-time device contents (code after relocation
+    // patching, global initial values) for cuDevicePrimaryCtxReset.
+    for (auto &f : mod->funcs) {
+        if (f->code_size == 0)
+            continue;
+        std::vector<uint8_t> bytes(f->code_size);
+        gpu.memory().read(f->code_addr, bytes.data(), bytes.size());
+        mod->pristine.emplace_back(f->code_addr, std::move(bytes));
+    }
+    for (auto &[name, g] : mod->globals) {
+        if (g.second == 0)
+            continue;
+        std::vector<uint8_t> bytes(g.second);
+        gpu.memory().read(g.first, bytes.data(), bytes.size());
+        mod->pristine.emplace_back(g.first, std::move(bytes));
+    }
+
     ctx->modules.push_back(std::move(mod));
     *out = ctx->modules.back().get();
     if (is_tool_module) {
@@ -466,6 +523,8 @@ cuModuleLoadData(CUmodule *mod, const void *image, size_t image_size)
     CUcontext ctx = state().current;
     if (!ctx)
         return scope.status() = CUDA_ERROR_INVALID_CONTEXT;
+    if (ctx->sticky_error)
+        return scope.status() = ctx->sticky_error;
     return scope.status() = loadModuleInternal(mod, ctx, image,
                                                image_size, false, false,
                                                nullptr);
@@ -540,11 +599,14 @@ cuMemAlloc(CUdeviceptr *ptr, size_t bytes)
     ApiScope scope(CallbackId::cuMemAlloc, &p);
     if (!state().initialized)
         return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     if (!ptr)
         return scope.status() = CUDA_ERROR_INVALID_VALUE;
     mem::DevPtr a = state().gpu->memory().tryAlloc(bytes, 256);
     if (!a)
         return scope.status() = CUDA_ERROR_OUT_OF_MEMORY;
+    state().user_allocs[a] = bytes;
     *ptr = a;
     return scope.status() = CUDA_SUCCESS;
 }
@@ -556,7 +618,10 @@ cuMemFree(CUdeviceptr ptr)
     ApiScope scope(CallbackId::cuMemFree, &p);
     if (!state().initialized)
         return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    // Deliberately NOT gated on the sticky error so faulted apps can
+    // still tear down; real CUDA frees everything at ctx destruction.
     state().gpu->memory().free(ptr);
+    state().user_allocs.erase(ptr);
     return scope.status() = CUDA_SUCCESS;
 }
 
@@ -565,6 +630,8 @@ cuMemcpyHtoD(CUdeviceptr dst, const void *src, size_t bytes)
 {
     cuMemcpy_params p{dst, 0, src, nullptr, bytes};
     ApiScope scope(CallbackId::cuMemcpyHtoD, &p);
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     try {
         state().gpu->memory().write(dst, src, bytes);
     } catch (const mem::DeviceMemory::MemFault &) {
@@ -578,6 +645,8 @@ cuMemcpyDtoH(void *dst, CUdeviceptr src, size_t bytes)
 {
     cuMemcpy_params p{0, src, nullptr, dst, bytes};
     ApiScope scope(CallbackId::cuMemcpyDtoH, &p);
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     try {
         state().gpu->memory().read(src, dst, bytes);
     } catch (const mem::DeviceMemory::MemFault &) {
@@ -591,6 +660,8 @@ cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t bytes)
 {
     cuMemcpy_params p{dst, src, nullptr, nullptr, bytes};
     ApiScope scope(CallbackId::cuMemcpyDtoD, &p);
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     try {
         std::vector<uint8_t> tmp(bytes);
         state().gpu->memory().read(src, tmp.data(), bytes);
@@ -606,6 +677,8 @@ cuMemsetD8(CUdeviceptr dst, uint8_t value, size_t bytes)
 {
     cuMemsetD8_params p{dst, value, bytes};
     ApiScope scope(CallbackId::cuMemsetD8, &p);
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     try {
         std::vector<uint8_t> tmp(bytes, value);
         state().gpu->memory().write(dst, tmp.data(), bytes);
@@ -620,6 +693,8 @@ cuMemsetD32(CUdeviceptr dst, uint32_t value, size_t count)
 {
     if (!state().initialized)
         return CUDA_ERROR_NOT_INITIALIZED;
+    if (CUresult e = stickyError())
+        return e;
     try {
         std::vector<uint32_t> tmp(count, value);
         state().gpu->memory().write(dst, tmp.data(), count * 4);
@@ -680,11 +755,19 @@ cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
     DriverState &s = state();
     if (!s.initialized)
         return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (CUresult e = stickyError())
+        return scope.status() = e;
     if (!fn || !fn->is_entry)
         return scope.status() = CUDA_ERROR_INVALID_VALUE;
+    // Per-dimension limits checked before the product so that the
+    // 64-bit multiply below cannot be fed absurd values; the widened
+    // product avoids the 32-bit wrap (65536 * 65536 * 1 == 0) that
+    // would otherwise slip a giant block past the 1024-thread cap.
     if (grid_x == 0 || grid_y == 0 || grid_z == 0 || block_x == 0 ||
-        block_y == 0 || block_z == 0 ||
-        block_x * block_y * block_z > 1024) {
+        block_y == 0 || block_z == 0 || grid_x > 0x7FFFFFFFu ||
+        grid_y > 65535 || grid_z > 65535 || block_x > 1024 ||
+        block_y > 1024 || block_z > 64 ||
+        static_cast<uint64_t>(block_x) * block_y * block_z > 1024) {
         return scope.status() = CUDA_ERROR_INVALID_VALUE;
     }
 
@@ -723,12 +806,132 @@ cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
         s.totals.merge(st);
         s.module_stats[fn->mod].merge(st);
         ++fn->launch_count;
-    } catch (const sim::SimTrap &t) {
-        warn("kernel '%s' trapped at pc 0x%llx: %s", fn->name.c_str(),
-             static_cast<unsigned long long>(t.pc), t.reason.c_str());
-        return scope.status() = CUDA_ERROR_LAUNCH_FAILED;
+    } catch (const sim::DeviceException &e) {
+        CUresult r = resultOfTrap(e.code);
+        warn("kernel '%s' trapped: %s [%s] at pc 0x%llx "
+             "(cta %u,%u,%u warp %u sm %u) -> %s",
+             fn->name.c_str(), e.reason.c_str(), trapCodeName(e.code),
+             static_cast<unsigned long long>(e.pc), e.ctaid[0],
+             e.ctaid[1], e.ctaid[2], e.warp_id, e.sm_id, resultName(r));
+        // Poison the context: every later state-touching API returns
+        // this error until cuDevicePrimaryCtxReset.
+        CUcontext ctx = s.current;
+        if (ctx) {
+            ctx->sticky_error = r;
+            ctx->exc_info = CUexceptionInfo{};
+            ctx->exc_info.exc = e;
+            ctx->exc_info.error = r;
+            ctx->exc_info.app_pc = e.pc;
+            ctx->exc_info.func_name = fn->name;
+            ctx->exc_info.valid = true;
+        }
+        return scope.status() = r;
     }
     return scope.status() = CUDA_SUCCESS;
+}
+
+// --- Device exceptions -----------------------------------------------------
+
+CUresult
+cuCtxGetExceptionInfo(CUcontext ctx, CUexceptionInfo *info)
+{
+    DriverState &s = state();
+    if (!ctx || !info)
+        return CUDA_ERROR_INVALID_VALUE;
+    auto it = std::find_if(s.contexts.begin(), s.contexts.end(),
+                           [&](const auto &c) { return c.get() == ctx; });
+    if (it == s.contexts.end())
+        return CUDA_ERROR_INVALID_CONTEXT;
+    if (!ctx->exc_info.valid)
+        return CUDA_ERROR_NOT_FOUND;
+    *info = ctx->exc_info;
+    return CUDA_SUCCESS;
+}
+
+CUexceptionInfo *
+mutableExceptionInfo(CUcontext ctx)
+{
+    DriverState &s = state();
+    auto it = std::find_if(s.contexts.begin(), s.contexts.end(),
+                           [&](const auto &c) { return c.get() == ctx; });
+    return it == s.contexts.end() ? nullptr : &ctx->exc_info;
+}
+
+CUresult
+cuDevicePrimaryCtxReset(CUdevice dev)
+{
+    cuDevicePrimaryCtxReset_params p{dev};
+    ApiScope scope(CallbackId::cuDevicePrimaryCtxReset, &p);
+    DriverState &s = state();
+    if (!s.initialized)
+        return scope.status() = CUDA_ERROR_NOT_INITIALIZED;
+    if (dev != 0)
+        return scope.status() = CUDA_ERROR_INVALID_VALUE;
+
+    sim::GpuDevice &gpu = *s.gpu;
+    for (auto &ctx : s.contexts) {
+        ctx->sticky_error = CUDA_SUCCESS;
+        ctx->exc_info = CUexceptionInfo{};
+        for (auto &mod : ctx->modules) {
+            // Tool modules are exempt: tool counters must survive the
+            // reset so a fault-injection campaign can read its
+            // evidence after recovering the device.
+            if (mod->is_tool_module)
+                continue;
+            for (const auto &[addr, bytes] : mod->pristine)
+                gpu.memory().write(addr, bytes.data(), bytes.size());
+        }
+    }
+    // Zero user allocations.  Divergence from real CUDA (which
+    // destroys them): addresses stay valid so host code can rebuild
+    // its working set without re-allocating.
+    std::vector<uint8_t> zeros;
+    for (const auto &[addr, bytes] : s.user_allocs) {
+        zeros.assign(bytes, 0);
+        gpu.memory().write(addr, zeros.data(), zeros.size());
+    }
+    gpu.invalidateCaches();
+    return scope.status() = CUDA_SUCCESS;
+}
+
+CUresult
+cuGetErrorString(CUresult error, const char **str)
+{
+    if (!str)
+        return CUDA_ERROR_INVALID_VALUE;
+    switch (error) {
+      case CUDA_SUCCESS:
+        *str = "no error"; return CUDA_SUCCESS;
+      case CUDA_ERROR_INVALID_VALUE:
+        *str = "invalid argument"; return CUDA_SUCCESS;
+      case CUDA_ERROR_OUT_OF_MEMORY:
+        *str = "out of memory"; return CUDA_SUCCESS;
+      case CUDA_ERROR_NOT_INITIALIZED:
+        *str = "initialization error"; return CUDA_SUCCESS;
+      case CUDA_ERROR_DEINITIALIZED:
+        *str = "driver shutting down"; return CUDA_SUCCESS;
+      case CUDA_ERROR_INVALID_IMAGE:
+        *str = "device kernel image is invalid"; return CUDA_SUCCESS;
+      case CUDA_ERROR_INVALID_CONTEXT:
+        *str = "invalid device context"; return CUDA_SUCCESS;
+      case CUDA_ERROR_NOT_FOUND:
+        *str = "named symbol not found"; return CUDA_SUCCESS;
+      case CUDA_ERROR_ILLEGAL_ADDRESS:
+        *str = "an illegal memory access was encountered";
+        return CUDA_SUCCESS;
+      case CUDA_ERROR_LAUNCH_TIMEOUT:
+        *str = "the launch timed out and was terminated";
+        return CUDA_SUCCESS;
+      case CUDA_ERROR_ILLEGAL_INSTRUCTION:
+        *str = "an illegal instruction was encountered";
+        return CUDA_SUCCESS;
+      case CUDA_ERROR_LAUNCH_FAILED:
+        *str = "unspecified launch failure"; return CUDA_SUCCESS;
+      case CUDA_ERROR_UNKNOWN:
+        *str = "unknown error"; return CUDA_SUCCESS;
+    }
+    *str = nullptr;
+    return CUDA_ERROR_INVALID_VALUE;
 }
 
 const sim::LaunchStats &
@@ -766,6 +969,8 @@ resultName(CUresult r)
       case CUDA_ERROR_LAUNCH_FAILED: return "CUDA_ERROR_LAUNCH_FAILED";
       case CUDA_ERROR_ILLEGAL_ADDRESS:
         return "CUDA_ERROR_ILLEGAL_ADDRESS";
+      case CUDA_ERROR_LAUNCH_TIMEOUT:
+        return "CUDA_ERROR_LAUNCH_TIMEOUT";
       case CUDA_ERROR_ILLEGAL_INSTRUCTION:
         return "CUDA_ERROR_ILLEGAL_INSTRUCTION";
       default: return "CUDA_ERROR_UNKNOWN";

@@ -76,6 +76,13 @@ struct CUmod_st {
     std::vector<uint8_t> bank1;
     std::vector<std::string> files;
 
+    /**
+     * Load-time snapshot of every device range the module owns
+     * (function code after relocation patching, global initial
+     * values), restored by cuDevicePrimaryCtxReset.
+     */
+    std::vector<std::pair<CUdeviceptr, std::vector<uint8_t>>> pristine;
+
     CUfunc_st *find(const std::string &name) const;
 };
 
@@ -86,6 +93,14 @@ struct CUctx_st {
     /** The NVBit tool module, when one is loaded (its constant data is
      *  exposed to every launch as constant bank 2). */
     CUmod_st *tool_module = nullptr;
+    /**
+     * Sticky error: set when a launch on this context traps; every
+     * subsequent state-touching API returns it until
+     * cuDevicePrimaryCtxReset (matching real CUDA context poisoning).
+     */
+    CUresult sticky_error = CUDA_SUCCESS;
+    /** Record of the poisoning exception (valid while sticky). */
+    CUexceptionInfo exc_info;
 };
 
 // --- Internal entry points used by the NVBit core ------------------------
@@ -121,6 +136,13 @@ const std::map<const CUmod_st *, sim::LaunchStats> &perModuleStats();
 
 /** Stack-margin bytes added to every launch's local allocation. */
 constexpr uint32_t kLaunchStackMargin = 512;
+
+/**
+ * Mutable view of a context's exception record, used by the NVBit
+ * core to fill in fault attribution (origin, app_pc) on launch exit.
+ * @return nullptr if @p ctx is not a live context.
+ */
+CUexceptionInfo *mutableExceptionInfo(CUcontext ctx);
 
 } // namespace nvbit::cudrv
 

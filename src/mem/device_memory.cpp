@@ -116,10 +116,23 @@ DeviceMemory::write(DevPtr addr, const void *in, size_t bytes)
         observer_(addr, bytes);
 }
 
+namespace {
+
+/** Sized accessors require natural alignment, like GPU ld/st units. */
+void
+checkAligned(DevPtr addr, size_t bytes, bool is_write)
+{
+    if ((addr & (bytes - 1)) != 0)
+        throw DeviceMemory::MemFault{addr, bytes, is_write, true};
+}
+
+} // namespace
+
 uint32_t
 DeviceMemory::read32(DevPtr addr) const
 {
     uint32_t v;
+    checkAligned(addr, sizeof(v), false);
     read(addr, &v, sizeof(v));
     return v;
 }
@@ -128,6 +141,7 @@ uint64_t
 DeviceMemory::read64(DevPtr addr) const
 {
     uint64_t v;
+    checkAligned(addr, sizeof(v), false);
     read(addr, &v, sizeof(v));
     return v;
 }
@@ -139,6 +153,7 @@ DeviceMemory::read64(DevPtr addr) const
 void
 DeviceMemory::write32(DevPtr addr, uint32_t v)
 {
+    checkAligned(addr, sizeof(v), true);
     checkRange(addr, sizeof(v), true);
     std::memcpy(storage_.data() + addr, &v, sizeof(v));
 }
@@ -146,6 +161,7 @@ DeviceMemory::write32(DevPtr addr, uint32_t v)
 void
 DeviceMemory::write64(DevPtr addr, uint64_t v)
 {
+    checkAligned(addr, sizeof(v), true);
     checkRange(addr, sizeof(v), true);
     std::memcpy(storage_.data() + addr, &v, sizeof(v));
 }

@@ -33,11 +33,14 @@ using DevPtr = uint64_t;
 class DeviceMemory
 {
   public:
-    /** Thrown on out-of-bounds device accesses. */
+    /** Thrown on out-of-bounds or misaligned device accesses. */
     struct MemFault {
         DevPtr addr;
         size_t bytes;
         bool is_write;
+        /** Natural-alignment violation in a sized accessor (read32/
+         *  write64/...) rather than an out-of-range address. */
+        bool misaligned = false;
     };
 
     /** Default device size: 96 MiB (< 128 MiB JMP reach on SM5x). */

@@ -57,6 +57,16 @@ struct GpuConfig {
     uint64_t max_warp_instrs_per_launch = 1ull << 33;
 
     /**
+     * Per-launch cycle watchdog: a launch whose slowest SM exceeds this
+     * many cycles aborts with a WatchdogTimeout trap instead of hanging
+     * the host (e.g. a barrier-free infinite loop).  Deterministic
+     * across serial/parallel and byte-decode/predecode engines because
+     * each SM's cycle stream is identical in all of them.
+     * Env override: NVBIT_SIM_WATCHDOG_CYCLES.
+     */
+    uint64_t watchdog_cycles = 1ull << 32;
+
+    /**
      * Host-side execution strategy.  Results are bit-identical in both
      * modes; Parallel runs each SM's thread blocks on a worker thread.
      * Env override: NVBIT_SIM_EXEC=serial|parallel.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "sim/sm.hpp"
@@ -27,6 +28,15 @@ applyEnvOverrides(GpuConfig &cfg)
     }
     if (const char *p = std::getenv("NVBIT_SIM_PREDECODE"))
         cfg.use_predecode = std::strcmp(p, "0") != 0;
+    if (const char *w = std::getenv("NVBIT_SIM_WATCHDOG_CYCLES")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(w, &end, 0);
+        if (end && *end == '\0' && v > 0)
+            cfg.watchdog_cycles = v;
+        else
+            warn("ignoring NVBIT_SIM_WATCHDOG_CYCLES=%s (want a "
+                 "positive cycle count)", w);
+    }
 }
 
 } // namespace
@@ -124,13 +134,17 @@ GpuDevice::launch(const LaunchParams &lp)
             gate.markDone(w.cta_index);
         }
     } else {
-        std::atomic<bool> abort{false};
+        // Min grid index of any trapped CTA: blocks before it still
+        // run so the earliest trap in grid order is always reached.
+        std::atomic<uint64_t> abort_before{
+            std::numeric_limits<uint64_t>::max()};
         std::vector<std::function<void()>> tasks(nsm);
         for (unsigned sm = 0; sm < nsm; ++sm) {
             if (per_sm[sm].empty())
                 continue;
             tasks[sm] = [&, sm] {
-                execs[sm]->runAssigned(lp, per_sm[sm], gate, abort);
+                execs[sm]->runAssigned(lp, per_sm[sm], gate,
+                                       abort_before);
             };
         }
         pool_->runAll(std::move(tasks));

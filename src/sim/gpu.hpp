@@ -65,7 +65,9 @@ class GpuDevice
 
     /**
      * Execute a kernel grid to completion.
-     * @throws SimTrap on execution faults.
+     * @throws DeviceException on execution faults, annotated with the
+     * trap code, faulting pc/address and CTA/warp/SM context; the
+     * earliest trapping CTA in grid order wins in both exec modes.
      */
     LaunchStats launch(const LaunchParams &lp);
 

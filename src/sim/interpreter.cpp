@@ -148,22 +148,35 @@ Interpreter::Interpreter(const GpuConfig &cfg, mem::DeviceMemory &mem,
 }
 
 void
-Interpreter::memTrap(uint64_t addr, uint64_t pc, const char *space,
-                     bool write)
+Interpreter::memTrap(uint64_t addr, uint64_t pc, MemSpace space,
+                     bool write, bool misaligned)
 {
-    throw SimTrap{strfmt("illegal %s %s at address 0x%llx", space,
-                         write ? "store" : "load",
-                         static_cast<unsigned long long>(addr)),
-                  pc};
+    TrapCode code = TrapCode::OutOfBoundsGlobal;
+    if (misaligned) {
+        code = TrapCode::MisalignedAddress;
+    } else if (space == MemSpace::Local) {
+        code = TrapCode::OutOfBoundsLocal;
+    } else if (space == MemSpace::Shared) {
+        code = TrapCode::OutOfBoundsShared;
+    }
+    throw DeviceException::memFault(
+        code,
+        strfmt("%s %s %s at address 0x%llx",
+               misaligned ? "misaligned" : "illegal",
+               memSpaceName(space), write ? "store" : "load",
+               static_cast<unsigned long long>(addr)),
+        pc, addr, space, write);
 }
 
 uint64_t
 Interpreter::loadGlobal(uint64_t addr, unsigned bytes, uint64_t pc)
 {
+    if ((addr & (bytes - 1)) != 0)
+        memTrap(addr, pc, MemSpace::Global, false, true);
     try {
         return bytes == 8 ? mem_.read64(addr) : mem_.read32(addr);
     } catch (const mem::DeviceMemory::MemFault &) {
-        memTrap(addr, pc, "global", false);
+        memTrap(addr, pc, MemSpace::Global, false);
     }
 }
 
@@ -171,22 +184,26 @@ void
 Interpreter::storeGlobal(uint64_t addr, unsigned bytes, uint64_t v,
                          uint64_t pc)
 {
+    if ((addr & (bytes - 1)) != 0)
+        memTrap(addr, pc, MemSpace::Global, true, true);
     try {
         if (bytes == 8)
             mem_.write64(addr, v);
         else
             mem_.write32(addr, static_cast<uint32_t>(v));
     } catch (const mem::DeviceMemory::MemFault &) {
-        memTrap(addr, pc, "global", true);
+        memTrap(addr, pc, MemSpace::Global, true);
     }
 }
 
 uint8_t *
 Interpreter::localPtr(const ThreadCtx &t, uint64_t addr, unsigned bytes,
-                      uint64_t pc)
+                      uint64_t pc, bool write)
 {
+    if ((addr & (bytes - 1)) != 0)
+        memTrap(addr, pc, MemSpace::Local, write, true);
     if (addr + bytes > lp_.local_bytes) {
-        memTrap(addr, pc, "local", false);
+        memTrap(addr, pc, MemSpace::Local, write);
     }
     return local_.data() +
            static_cast<size_t>(t.flat_tid) * lp_.local_bytes + addr;
@@ -196,8 +213,10 @@ uint8_t *
 Interpreter::sharedPtr(uint64_t addr, unsigned bytes, uint64_t pc,
                        bool write)
 {
+    if ((addr & (bytes - 1)) != 0)
+        memTrap(addr, pc, MemSpace::Shared, write, true);
     if (addr + bytes > shared_.size())
-        memTrap(addr, pc, "shared", write);
+        memTrap(addr, pc, MemSpace::Shared, write);
     return shared_.data() + addr;
 }
 
@@ -225,8 +244,10 @@ Interpreter::specialReg(const ThreadCtx &t, isa::SpecialReg sr) const
       default:
         break;
     }
-    throw SimTrap{strfmt("S2R of unknown special register %u",
-                         static_cast<unsigned>(sr)), t.pc};
+    throw DeviceException(TrapCode::IllegalInstruction,
+                          strfmt("S2R of unknown special register %u",
+                                 static_cast<unsigned>(sr)),
+                          t.pc);
 }
 
 uint64_t
@@ -242,12 +263,17 @@ Interpreter::constRead(const Instruction &in, uint64_t pc) const
     else if (bank == 2)
         b = &lp_.bank2;
     else
-        throw SimTrap{strfmt("LDC from unmapped bank %u", bank), pc};
+        throw DeviceException::memFault(
+            TrapCode::OutOfBoundsConst,
+            strfmt("LDC from unmapped bank %u", bank), pc, in.imm,
+            MemSpace::Const, false);
     uint64_t off = static_cast<uint64_t>(in.imm);
     if (off + bytes > b->size()) {
-        throw SimTrap{strfmt("LDC out of range: c[%u][0x%llx]", bank,
-                             static_cast<unsigned long long>(off)),
-                      pc};
+        throw DeviceException::memFault(
+            TrapCode::OutOfBoundsConst,
+            strfmt("LDC out of range: c[%u][0x%llx]", bank,
+                   static_cast<unsigned long long>(off)),
+            pc, off, MemSpace::Const, false);
     }
     uint64_t v = 0;
     std::memcpy(&v, b->data() + off, bytes);
@@ -309,7 +335,8 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
       case Opcode::CAL:
         forEachExec([&](ThreadCtx &t, unsigned) {
             if (t.ret_depth >= kMaxCallDepth)
-                throw SimTrap{"call stack overflow", pc};
+                throw DeviceException(TrapCode::CallStackOverflow,
+                                      "call stack overflow", pc);
             t.ret_stack[t.ret_depth++] = next_pc;
             t.pc = static_cast<uint64_t>(in.imm) * isa::kJmpScale;
         });
@@ -318,14 +345,16 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
       case Opcode::RET:
         forEachExec([&](ThreadCtx &t, unsigned) {
             if (t.ret_depth == 0)
-                throw SimTrap{"RET with empty call stack", pc};
+                throw DeviceException(TrapCode::CallStackUnderflow,
+                                      "RET with empty call stack", pc);
             t.pc = t.ret_stack[--t.ret_depth];
         });
         break;
 
       case Opcode::BAR:
         if (!in.alwaysExecutes())
-            throw SimTrap{"predicated BAR is not supported", pc};
+            throw DeviceException(TrapCode::IllegalInstruction,
+                                  "predicated BAR is not supported", pc);
         forEachExec([&](ThreadCtx &t, unsigned) {
             t.state = ThreadCtx::St::Barrier;
         });
@@ -636,7 +665,7 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
             uint64_t addr = readReg(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
             uint64_t v = 0;
-            std::memcpy(&v, localPtr(t, addr, bytes, pc), bytes);
+            std::memcpy(&v, localPtr(t, addr, bytes, pc, false), bytes);
             if (bytes == 8)
                 writePair(t, in.rd, v);
             else
@@ -651,7 +680,7 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
                             static_cast<uint64_t>(in.imm);
             uint64_t v = bytes == 8 ? readPair(t, in.rb)
                                     : readReg(t, in.rb);
-            std::memcpy(localPtr(t, addr, bytes, pc), &v, bytes);
+            std::memcpy(localPtr(t, addr, bytes, pc, true), &v, bytes);
         });
         break;
       }
@@ -803,18 +832,20 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
 
       case Opcode::PROXY:
         if (exec_mask != 0) {
-            throw SimTrap{
+            throw DeviceException(
+                TrapCode::IllegalInstruction,
                 strfmt("PROXY instruction (id %lld) executed without "
                        "emulation — an NVBit tool must replace it",
                        static_cast<long long>(in.imm)),
-                pc};
+                pc);
         }
         break;
 
       default:
-        throw SimTrap{strfmt("unimplemented opcode %s",
-                             isa::opcodeName(in.op)),
-                      pc};
+        throw DeviceException(TrapCode::IllegalInstruction,
+                              strfmt("unimplemented opcode %s",
+                                     isa::opcodeName(in.op)),
+                              pc);
     }
 }
 

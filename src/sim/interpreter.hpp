@@ -63,20 +63,20 @@ class Interpreter
      * Execute one warp instruction.  @p warp points at the 32 thread
      * contexts; active threads have already been advanced to
      * @p next_pc (control flow overrides that here).
-     * @throws SimTrap on faults.
+     * @throws DeviceException on faults.
      */
     void execute(const isa::Instruction &in, ThreadCtx *warp,
                  uint32_t active_mask, uint32_t exec_mask, uint64_t pc,
                  uint64_t next_pc);
 
   private:
-    [[noreturn]] void memTrap(uint64_t addr, uint64_t pc,
-                              const char *space, bool write);
+    [[noreturn]] void memTrap(uint64_t addr, uint64_t pc, MemSpace space,
+                              bool write, bool misaligned = false);
     uint64_t loadGlobal(uint64_t addr, unsigned bytes, uint64_t pc);
     void storeGlobal(uint64_t addr, unsigned bytes, uint64_t v,
                      uint64_t pc);
     uint8_t *localPtr(const ThreadCtx &t, uint64_t addr, unsigned bytes,
-                      uint64_t pc);
+                      uint64_t pc, bool write);
     uint8_t *sharedPtr(uint64_t addr, unsigned bytes, uint64_t pc,
                        bool write);
     uint32_t specialReg(const ThreadCtx &t, isa::SpecialReg sr) const;

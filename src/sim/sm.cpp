@@ -20,9 +20,12 @@ SmExecutor::byteDecode(uint64_t pc, isa::Instruction &scratch)
     try {
         auto bytes = mem_.view(pc, ib_);
         if (!isa::decode(cfg_.family, bytes.data(), scratch))
-            throw SimTrap{"illegal instruction encoding", pc};
+            throw DeviceException(TrapCode::IllegalInstruction,
+                                  "illegal instruction encoding", pc);
     } catch (const mem::DeviceMemory::MemFault &) {
-        throw SimTrap{"instruction fetch from unmapped memory", pc};
+        throw DeviceException(TrapCode::InvalidPc,
+                              "instruction fetch from unmapped memory",
+                              pc);
     }
     return &scratch;
 }
@@ -47,7 +50,9 @@ SmExecutor::fetch(uint64_t pc, isa::Instruction &scratch)
         page = code_cache_->acquire(pc);
         cached_page_ = page;
         if (!page)
-            throw SimTrap{"instruction fetch from unmapped memory", pc};
+            throw DeviceException(TrapCode::InvalidPc,
+                                  "instruction fetch from unmapped memory",
+                                  pc);
     } else {
         ++shard_.decode_cache_hits;
     }
@@ -57,11 +62,13 @@ SmExecutor::fetch(uint64_t pc, isa::Instruction &scratch)
       case PredecodeStatus::Valid:
         return &e.in;
       case PredecodeStatus::Illegal:
-        throw SimTrap{"illegal instruction encoding", pc};
+        throw DeviceException(TrapCode::IllegalInstruction,
+                              "illegal instruction encoding", pc);
       case PredecodeStatus::Unmapped:
         break;
     }
-    throw SimTrap{"instruction fetch from unmapped memory", pc};
+    throw DeviceException(TrapCode::InvalidPc,
+                          "instruction fetch from unmapped memory", pc);
 }
 
 void
@@ -105,36 +112,61 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
     }
     const uint64_t minpc = slot.pc;
     const uint32_t active_mask = slot.active_mask;
-
-    isa::Instruction scratch;
-    const isa::Instruction *in = fetch(minpc, scratch);
-
-    // Evaluate guard predicates.
     ThreadCtx *warp = sched.warp(w);
     uint32_t exec_mask = 0;
-    for (unsigned l = 0; l < kWarpSize; ++l) {
-        if ((active_mask >> l) & 1) {
-            if (readPred(warp[l], in->pred, in->pred_neg))
-                exec_mask |= 1u << l;
+
+    try {
+        isa::Instruction scratch;
+        const isa::Instruction *in = fetch(minpc, scratch);
+
+        // Evaluate guard predicates.
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            if ((active_mask >> l) & 1) {
+                if (readPred(warp[l], in->pred, in->pred_neg))
+                    exec_mask |= 1u << l;
+            }
         }
+
+        const uint64_t next_pc = minpc + ib_;
+        // All active threads advance; control flow overrides below.
+        sched.advance(w, active_mask, next_pc);
+
+        ++shard_.warp_instrs;
+        ++cta_cycles_;
+        shard_.thread_instrs += std::popcount(exec_mask);
+        shard_.warp_instrs_by_op[static_cast<size_t>(in->op)] += 1;
+        shard_.thread_instrs_by_op[static_cast<size_t>(in->op)] +=
+            std::popcount(exec_mask);
+        if (shard_.warp_instrs > cfg_.max_warp_instrs_per_launch) {
+            throw DeviceException(
+                TrapCode::WatchdogTimeout,
+                "launch exceeded the warp-instruction watchdog", minpc);
+        }
+        // Per-SM cycle streams are identical across serial/parallel
+        // and byte-decode/predecode engines, so this fires on the
+        // same instruction in all four configurations.
+        if (cycle_total_ + cta_cycles_ > cfg_.watchdog_cycles) {
+            throw DeviceException(
+                TrapCode::WatchdogTimeout,
+                strfmt("launch exceeded the cycle watchdog (%llu cycles)",
+                       static_cast<unsigned long long>(
+                           cfg_.watchdog_cycles)),
+                minpc);
+        }
+
+        interp.execute(*in, warp, active_mask, exec_mask, minpc, next_pc);
+    } catch (DeviceException &e) {
+        // First annotation layer: which warp faulted, which lanes
+        // were on, and the return stack of the lowest faulting lane
+        // (for trampoline/tool-function attribution in the core).
+        e.warp_id = w;
+        e.active_mask = exec_mask ? exec_mask : active_mask;
+        if (e.active_mask && e.ret_stack.empty()) {
+            const ThreadCtx &t = warp[std::countr_zero(e.active_mask)];
+            e.ret_stack.assign(t.ret_stack, t.ret_stack + t.ret_depth);
+        }
+        throw;
     }
-
-    const uint64_t next_pc = minpc + ib_;
-    // All active threads advance; control flow overrides below.
-    sched.advance(w, active_mask, next_pc);
-
-    ++shard_.warp_instrs;
-    ++cta_cycles_;
-    shard_.thread_instrs += std::popcount(exec_mask);
-    shard_.warp_instrs_by_op[static_cast<size_t>(in->op)] += 1;
-    shard_.thread_instrs_by_op[static_cast<size_t>(in->op)] +=
-        std::popcount(exec_mask);
-    if (shard_.warp_instrs > cfg_.max_warp_instrs_per_launch) {
-        throw SimTrap{"launch exceeded the warp-instruction watchdog",
-                      minpc};
-    }
-
-    interp.execute(*in, warp, active_mask, exec_mask, minpc, next_pc);
     return StepResult::Progress;
 }
 
@@ -174,11 +206,50 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
             if (!any_live)
                 break;
             if (!progressed) {
-                // Everyone alive is waiting at the barrier: release.
+                // Everyone alive is waiting at a barrier.  Threads
+                // that exited early simply don't participate (real
+                // hardware semantics), so the barrier releases — but
+                // only if all waiters arrived at the *same* barrier.
+                // Parked threads spanning distinct PCs mean divergent
+                // `bar.sync` arrival (the classic conditional-
+                // __syncthreads() bug): a synccheck-style deadlock.
+                WarpScheduler::BarrierSnapshot snap =
+                    sched.barrierSnapshot();
+                if (snap.distinct_pcs > 1) {
+                    // Waiting threads were advanced past the BAR
+                    // before it executed; step back one instruction
+                    // to report the barrier's own pc.
+                    DeviceException e(
+                        TrapCode::BarrierDeadlock,
+                        strfmt("divergent barrier: %u threads stuck "
+                               "at %u distinct barriers (%u threads "
+                               "already exited)",
+                               snap.waiting, snap.distinct_pcs,
+                               snap.exited),
+                        snap.min_pc >= ib_ ? snap.min_pc - ib_ : 0);
+                    e.stuck_warps = std::move(snap.stuck_warps);
+                    if (!e.stuck_warps.empty())
+                        e.warp_id = e.stuck_warps.front();
+                    throw e;
+                }
                 if (!sched.releaseBarrier())
-                    throw SimTrap{"thread block deadlocked", 0};
+                    throw DeviceException(TrapCode::BarrierDeadlock,
+                                          "thread block deadlocked", 0);
             }
         }
+    } catch (DeviceException &e) {
+        // Second annotation layer: which thread block, on which SM.
+        if (!e.has_context) {
+            e.has_context = true;
+            e.ctaid[0] = w.ctaid[0];
+            e.ctaid[1] = w.ctaid[1];
+            e.ctaid[2] = w.ctaid[2];
+            e.cta_index = w.cta_index;
+            e.sm_id = sm_;
+        }
+        cur_cta_ = nullptr;
+        gate_ = nullptr;
+        throw;
     } catch (...) {
         cur_cta_ = nullptr;
         gate_ = nullptr;
@@ -197,23 +268,31 @@ void
 SmExecutor::runAssigned(const LaunchParams &lp,
                         const std::vector<CtaWork> &ctas,
                         AtomicGate &gate,
-                        std::atomic<bool> &abort) noexcept
+                        std::atomic<uint64_t> &abort_before) noexcept
 {
     for (const CtaWork &w : ctas) {
-        if (!abort.load(std::memory_order_acquire)) {
+        if (w.cta_index < abort_before.load(std::memory_order_acquire)) {
             try {
                 runCta(lp, w, gate);
                 gate.markDone(w.cta_index);
                 continue;
-            } catch (const SimTrap &t) {
-                if (!trap_)
-                    trap_ = CapturedTrap{t, nullptr, w.cta_index};
+            } catch (const DeviceException &e) {
+                if (!trap_ || w.cta_index < trap_->cta_index)
+                    trap_ = CapturedTrap{e, nullptr, w.cta_index};
             } catch (...) {
-                if (!trap_)
-                    trap_ = CapturedTrap{SimTrap{}, std::current_exception(),
+                if (!trap_ || w.cta_index < trap_->cta_index)
+                    trap_ = CapturedTrap{DeviceException{},
+                                         std::current_exception(),
                                          w.cta_index};
             }
-            abort.store(true, std::memory_order_release);
+            // Lower abort_before to this CTA: later blocks stop, but
+            // earlier ones still run, so the globally first trap in
+            // grid order is always reached (matches the serial path).
+            uint64_t cur = abort_before.load(std::memory_order_acquire);
+            while (w.cta_index < cur &&
+                   !abort_before.compare_exchange_weak(
+                       cur, w.cta_index, std::memory_order_acq_rel))
+                ;
         }
         // Aborted or trapped: release gate waiters on this CTA.
         gate.markDone(w.cta_index);

@@ -99,8 +99,8 @@ class SmExecutor : public MemModel
   public:
     /** A fault captured on the parallel path. */
     struct CapturedTrap {
-        SimTrap trap;
-        std::exception_ptr other; ///< set instead for non-SimTrap
+        DeviceException trap;
+        std::exception_ptr other; ///< set instead for non-DeviceException
         uint64_t cta_index = 0;
     };
 
@@ -109,19 +109,23 @@ class SmExecutor : public MemModel
 
     /**
      * Run one thread block to completion (serial orchestration).
-     * @throws SimTrap on faults.
+     * @throws DeviceException on faults, fully annotated with the
+     * CTA/warp/SM context.
      */
     void runCta(const LaunchParams &lp, const CtaWork &w,
                 AtomicGate &gate);
 
     /**
      * Run this SM's assigned thread blocks (parallel orchestration).
-     * Never throws: faults are captured in trap() and @p abort is
-     * raised so sibling SMs stop picking up new blocks.
+     * Never throws: faults are captured in trap() and @p abort_before
+     * is lowered to the trapping CTA's global index so sibling SMs
+     * skip every *later* block while still running earlier ones.
+     * That guarantees the globally first trap in grid order is always
+     * reached, so trap selection is bit-identical to the serial path.
      */
     void runAssigned(const LaunchParams &lp,
                      const std::vector<CtaWork> &ctas, AtomicGate &gate,
-                     std::atomic<bool> &abort) noexcept;
+                     std::atomic<uint64_t> &abort_before) noexcept;
 
     LaunchStats &shard() { return shard_; }
     const LaunchStats &shard() const { return shard_; }

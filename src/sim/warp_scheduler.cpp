@@ -76,6 +76,35 @@ WarpScheduler::advance(unsigned w, uint32_t active_mask, uint64_t next_pc)
     }
 }
 
+WarpScheduler::BarrierSnapshot
+WarpScheduler::barrierSnapshot() const
+{
+    BarrierSnapshot s;
+    s.min_pc = std::numeric_limits<uint64_t>::max();
+    uint32_t prev_warp = std::numeric_limits<uint32_t>::max();
+    std::vector<uint64_t> pcs; // distinct parked PCs (typically 1-2)
+    for (uint32_t i = 0; i < nthreads_; ++i) {
+        const ThreadCtx &t = threads_[i];
+        if (t.state == ThreadCtx::St::Exited) {
+            ++s.exited;
+        } else if (t.state == ThreadCtx::St::Barrier) {
+            ++s.waiting;
+            s.min_pc = std::min(s.min_pc, t.pc);
+            if (std::find(pcs.begin(), pcs.end(), t.pc) == pcs.end())
+                pcs.push_back(t.pc);
+            uint32_t w = i / kWarpSize;
+            if (w != prev_warp) {
+                s.stuck_warps.push_back(w);
+                prev_warp = w;
+            }
+        }
+    }
+    s.distinct_pcs = static_cast<uint32_t>(pcs.size());
+    if (s.waiting == 0)
+        s.min_pc = 0;
+    return s;
+}
+
 bool
 WarpScheduler::releaseBarrier()
 {

@@ -129,6 +129,29 @@ class WarpScheduler
      *  @return false if no thread was waiting (deadlock upstream). */
     bool releaseBarrier();
 
+    /**
+     * Snapshot of the block's barrier state, used by the SM layer to
+     * detect divergent-barrier deadlocks (threads parked at more than
+     * one distinct `bar.sync`). Only real threads are considered —
+     * warp-padding lanes are born Exited and must not count as
+     * "exited at the barrier".
+     */
+    struct BarrierSnapshot {
+        uint32_t waiting = 0; ///< threads parked at a barrier
+        uint32_t exited = 0;  ///< real threads that already exited
+        /** Number of distinct PCs the waiting threads are parked at
+         *  (> 1 means they arrived at different barriers). */
+        uint32_t distinct_pcs = 0;
+        /** Smallest post-advance PC among waiting threads (the
+         *  instruction *after* the BAR; subtract one instruction
+         *  to recover the barrier pc). */
+        uint64_t min_pc = 0;
+        /** Warp ids with at least one thread stuck at the barrier. */
+        std::vector<uint32_t> stuck_warps;
+    };
+
+    BarrierSnapshot barrierSnapshot() const;
+
   private:
     uint32_t nthreads_ = 0;
     unsigned nwarps_ = 0;

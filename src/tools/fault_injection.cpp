@@ -1,5 +1,8 @@
 #include "tools/fault_injection.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.hpp"
 
 namespace nvbit::tools {
@@ -44,6 +47,37 @@ SKIP:
     ret;
 }
 )";
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+originName(cudrv::CUexceptionOrigin o)
+{
+    switch (o) {
+    case cudrv::CU_EXCEPTION_ORIGIN_APP: return "app";
+    case cudrv::CU_EXCEPTION_ORIGIN_TOOL: return "tool";
+    default: return "unknown";
+    }
+}
 
 } // namespace
 
@@ -92,6 +126,145 @@ FaultInjectionTool::occurrencesSeen() const
     uint64_t v = 0;
     nvbit_read_tool_global("finj_occ", &v, sizeof(v));
     return v;
+}
+
+void
+FaultInjectionTool::nvbit_at_exception(CUcontext /*ctx*/,
+                                       const cudrv::CUexceptionInfo &info)
+{
+    saw_exception_ = true;
+    exc_info_ = info;
+}
+
+// --- Campaign runner -----------------------------------------------------
+
+const char *
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+    case FaultOutcome::Masked: return "masked";
+    case FaultOutcome::SDC: return "sdc";
+    case FaultOutcome::DUE: return "due";
+    case FaultOutcome::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+size_t
+CampaignReport::countOf(FaultOutcome o) const
+{
+    return static_cast<size_t>(
+        std::count_if(injections.begin(), injections.end(),
+                      [o](const InjectionResult &r) {
+                          return r.outcome == o;
+                      }));
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::string j = "{\n";
+    j += strfmt("  \"sites\": %u,\n", sites);
+    j += strfmt("  \"summary\": {\"masked\": %zu, \"sdc\": %zu, "
+                "\"due\": %zu, \"timeout\": %zu, \"total\": %zu},\n",
+                countOf(FaultOutcome::Masked), countOf(FaultOutcome::SDC),
+                countOf(FaultOutcome::DUE), countOf(FaultOutcome::Timeout),
+                injections.size());
+    j += "  \"injections\": [\n";
+    for (size_t k = 0; k < injections.size(); ++k) {
+        const InjectionResult &r = injections[k];
+        const char *err = nullptr;
+        cudrv::cuGetErrorString(r.status, &err);
+        j += strfmt("    {\"site\": %u, \"occurrence\": %u, "
+                    "\"bit\": %u, \"injected\": %s, "
+                    "\"outcome\": \"%s\", \"status\": %d, "
+                    "\"status_str\": \"%s\", \"trap\": \"%s\", "
+                    "\"origin\": \"%s\", \"sass\": \"%s\"}%s\n",
+                    r.target.site_index, r.target.occurrence,
+                    r.target.bit, r.injected ? "true" : "false",
+                    faultOutcomeName(r.outcome),
+                    static_cast<int>(r.status),
+                    err ? err : "unknown error code",
+                    sim::trapCodeName(r.trap_code), originName(r.origin),
+                    jsonEscape(r.armed_sass).c_str(),
+                    k + 1 < injections.size() ? "," : "");
+    }
+    j += "  ]\n}\n";
+    return j;
+}
+
+CampaignReport
+FaultCampaignRunner::run(const AppFn &app) const
+{
+    CampaignReport report;
+    if (cfg_.watchdog_cycles) {
+        ::setenv("NVBIT_SIM_WATCHDOG_CYCLES",
+                 std::to_string(cfg_.watchdog_cycles).c_str(), 1);
+    }
+
+    // Golden run: a probe tool counts candidate sites without arming
+    // anything (site_index UINT32_MAX never matches) and captures the
+    // reference output.
+    std::vector<uint8_t> golden;
+    {
+        FaultInjectionTool::Target probe;
+        probe.opcode_prefix = cfg_.opcode_prefix;
+        probe.site_index = UINT32_MAX;
+        FaultInjectionTool tool(probe);
+        AppResult r;
+        runApp(tool, [&] { r = app(); });
+        report.sites = tool.sitesSeen();
+        golden = std::move(r.output);
+        if (r.status != cudrv::CUDA_SUCCESS) {
+            warn("fault campaign: golden run itself failed (%d); "
+                 "classification will be unreliable",
+                 static_cast<int>(r.status));
+        }
+    }
+
+    const uint32_t sites = std::min(report.sites, cfg_.max_sites);
+    for (uint32_t site = 0; site < sites; ++site) {
+        for (uint32_t occ : cfg_.occurrences) {
+            for (uint32_t bit : cfg_.bits) {
+                InjectionResult res;
+                res.target = {cfg_.opcode_prefix, site, occ, bit};
+                FaultInjectionTool tool(res.target);
+                AppResult r;
+                runApp(tool, [&] {
+                    r = app();
+                    // A trap leaves the context sticky-poisoned; reset
+                    // the device so the tool globals (exempt from the
+                    // pristine-code restore) stay readable for the
+                    // post-mortem below.
+                    if (r.status != cudrv::CUDA_SUCCESS)
+                        cudrv::cuDevicePrimaryCtxReset(0);
+                    res.injected = tool.injected();
+                });
+                res.status = r.status;
+                res.armed_sass = tool.armedSass();
+                if (tool.sawException()) {
+                    res.trap_code = tool.exceptionInfo().exc.code;
+                    res.origin = tool.exceptionInfo().origin;
+                }
+                if (r.status != cudrv::CUDA_SUCCESS) {
+                    bool timed_out =
+                        res.trap_code == sim::TrapCode::WatchdogTimeout ||
+                        r.status == cudrv::CUDA_ERROR_LAUNCH_TIMEOUT;
+                    res.outcome = timed_out ? FaultOutcome::Timeout
+                                            : FaultOutcome::DUE;
+                } else if (!res.injected || r.output == golden) {
+                    res.outcome = FaultOutcome::Masked;
+                } else {
+                    res.outcome = FaultOutcome::SDC;
+                }
+                report.injections.push_back(std::move(res));
+            }
+        }
+    }
+
+    if (cfg_.watchdog_cycles)
+        ::unsetenv("NVBIT_SIM_WATCHDOG_CYCLES");
+    return report;
 }
 
 } // namespace nvbit::tools

@@ -4,14 +4,21 @@
  * dynamic-instrumentation use case, e.g. SASSIFI-style campaigns):
  * flips one bit in the destination register of one dynamic instance of
  * one static instruction, using the Device API's permanent register
- * writes.  The application then runs to completion so the user can
- * classify the outcome (masked / silent data corruption / crash).
+ * writes.
+ *
+ * On top of the single-shot tool sits FaultCampaignRunner: a golden
+ * run enumerates the candidate sites, then a (site x occurrence x bit)
+ * sweep runs the application once per injection with a device reset
+ * between injections, classifies each outcome in SASSIFI terms
+ * (masked / SDC / DUE / timeout) and emits a JSON report.
  */
 #ifndef NVBIT_TOOLS_FAULT_INJECTION_HPP
 #define NVBIT_TOOLS_FAULT_INJECTION_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "tools/common.hpp"
 
@@ -39,8 +46,23 @@ class FaultInjectionTool : public LaunchInstrumentingTool
     /** Dynamic thread-executions of the armed site observed so far. */
     uint64_t occurrencesSeen() const;
 
+    /** Candidate sites encountered while instrumenting. */
+    uint32_t sitesSeen() const { return sites_seen_; }
+
     /** SASS of the armed instruction (empty if none matched). */
     const std::string &armedSass() const { return armed_sass_; }
+
+    /** True if a launch raised a device exception under this tool. */
+    bool sawException() const { return saw_exception_; }
+
+    /** The exception record captured by nvbit_at_exception. */
+    const cudrv::CUexceptionInfo &exceptionInfo() const
+    {
+        return exc_info_;
+    }
+
+    void nvbit_at_exception(CUcontext ctx,
+                            const cudrv::CUexceptionInfo &info) override;
 
   protected:
     void instrumentFunction(CUcontext ctx, CUfunction f) override;
@@ -49,6 +71,78 @@ class FaultInjectionTool : public LaunchInstrumentingTool
     Target target_;
     uint32_t sites_seen_ = 0;
     std::string armed_sass_;
+    bool saw_exception_ = false;
+    cudrv::CUexceptionInfo exc_info_;
+};
+
+// --- Campaign runner -----------------------------------------------------
+
+/** SASSIFI-style outcome classes. */
+enum class FaultOutcome : uint8_t {
+    Masked,  ///< app succeeded, output identical to the golden run
+    SDC,     ///< app succeeded, output silently differs
+    DUE,     ///< detected unrecoverable error (trap / sticky error)
+    Timeout, ///< watchdog killed a runaway kernel
+};
+
+const char *faultOutcomeName(FaultOutcome o);
+
+/** One injection experiment of a campaign. */
+struct InjectionResult {
+    FaultInjectionTool::Target target;
+    bool injected = false;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    cudrv::CUresult status = cudrv::CUDA_SUCCESS;
+    sim::TrapCode trap_code = sim::TrapCode::None;
+    cudrv::CUexceptionOrigin origin = cudrv::CU_EXCEPTION_ORIGIN_UNKNOWN;
+    std::string armed_sass;
+};
+
+/** Aggregated campaign results. */
+struct CampaignReport {
+    /** Candidate sites found by the golden run. */
+    uint32_t sites = 0;
+    std::vector<InjectionResult> injections;
+
+    size_t countOf(FaultOutcome o) const;
+    /** Serialise the whole report as a JSON document. */
+    std::string toJson() const;
+};
+
+/**
+ * Sweeps (site x occurrence x bit) over an application.
+ *
+ * The application callback must run its workload through the driver
+ * API, return its observable output bytes plus the worst CUresult it
+ * saw (it must NOT abort on launch errors), and leave its context
+ * current (the runner resets the device through it between readouts).
+ */
+class FaultCampaignRunner
+{
+  public:
+    struct Config {
+        std::string opcode_prefix = "FADD";
+        std::vector<uint32_t> bits{30};
+        std::vector<uint32_t> occurrences{0};
+        /** Cap on the number of sites swept (UINT32_MAX = all). */
+        uint32_t max_sites = UINT32_MAX;
+        /** Cycle watchdog for every run (0 = device default). */
+        uint64_t watchdog_cycles = 0;
+    };
+
+    struct AppResult {
+        cudrv::CUresult status = cudrv::CUDA_SUCCESS;
+        std::vector<uint8_t> output;
+    };
+    using AppFn = std::function<AppResult()>;
+
+    explicit FaultCampaignRunner(Config cfg) : cfg_(std::move(cfg)) {}
+
+    /** Golden run + full sweep; one runApp per injection. */
+    CampaignReport run(const AppFn &app) const;
+
+  private:
+    Config cfg_;
 };
 
 } // namespace nvbit::tools

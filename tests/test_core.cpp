@@ -295,7 +295,7 @@ TEST_F(CoreTest, ProxyInstructionEmulationViaDeviceApi)
         PassiveTool passive;
         CUresult r = CUDA_SUCCESS;
         runApp(passive, [&] { app(nullptr, &r); });
-        EXPECT_EQ(r, CUDA_ERROR_LAUNCH_FAILED);
+        EXPECT_EQ(r, CUDA_ERROR_ILLEGAL_INSTRUCTION);
     }
 
     // With the emulation tool, the kernel runs and dst[i] == 3*i —

@@ -332,7 +332,7 @@ TEST_F(SimTest, CallReturnWithHardwareStack)
 TEST_F(SimTest, RetWithEmptyStackTraps)
 {
     std::vector<Instruction> prog = {isa::makeRet()};
-    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), SimTrap);
+    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), DeviceException);
 }
 
 TEST_F(SimTest, ProxyInstructionTraps)
@@ -343,8 +343,8 @@ TEST_F(SimTest, ProxyInstructionTraps)
     std::vector<Instruction> prog = {proxy, isa::makeExit()};
     try {
         gpu_->launch(oneWarp(place(prog)));
-        FAIL() << "expected SimTrap";
-    } catch (const SimTrap &t) {
+        FAIL() << "expected DeviceException";
+    } catch (const DeviceException &t) {
         EXPECT_NE(t.reason.find("PROXY"), std::string::npos);
         EXPECT_NE(t.reason.find("42"), std::string::npos);
     }
@@ -359,7 +359,7 @@ TEST_F(SimTest, WatchdogCatchesInfiniteLoop)
     std::vector<Instruction> prog = {
         isa::makeBra(-static_cast<int64_t>(ib)), // branch to itself
     };
-    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), SimTrap);
+    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), DeviceException);
 }
 
 TEST_F(SimTest, IllegalGlobalAddressTraps)
@@ -369,7 +369,7 @@ TEST_F(SimTest, IllegalGlobalAddressTraps)
     prog.push_back(isa::makeMovImm(5, 0));
     prog.push_back(isa::makeLoad(Opcode::LDG, 6, 4, 0));
     prog.push_back(isa::makeExit());
-    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), SimTrap);
+    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), DeviceException);
 }
 
 TEST_F(SimTest, BarrierSynchronizesWarpsThroughShared)
@@ -468,7 +468,7 @@ TEST_F(SimTest, StackOverflowTraps)
     prog.push_back(
         isa::makeStore(Opcode::STL, isa::kRegZ, 1 << 20, 4));
     prog.push_back(isa::makeExit());
-    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), SimTrap);
+    EXPECT_THROW(gpu_->launch(oneWarp(place(prog))), DeviceException);
 }
 
 TEST_F(SimTest, UniqueLineOracleCoalescedVsStrided)
