@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tiny JSON emitter shared by the bench targets: every figure/table
+ * binary writes a machine-readable `BENCH_<name>.json` next to its
+ * console output so CI can archive results as artifacts (the
+ * convention micro_core.cpp established).
+ *
+ * Values are pre-encoded JSON fragments; use the j* helpers.  Field
+ * order is preserved, so the output is deterministic for a given run.
+ */
+#ifndef NVBIT_BENCH_BENCH_JSON_HPP
+#define NVBIT_BENCH_BENCH_JSON_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvbit::bench {
+
+/** One JSON object as ordered (key, pre-encoded value) pairs. */
+using JsonRow = std::vector<std::pair<std::string, std::string>>;
+
+inline std::string
+jStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+inline std::string
+jNum(double v, int precision = 4)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string
+jNum(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+jBool(bool v)
+{
+    return v ? "true" : "false";
+}
+
+inline std::string
+encodeRow(const JsonRow &row)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += jStr(row[i].first) + ": " + row[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+/** Encode a row array (used for nested values and the rows field). */
+inline std::string
+encodeRows(const std::vector<JsonRow> &rows)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += encodeRow(rows[i]);
+    }
+    out += "]";
+    return out;
+}
+
+/**
+ * Write `BENCH_<bench>.json` into the working directory (CI runs the
+ * bench binaries from the repo root, so that is where artifacts land):
+ * a row array under @p rows_key plus top-level summary fields.
+ * Returns false (with a note on stderr) if the file cannot be opened.
+ */
+inline bool
+writeBenchJson(const std::string &bench, const std::string &rows_key,
+               const std::vector<JsonRow> &rows, const JsonRow &summary)
+{
+    std::string path = "BENCH_" + bench + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  %s: [", jStr(rows_key).c_str());
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f, "%s\n    %s", i ? "," : "",
+                     encodeRow(rows[i]).c_str());
+    std::fprintf(f, "\n  ]");
+    for (const auto &[key, value] : summary)
+        std::fprintf(f, ",\n  %s: %s", jStr(key).c_str(), value.c_str());
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace nvbit::bench
+
+#endif // NVBIT_BENCH_BENCH_JSON_HPP

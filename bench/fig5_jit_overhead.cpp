@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/timer.hpp"
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
@@ -51,6 +52,7 @@ main()
     double sum_total = 0.0, max_total = 0.0;
     std::string max_name;
     std::array<double, 6> comp_sum{};
+    std::vector<bench::JsonRow> rows;
 
     for (const std::string &name : workloads::specSuiteNames()) {
         // Native wall-clock time of the application.
@@ -81,6 +83,15 @@ main()
                     pct(js.disassemble_ns), pct(js.lift_ns),
                     pct(js.user_callback_ns), pct(js.codegen_ns),
                     pct(js.swap_ns), total);
+        rows.push_back({{"workload", bench::jStr(name)},
+                        {"retrieve_pct", bench::jNum(pct(js.retrieve_ns))},
+                        {"disasm_pct", bench::jNum(pct(js.disassemble_ns))},
+                        {"lift_pct", bench::jNum(pct(js.lift_ns))},
+                        {"callback_pct",
+                         bench::jNum(pct(js.user_callback_ns))},
+                        {"codegen_pct", bench::jNum(pct(js.codegen_ns))},
+                        {"swap_pct", bench::jNum(pct(js.swap_ns))},
+                        {"total_pct", bench::jNum(total)}});
         comp_sum[0] += pct(js.retrieve_ns);
         comp_sum[1] += pct(js.disassemble_ns);
         comp_sum[2] += pct(js.lift_ns);
@@ -104,5 +115,10 @@ main()
                 "(paper: mean < 5%%, worst ~20%% for ilbdc; "
                 "disassembly dominates)\n",
                 max_name.c_str(), max_total);
+    bench::writeBenchJson(
+        "fig5_jit_overhead", "workloads", rows,
+        {{"mean_total_pct", bench::jNum(sum_total / n)},
+         {"worst_workload", bench::jStr(max_name)},
+         {"worst_total_pct", bench::jNum(max_total)}});
     return 0;
 }

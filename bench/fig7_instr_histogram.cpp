@@ -2,10 +2,17 @@
  * @file
  * Figure 7: Top-5 executed-instruction histogram per benchmark (large
  * problem sizes), collected with the sampling-enabled histogram tool.
+ *
+ * `--smoke` switches to the test problem size; CI uses it as a fast
+ * end-to-end check that the bench path still runs and emits its
+ * BENCH_*.json artifact.
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
 #include "tools/opcode_histogram.hpp"
@@ -16,10 +23,15 @@ using namespace nvbit::cudrv;
 using tools::OpcodeHistogramTool;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Large;
+
     std::printf("Figure 7: Top-5 executed instructions per benchmark "
                 "(%% of thread-level instructions)\n");
+    std::vector<bench::JsonRow> rows;
     for (const std::string &name : workloads::specSuiteNames()) {
         OpcodeHistogramTool tool(
             OpcodeHistogramTool::Mode::SampleGridDim);
@@ -28,19 +40,28 @@ main()
             CUcontext ctx;
             checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
             auto wl = workloads::makeSpecWorkload(name);
-            wl->run(workloads::ProblemSize::Large);
+            wl->run(size);
         });
 
         uint64_t total = 0;
         for (uint64_t v : tool.counts())
             total += v;
         std::printf("%-10s:", name.c_str());
+        std::vector<bench::JsonRow> top5;
         for (const auto &[op, cnt] : tool.topN(5)) {
-            std::printf(" %s %.1f%%", op.c_str(),
-                        100.0 * static_cast<double>(cnt) /
-                            static_cast<double>(total));
+            double share = 100.0 * static_cast<double>(cnt) /
+                           static_cast<double>(total);
+            std::printf(" %s %.1f%%", op.c_str(), share);
+            top5.push_back({{"op", bench::jStr(op)},
+                            {"share_pct", bench::jNum(share)}});
         }
         std::printf("\n");
+        rows.push_back({{"workload", bench::jStr(name)},
+                        {"thread_instrs", bench::jNum(total)},
+                        {"top5", bench::encodeRows(top5)}});
     }
+    bench::writeBenchJson(
+        "fig7_instr_histogram", "workloads", rows,
+        {{"problem_size", bench::jStr(smoke ? "test" : "large")}});
     return 0;
 }

@@ -11,7 +11,9 @@
  */
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
 #include "driver/internal.hpp"
@@ -56,6 +58,7 @@ main()
 
     double full_sum = 0.0, samp_sum = 0.0, full_max = 0.0;
     size_t n = 0;
+    std::vector<bench::JsonRow> rows;
     for (const std::string &name : workloads::specSuiteNames()) {
         uint64_t native = runCycles(name, nullptr);
 
@@ -71,6 +74,9 @@ main()
         double ss = static_cast<double>(samp_c) /
                     static_cast<double>(native);
         std::printf("%-10s %11.1fx %11.2fx\n", name.c_str(), fs, ss);
+        rows.push_back({{"workload", bench::jStr(name)},
+                        {"full_slowdown", bench::jNum(fs)},
+                        {"sampling_slowdown", bench::jNum(ss)}});
         full_sum += fs;
         samp_sum += ss;
         full_max = std::max(full_max, fs);
@@ -81,5 +87,11 @@ main()
                 samp_sum / static_cast<double>(n));
     std::printf("\npaper: full mean 36.4x (max 112x), sampling mean "
                 "2.3x\n");
+    bench::writeBenchJson(
+        "fig8_sampling_slowdown", "workloads", rows,
+        {{"full_mean", bench::jNum(full_sum / static_cast<double>(n))},
+         {"full_max", bench::jNum(full_max)},
+         {"sampling_mean",
+          bench::jNum(samp_sum / static_cast<double>(n))}});
     return 0;
 }

@@ -11,7 +11,9 @@
  */
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
 #include "tools/opcode_histogram.hpp"
@@ -51,6 +53,7 @@ main()
 
     double sum = 0.0;
     size_t n = 0;
+    std::vector<bench::JsonRow> rows;
     for (const std::string &name : workloads::specSuiteNames()) {
         OpcodeCounts exact =
             runCounts(name, OpcodeHistogramTool::Mode::Full);
@@ -59,6 +62,8 @@ main()
         double err =
             OpcodeHistogramTool::shareErrorPct(exact, approx);
         std::printf("%-10s %11.4f%%\n", name.c_str(), err);
+        rows.push_back({{"workload", bench::jStr(name)},
+                        {"error_pct", bench::jNum(err)}});
         sum += err;
         ++n;
     }
@@ -66,5 +71,9 @@ main()
                 sum / static_cast<double>(n));
     std::printf("\npaper: average error < 0.6%%; 0%% whenever control "
                 "flow is a function of the grid dimensions only\n");
+    bench::writeBenchJson(
+        "fig9_sampling_error", "workloads", rows,
+        {{"mean_error_pct",
+          bench::jNum(sum / static_cast<double>(n))}});
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
 #include "tools/instr_count.hpp"
@@ -190,5 +191,14 @@ main()
     std::printf("reduction: %.1fx   (paper: 21 vs 150, ~7.1x)\n",
                 static_cast<double>(sw) / static_cast<double>(hw));
     std::printf("max result difference: %.3e\n", max_diff);
+    bench::writeBenchJson(
+        "tab_wfft_emulation", "variants",
+        {{{"variant", bench::jStr("wfft32_emulated")},
+          {"warp_instrs", bench::jNum(hw)}},
+         {{"variant", bench::jStr("software_shuffle_fft")},
+          {"warp_instrs", bench::jNum(sw)}}},
+        {{"reduction", bench::jNum(static_cast<double>(sw) /
+                                   static_cast<double>(hw))},
+         {"max_result_diff", bench::jNum(max_diff, 9)}});
     return max_diff < 1e-4 ? 0 : 1;
 }

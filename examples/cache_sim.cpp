@@ -4,8 +4,9 @@
  * these mechanisms."
  *
  * The mem-trace tool streams every global-memory address of a workload
- * to the host, which feeds a configurable set-associative cache model
- * and reports hit rates for several cache sizes — a trace-driven cache
+ * to the host over the NVBit channel (obs::ChannelHost consumer
+ * thread), which feeds a configurable set-associative cache model and
+ * reports hit rates for several cache sizes — a trace-driven cache
  * design-space sweep over an unmodified binary.
  */
 #include <cstdio>
@@ -45,7 +46,8 @@ main(int argc, char **argv)
         sweep.push_back(std::move(p));
     }
 
-    tools::MemTraceTool tool(1 << 20);
+    tools::MemTraceTool tool(1 << 20,
+                             tools::MemTraceTool::Transport::Channel);
     tool.setConsumer([&](const std::vector<uint64_t> &addrs) {
         for (uint64_t a : addrs) {
             for (SweepPoint &p : sweep) {

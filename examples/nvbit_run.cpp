@@ -5,8 +5,9 @@
  * `LD_PRELOAD=libtool.so ./app`).
  *
  * Usage:
- *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample]
- *             [--size test|medium|large] [--list] WORKLOAD
+ *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample|bbv]
+ *             [--size test|medium|large] [--bbv-out PREFIX] [--list]
+ *             WORKLOAD
  */
 #include <cstdio>
 #include <cstring>
@@ -16,6 +17,7 @@
 #include "core/nvbit.hpp"
 #include "driver/api.hpp"
 #include "driver/internal.hpp"
+#include "tools/bbv_profiler.hpp"
 #include "tools/instr_count.hpp"
 #include "tools/mem_divergence.hpp"
 #include "tools/opcode_histogram.hpp"
@@ -60,6 +62,7 @@ main(int argc, char **argv)
 {
     std::string tool_name = "icount";
     std::string size_name = "medium";
+    std::string bbv_out = "bbv_profile";
     std::string wl_name;
 
     for (int i = 1; i < argc; ++i) {
@@ -70,12 +73,14 @@ main(int argc, char **argv)
             tool_name = argv[++i];
         } else if (arg == "--size" && i + 1 < argc) {
             size_name = argv[++i];
+        } else if (arg == "--bbv-out" && i + 1 < argc) {
+            bbv_out = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: nvbit_run [--tool none|icount|"
-                         "icount-bb|mdiv|ohist|ohist-sample] "
-                         "[--size test|medium|large] [--list] "
-                         "WORKLOAD\n");
+                         "icount-bb|mdiv|ohist|ohist-sample|bbv] "
+                         "[--size test|medium|large] "
+                         "[--bbv-out PREFIX] [--list] WORKLOAD\n");
             return 2;
         } else {
             wl_name = arg;
@@ -97,6 +102,7 @@ main(int argc, char **argv)
     tools::InstrCountTool *icount = nullptr;
     tools::MemDivergenceTool *mdiv = nullptr;
     tools::OpcodeHistogramTool *ohist = nullptr;
+    tools::BbvProfiler *bbv = nullptr;
     if (tool_name == "none") {
         tool = std::make_unique<NvbitTool>();
     } else if (tool_name == "icount") {
@@ -118,6 +124,12 @@ main(int argc, char **argv)
                 ? tools::OpcodeHistogramTool::Mode::Full
                 : tools::OpcodeHistogramTool::Mode::SampleGridDim);
         ohist = t.get();
+        tool = std::move(t);
+    } else if (tool_name == "bbv") {
+        tools::BbvProfiler::Options opts;
+        opts.output_prefix = bbv_out;
+        auto t = std::make_unique<tools::BbvProfiler>(opts);
+        bbv = t.get();
         tool = std::move(t);
     } else {
         std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
@@ -163,6 +175,12 @@ main(int argc, char **argv)
             for (const auto &[op, cnt] : ohist->topN(5))
                 std::printf("  %-8s %12llu\n", op.c_str(),
                             static_cast<unsigned long long>(cnt));
+        }
+        if (bbv) {
+            std::printf("bbv: %zu static blocks, %zu intervals -> "
+                        "%s.bb / %s.bbmap\n",
+                        bbv->blocks().size(), bbv->intervals().size(),
+                        bbv_out.c_str(), bbv_out.c_str());
         }
         const JitStats &js = nvbit_get_jit_stats();
         std::printf("JIT: %.3f ms total (%llu trampolines, %llu "

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Documentation hygiene checks, run by scripts/ci.sh:
+#
+#   1. every docs/*.md is reachable (linked) from README.md,
+#   2. no relative markdown link in README.md or docs/*.md points at a
+#      missing file,
+#   3. every fenced code block in those files carries a language tag.
+#
+# Exits non-zero with one line per violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "check_docs: $*" >&2
+    fail=1
+}
+
+files=(README.md docs/*.md)
+
+# --- 1. every doc is linked from the README --------------------------------
+for doc in docs/*.md; do
+    if ! grep -q "(${doc})" README.md; then
+        err "README.md does not link ${doc}"
+    fi
+done
+
+# --- 2. relative links resolve ---------------------------------------------
+# Extract (target) parts of [text](target) links, drop external URLs and
+# pure in-page anchors, strip trailing anchors, resolve against the
+# linking file's directory.
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [[ -z "$path" ]] && continue
+        if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+            err "$f: dead link -> $target"
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$f" |
+        sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 3. fenced code blocks are language-tagged ------------------------------
+for f in "${files[@]}"; do
+    untagged=$(awk '
+        /^[[:space:]]*```/ {
+            if (!in_fence) {
+                in_fence = 1
+                tag = $0
+                sub(/^[[:space:]]*```[[:space:]]*/, "", tag)
+                if (tag == "") print NR
+            } else {
+                in_fence = 0
+            }
+        }
+    ' "$f")
+    for line in $untagged; do
+        err "$f:$line: fenced code block without language tag"
+    done
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK (${#files[@]} files)"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + full test suite, then the same suite
-# under ASan+UBSan via the `sanitize` CMake preset.
+# CI entry point: docs hygiene, tier-1 build + full test suite, a fast
+# bench smoke (validating the BENCH_*.json artifact path), then the
+# same test suite under ASan+UBSan via the `sanitize` CMake preset.
 #
 # Usage: scripts/ci.sh [--no-sanitize]
 #
@@ -15,12 +16,26 @@ run_sanitize=1
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
+echo "==> docs: check_docs.sh"
+scripts/check_docs.sh
+
 echo "==> tier-1: configure + build"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$jobs"
 
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "==> bench smoke: micro_core (one filter) + fig7 --smoke"
+./build/bench/micro_core --benchmark_filter=BM_EncodeDecode \
+    --benchmark_min_time=0.01
+./build/bench/fig7_instr_histogram --smoke
+for artifact in BENCH_micro_core.json BENCH_fig7_instr_histogram.json; do
+    if [[ ! -s "$artifact" ]]; then
+        echo "ci: missing bench artifact $artifact" >&2
+        exit 1
+    fi
+done
 
 if [[ "$run_sanitize" == 1 ]]; then
     echo "==> sanitize (ASan+UBSan): configure + build"

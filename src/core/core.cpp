@@ -8,6 +8,8 @@
 #include "common/timer.hpp"
 #include "core/builtins.hpp"
 #include "isa/abi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ptx/compiler.hpp"
 
 namespace nvbit::core {
@@ -42,6 +44,17 @@ NvbitCore::uninject()
 {
     if (!injected_)
         return;
+    // Publish this run's JIT decomposition (paper Figure 5) before
+    // the stats are cleared; wall-clock, hence Volatile.
+    {
+        obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
+        const obs::Stability v = obs::Stability::Volatile;
+        mr.add("core.jit_retrieve_ns", jit_.retrieve_ns, v);
+        mr.add("core.jit_disassemble_ns", jit_.disassemble_ns, v);
+        mr.add("core.jit_lift_ns", jit_.lift_ns, v);
+        mr.add("core.jit_codegen_ns", jit_.codegen_ns, v);
+        mr.add("core.jit_swap_ns", jit_.swap_ns, v);
+    }
     cudrv::setDriverInterposer(nullptr, nullptr);
     tool_ = nullptr;
     injected_ = false;
@@ -86,7 +99,10 @@ NvbitCore::onDriverCall(CUcontext ctx, bool is_exit, CallbackId cbid,
                                          params, status);
         uint64_t elapsed = nowNs() - t0;
         uint64_t nested = nestedNs() - nested_before;
-        jit_.user_callback_ns += elapsed > nested ? elapsed - nested : 0;
+        uint64_t net = elapsed > nested ? elapsed - nested : 0;
+        jit_.user_callback_ns += net;
+        obs::MetricsRegistry::instance().add(
+            "core.tool_callback_ns", net, obs::Stability::Volatile);
     }
 
     switch (cbid) {
@@ -562,6 +578,13 @@ NvbitCore::generate(FuncState &st)
 {
     ScopedTimerNs timer(jit_.codegen_ns);
     CUfunc_st *f = st.func;
+    std::string span_name;
+    if (obs::Tracer::instance().enabled())
+        span_name = strfmt("instrument %s", f->name.c_str());
+    obs::TraceSpan span(obs::kHostPid, obs::kHostJitTid, span_name,
+                        "core.jit");
+    uint64_t save_restore_pairs = 0;
+    uint64_t tool_call_sites = 0;
     sim::GpuDevice &gpu = cudrv::device();
     const size_t ib = hal_->instrBytes();
 
@@ -623,6 +646,8 @@ NvbitCore::generate(FuncState &st)
 
         auto emitCalls = [&](const std::vector<CallRequest> &calls) {
             tr.code.push_back(isa::makeCalAbs(save_addr_.at(k)));
+            ++save_restore_pairs;
+            tool_call_sites += calls.size();
             for (const CallRequest &req : calls) {
                 marshalArgs(req, I, k, tr.code);
                 tr.code.push_back(
@@ -725,6 +750,13 @@ NvbitCore::generate(FuncState &st)
     st.generated = true;
     st.dirty = false;
     ++jit_.functions_instrumented;
+
+    obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
+    mr.add("core.functions_instrumented", 1);
+    mr.add("core.trampolines_generated", tramps.size());
+    mr.add("core.save_restore_pairs", save_restore_pairs);
+    mr.add("core.tool_call_sites", tool_call_sites);
+    span.arg("trampolines", tramps.size());
 }
 
 // --- Code Loader/Unloader --------------------------------------------------
@@ -746,9 +778,19 @@ NvbitCore::applyResidency(FuncState &st)
         // cudaMemcpy from host to device with the number of bytes
         // equal to the size of the original code".
         ScopedTimerNs t(jit_.swap_ns);
+        std::string span_name;
+        if (obs::Tracer::instance().enabled())
+            span_name = strfmt("code-swap %s [%s]", f->name.c_str(),
+                               want ? "instrumented" : "original");
+        obs::TraceSpan span(obs::kHostPid, obs::kHostJitTid, span_name,
+                            "core.jit");
+        span.arg("bytes", static_cast<uint64_t>(code.size()));
         cudrv::device().memory().write(f->code_addr, code.data(),
                                        code.size());
         jit_.swap_bytes += code.size();
+        obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
+        mr.add("core.code_swaps", 1);
+        mr.add("core.swap_bytes", code.size());
     }
     // Cache-invalidation protocol: swapping code versions must drop
     // the stale predecoded image (the write observer already did) and

@@ -6,6 +6,8 @@
 #include "common/logging.hpp"
 #include "driver/callback.hpp"
 #include "isa/abi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ptx/compiler.hpp"
 
 namespace nvbit::cudrv {
@@ -520,11 +522,15 @@ cuModuleLoadData(CUmodule *mod, const void *image, size_t image_size)
 {
     cuModuleLoadData_params p{mod, image, image_size};
     ApiScope scope(CallbackId::cuModuleLoadData, &p);
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid,
+                        "cuModuleLoadData", "driver.module");
+    span.arg("bytes", static_cast<uint64_t>(image_size));
     CUcontext ctx = state().current;
     if (!ctx)
         return scope.status() = CUDA_ERROR_INVALID_CONTEXT;
     if (ctx->sticky_error)
         return scope.status() = ctx->sticky_error;
+    obs::MetricsRegistry::instance().add("driver.module_loads", 1);
     return scope.status() = loadModuleInternal(mod, ctx, image,
                                                image_size, false, false,
                                                nullptr);
@@ -630,6 +636,9 @@ cuMemcpyHtoD(CUdeviceptr dst, const void *src, size_t bytes)
 {
     cuMemcpy_params p{dst, 0, src, nullptr, bytes};
     ApiScope scope(CallbackId::cuMemcpyHtoD, &p);
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid,
+                        "cuMemcpyHtoD", "driver.memcpy");
+    span.arg("bytes", static_cast<uint64_t>(bytes));
     if (CUresult e = stickyError())
         return scope.status() = e;
     try {
@@ -637,6 +646,8 @@ cuMemcpyHtoD(CUdeviceptr dst, const void *src, size_t bytes)
     } catch (const mem::DeviceMemory::MemFault &) {
         return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
     }
+    obs::MetricsRegistry::instance().add("driver.memcpy_htod_bytes",
+                                         bytes);
     return scope.status() = CUDA_SUCCESS;
 }
 
@@ -645,6 +656,9 @@ cuMemcpyDtoH(void *dst, CUdeviceptr src, size_t bytes)
 {
     cuMemcpy_params p{0, src, nullptr, dst, bytes};
     ApiScope scope(CallbackId::cuMemcpyDtoH, &p);
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid,
+                        "cuMemcpyDtoH", "driver.memcpy");
+    span.arg("bytes", static_cast<uint64_t>(bytes));
     if (CUresult e = stickyError())
         return scope.status() = e;
     try {
@@ -652,6 +666,8 @@ cuMemcpyDtoH(void *dst, CUdeviceptr src, size_t bytes)
     } catch (const mem::DeviceMemory::MemFault &) {
         return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
     }
+    obs::MetricsRegistry::instance().add("driver.memcpy_dtoh_bytes",
+                                         bytes);
     return scope.status() = CUDA_SUCCESS;
 }
 
@@ -660,6 +676,9 @@ cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t bytes)
 {
     cuMemcpy_params p{dst, src, nullptr, nullptr, bytes};
     ApiScope scope(CallbackId::cuMemcpyDtoD, &p);
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid,
+                        "cuMemcpyDtoD", "driver.memcpy");
+    span.arg("bytes", static_cast<uint64_t>(bytes));
     if (CUresult e = stickyError())
         return scope.status() = e;
     try {
@@ -669,6 +688,8 @@ cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t bytes)
     } catch (const mem::DeviceMemory::MemFault &) {
         return scope.status() = CUDA_ERROR_ILLEGAL_ADDRESS;
     }
+    obs::MetricsRegistry::instance().add("driver.memcpy_dtod_bytes",
+                                         bytes);
     return scope.status() = CUDA_SUCCESS;
 }
 
@@ -800,14 +821,31 @@ cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
         }
     }
 
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid, fn->name,
+                        "driver.launch");
+    span.arg("grid", static_cast<uint64_t>(grid_x) * grid_y * grid_z);
+    span.arg("block",
+             static_cast<uint64_t>(block_x) * block_y * block_z);
     try {
         sim::LaunchStats st = s.gpu->launch(lp);
         s.last_launch = st;
         s.totals.merge(st);
         s.module_stats[fn->mod].merge(st);
         ++fn->launch_count;
+        obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
+        mr.labelLastLaunch(fn->name);
+        mr.add("driver.launches", 1);
     } catch (const sim::DeviceException &e) {
         CUresult r = resultOfTrap(e.code);
+        obs::MetricsRegistry::instance().add("driver.faults", 1);
+        obs::Tracer &tr = obs::Tracer::instance();
+        if (tr.enabled())
+            tr.instant(obs::kHostPid, obs::kHostApiTid,
+                       strfmt("fault: %s", sim::trapCodeName(e.code)),
+                       "driver.fault", tr.nowUs(),
+                       {obs::argStr("kernel", fn->name),
+                        obs::argU64("pc", e.pc),
+                        obs::argStr("reason", e.reason)});
         warn("kernel '%s' trapped: %s [%s] at pc 0x%llx "
              "(cta %u,%u,%u warp %u sm %u) -> %s",
              fn->name.c_str(), e.reason.c_str(), trapCodeName(e.code),
@@ -862,6 +900,9 @@ cuDevicePrimaryCtxReset(CUdevice dev)
 {
     cuDevicePrimaryCtxReset_params p{dev};
     ApiScope scope(CallbackId::cuDevicePrimaryCtxReset, &p);
+    obs::TraceSpan span(obs::kHostPid, obs::kHostApiTid,
+                        "cuDevicePrimaryCtxReset", "driver.recovery");
+    obs::MetricsRegistry::instance().add("driver.ctx_resets", 1);
     DriverState &s = state();
     if (!s.initialized)
         return scope.status() = CUDA_ERROR_NOT_INITIALIZED;

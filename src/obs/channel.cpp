@@ -1,0 +1,126 @@
+#include "obs/channel.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nvbit::obs {
+
+std::string
+channelDevPtx(const ChannelConfig &cfg)
+{
+    const std::string &p = cfg.prefix;
+    std::ostringstream os;
+    os << ".global .u64 " << p << "_buf;\n"
+       << ".global .u64 " << p << "_cap;\n"
+       << ".global .u64 " << p << "_head;\n"
+       << ".func " << p << "_push(.param .u32 lo, .param .u32 hi)\n"
+       << "{\n"
+          "    .reg .u32 %c<3>;\n"
+          "    .reg .u64 %cd<9>;\n"
+          "    .reg .pred %cp<2>;\n"
+          "    ld.param.u32 %c1, [lo];\n"
+          "    ld.param.u32 %c2, [hi];\n"
+          "    cvt.u64.u32 %cd1, %c1;\n"
+          "    cvt.u64.u32 %cd2, %c2;\n"
+          "    shl.b64 %cd2, %cd2, 32;\n"
+          "    add.u64 %cd1, %cd1, %cd2;      // the 64-bit record\n"
+       << "    mov.u64 %cd3, " << p << "_head;\n"
+       << "    mov.u64 %cd4, 1;\n"
+          "    atom.global.add.u64 %cd5, [%cd3], %cd4; // claim a slot\n"
+       << "    mov.u64 %cd6, " << p << "_cap;\n"
+       << "    ld.global.u64 %cd7, [%cd6];\n"
+          "    setp.ge.u64 %cp1, %cd5, %cd7;\n"
+          "    @%cp1 bra CHN_FULL;            // ring full: drop\n"
+       << "    mov.u64 %cd8, " << p << "_buf;\n"
+       << "    ld.global.u64 %cd8, [%cd8];\n"
+          "    shl.b64 %cd5, %cd5, 3;\n"
+          "    add.u64 %cd8, %cd8, %cd5;\n"
+          "    st.global.u64 [%cd8], %cd1;\n"
+          "CHN_FULL:\n"
+          "    ret;\n"
+          "}\n";
+    return os.str();
+}
+
+void
+ChannelHost::start(ChannelConfig cfg, ChannelHooks hooks,
+                   Consumer consume)
+{
+    NVBIT_ASSERT(!running_, "channel '%s' started twice",
+                 cfg.prefix.c_str());
+    cfg_ = std::move(cfg);
+    hooks_ = std::move(hooks);
+    consume_ = std::move(consume);
+    received_ = 0;
+    dropped_ = 0;
+    flush_requested_ = 0;
+    flush_done_ = 0;
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { consumerLoop(); });
+}
+
+void
+ChannelHost::consumerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [this] {
+            return stopping_ || flush_done_ < flush_requested_;
+        });
+        if (flush_done_ >= flush_requested_ && stopping_)
+            return;
+        // The flushing thread is blocked waiting for flush_done_, so
+        // the device side is quiescent: safe to read state, deliver,
+        // and reset the head outside any device-side concurrency.
+        drainOnce();
+        flush_done_ = flush_requested_;
+        cv_.notify_all();
+    }
+}
+
+void
+ChannelHost::drainOnce()
+{
+    uint64_t head = hooks_.read_global(cfg_.prefix + "_head");
+    uint64_t stored = head < cfg_.capacity ? head : cfg_.capacity;
+    if (stored > 0) {
+        scratch_.resize(stored);
+        hooks_.read_records(stored, scratch_.data());
+        if (consume_)
+            consume_(scratch_.data(), stored);
+    }
+    received_ += stored;
+    dropped_ += head - stored;
+    if (head != 0)
+        hooks_.write_global(cfg_.prefix + "_head", 0);
+}
+
+void
+ChannelHost::flush()
+{
+    if (!running_)
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    uint64_t ticket = ++flush_requested_;
+    cv_.notify_all();
+    cv_.wait(lk, [this, ticket] { return flush_done_ >= ticket; });
+}
+
+void
+ChannelHost::stop()
+{
+    if (!running_)
+        return;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ++flush_requested_; // final drain
+        stopping_ = true;
+        cv_.notify_all();
+    }
+    thread_.join();
+    running_ = false;
+}
+
+} // namespace nvbit::obs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * NVBit-style host<->device channel (`ChannelDev` / `ChannelHost`):
+ * injected device functions stream fixed-size records into a
+ * device-resident ring, and a dedicated host consumer thread drains
+ * them — the mechanism the paper's `mem_trace` tool family uses to
+ * ship per-access records off the GPU.
+ *
+ * ## Protocol
+ *
+ * The device side (`channelDevPtx`) is a set of tool globals plus a
+ * push function, all named after a tool-chosen prefix `<p>`:
+ *
+ *  - `<p>_buf`  — device pointer to the ring storage (u64 records)
+ *  - `<p>_cap`  — ring capacity in records
+ *  - `<p>_head` — monotonically increasing claim counter
+ *  - `<p>_push(.param .u32 lo, .param .u32 hi)` — claims a slot with
+ *    `atom.global.add.u64` on `<p>_head` and stores the 64-bit record
+ *    if the slot index is below `<p>_cap`; otherwise the record is
+ *    dropped while `<p>_head` keeps counting, so the host can tell
+ *    exactly how many records were lost.
+ *
+ * Probes either `call <p>_push, (%lo, %hi);` (intra-module calls are
+ * resolved at module load) or inline the same sequence.
+ *
+ * The host side (`ChannelHost`) owns a real consumer thread, parked on
+ * a condition variable.  `flush()` wakes it; the thread reads
+ * `<p>_head`, copies the stored records out through the tool-supplied
+ * hooks, hands them to the consumer callback in slot order, resets
+ * `<p>_head` to 0, and signals completion.  Because the simulator is
+ * synchronous (device state only changes inside a blocking
+ * `cuLaunchKernel`), drains happen at quiescent points — tools call
+ * `flush()` from their launch-exit callback, mirroring the
+ * flush-kernel + `recv_thread_receiving` handshake real NVBit channel
+ * tools use.
+ *
+ * The hooks abstraction keeps this layer free of driver/core
+ * dependencies: tools back the hooks with `nvbit_read_tool_global` /
+ * `cuMemcpyDtoH`, while tests back them with plain host memory and
+ * hammer the protocol from concurrent producer threads.
+ */
+#ifndef NVBIT_OBS_CHANNEL_HPP
+#define NVBIT_OBS_CHANNEL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nvbit::obs {
+
+/** Identity of one channel: global-name prefix and ring capacity. */
+struct ChannelConfig {
+    /** Prefix for the device-side global/function names. */
+    std::string prefix = "chn";
+    /** Ring capacity in 64-bit records. */
+    uint64_t capacity = 1 << 20;
+};
+
+/**
+ * PTX source of the device side of the channel: the `<p>_buf` /
+ * `<p>_cap` / `<p>_head` globals and the `<p>_push` function.
+ * Tools append this to their own device-function source.
+ */
+std::string channelDevPtx(const ChannelConfig &cfg);
+
+/**
+ * How the host side reaches the channel state.  For a real tool these
+ * wrap `nvbit_read_tool_global` / `nvbit_write_tool_global` and a
+ * device->host copy of the ring storage; tests back them with host
+ * memory.  Hooks are invoked from the consumer thread while the
+ * flushing thread blocks, so they need no internal locking beyond
+ * what the underlying API requires.
+ */
+struct ChannelHooks {
+    /** Read one u64 tool global (e.g. "<p>_head"). */
+    std::function<uint64_t(const std::string &name)> read_global;
+    /** Write one u64 tool global. */
+    std::function<void(const std::string &name, uint64_t v)>
+        write_global;
+    /** Copy records [0, n) of the ring storage into @p out. */
+    std::function<void(uint64_t n, uint64_t *out)> read_records;
+};
+
+/**
+ * Host endpoint: owns the consumer thread and the drain handshake.
+ * Lifecycle: `start()` (spawn thread), any number of `flush()` calls,
+ * `stop()` (final drain + join; also run by the destructor).
+ */
+class ChannelHost
+{
+  public:
+    /** Receives drained records in slot (i.e. claim) order. */
+    using Consumer =
+        std::function<void(const uint64_t *records, uint64_t count)>;
+
+    ChannelHost() = default;
+    ~ChannelHost() { stop(); }
+
+    ChannelHost(const ChannelHost &) = delete;
+    ChannelHost &operator=(const ChannelHost &) = delete;
+
+    /** Spawn the consumer thread.  Must be called before flush(). */
+    void start(ChannelConfig cfg, ChannelHooks hooks, Consumer consume);
+
+    /**
+     * Drain the channel: wake the consumer thread, block until it has
+     * copied out the pending records, delivered them, and reset
+     * `<p>_head`.  Safe to call when the channel is empty.
+     */
+    void flush();
+
+    /** Final drain, then join the consumer thread (idempotent). */
+    void stop();
+
+    /** Records delivered to the consumer so far. */
+    uint64_t received() const { return received_; }
+
+    /** Records dropped because the ring was full when claimed. */
+    uint64_t dropped() const { return dropped_; }
+
+  private:
+    void consumerLoop();
+    void drainOnce();
+
+    ChannelConfig cfg_;
+    ChannelHooks hooks_;
+    Consumer consume_;
+
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    uint64_t flush_requested_ = 0; ///< flush() bumps this
+    uint64_t flush_done_ = 0;      ///< consumer bumps after a drain
+    bool running_ = false;
+    bool stopping_ = false;
+
+    uint64_t received_ = 0;
+    uint64_t dropped_ = 0;
+    std::vector<uint64_t> scratch_;
+};
+
+} // namespace nvbit::obs
+
+#endif // NVBIT_OBS_CHANNEL_HPP

@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace nvbit::obs {
+
+namespace {
+
+/** Append a JSON string literal (names are ASCII identifiers, but the
+ *  kernel field can in principle carry anything). */
+void
+appendJsonString(std::ostringstream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry *reg = new MetricsRegistry();
+    return *reg;
+}
+
+MetricsRegistry::MetricsRegistry()
+{
+    // Opt-in process-exit dump: NVBIT_SIM_METRICS=<path>.
+    if (const char *path = std::getenv("NVBIT_SIM_METRICS")) {
+        static std::string dump_path;
+        dump_path = path;
+        std::atexit([] {
+            std::string json = MetricsRegistry::instance().toJson();
+            if (std::FILE *f = std::fopen(dump_path.c_str(), "w")) {
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+            }
+        });
+    }
+}
+
+void
+MetricsRegistry::add(std::string_view name, uint64_t delta, Stability st)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), Counter{0, st}).first;
+    it->second.value += delta;
+}
+
+uint64_t
+MetricsRegistry::value(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value;
+}
+
+uint64_t
+MetricsRegistry::recordLaunch(LaunchRecord rec)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    rec.index = next_index_++;
+    launches_.push_back(std::move(rec));
+    if (launches_.size() > kLaunchRecordCap) {
+        launches_.pop_front();
+        ++dropped_records_;
+    }
+    return launches_.back().index;
+}
+
+void
+MetricsRegistry::labelLastLaunch(std::string_view kernel)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!launches_.empty())
+        launches_.back().kernel.assign(kernel.data(), kernel.size());
+}
+
+std::vector<LaunchRecord>
+MetricsRegistry::launches() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return {launches_.begin(), launches_.end()};
+}
+
+uint64_t
+MetricsRegistry::launchCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_index_;
+}
+
+std::string
+MetricsRegistry::toJson(bool exact_only) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (exact_only && c.stability == Stability::Volatile)
+            continue;
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        appendJsonString(os, name);
+        os << ": " << c.value;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+    os << "  \"launches\": [";
+    first = true;
+    for (const LaunchRecord &r : launches_) {
+        os << (first ? "\n    {" : ",\n    {");
+        first = false;
+        os << "\"index\": " << r.index << ", \"kernel\": ";
+        appendJsonString(os, r.kernel);
+        os << ", \"thread_instrs\": " << r.thread_instrs
+           << ", \"warp_instrs\": " << r.warp_instrs
+           << ", \"ctas\": " << r.ctas << ", \"cycles\": " << r.cycles
+           << ", \"global_mem_warp_instrs\": " << r.global_mem_warp_instrs
+           << ", \"unique_lines_sum\": " << r.unique_lines_sum
+           << ", \"l1_hits\": " << r.l1_hits
+           << ", \"l1_misses\": " << r.l1_misses
+           << ", \"l2_hits\": " << r.l2_hits
+           << ", \"l2_misses\": " << r.l2_misses << ", \"sms\": [";
+        for (size_t i = 0; i < r.sms.size(); ++i) {
+            const SmShard &s = r.sms[i];
+            os << (i ? ", {" : "{") << "\"sm\": " << s.sm
+               << ", \"thread_instrs\": " << s.thread_instrs
+               << ", \"warp_instrs\": " << s.warp_instrs
+               << ", \"ctas\": " << s.ctas << ", \"cycles\": " << s.cycles;
+            if (!exact_only)
+                os << ", \"decode_cache_hits\": " << s.decode_cache_hits
+                   << ", \"decode_cache_misses\": "
+                   << s.decode_cache_misses;
+            os << "}";
+        }
+        os << "]}";
+    }
+    os << (first ? "],\n" : "\n  ],\n");
+    os << "  \"dropped_launch_records\": " << dropped_records_ << "\n}\n";
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.clear();
+    launches_.clear();
+    next_index_ = 0;
+    dropped_records_ = 0;
+}
+
+} // namespace nvbit::obs

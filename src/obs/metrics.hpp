@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Process-wide metrics registry: the single place every layer of the
+ * stack publishes what it measured.
+ *
+ * The simulator publishes a `LaunchRecord` (with per-SM shards) per
+ * kernel launch, the driver publishes API traffic counters (launches,
+ * memcpy bytes, module loads, faults), and the NVBit core publishes
+ * JIT counters (trampolines generated, save/restore sites, code-swap
+ * bytes) and tool-callback timings.  Tools and tests read the merged
+ * view back as JSON (`toJson`) or dump it at process exit via
+ * `NVBIT_SIM_METRICS=<path>`.
+ *
+ * Counters carry a `Stability` tag: `Exact` values are bit-identical
+ * across the four engine configurations ({serial, parallel} x
+ * {byte-decode, predecode}; see docs/execution_pipeline.md), while
+ * `Volatile` values (wall-clock timings, decode-cache hit rates) are
+ * host- or engine-dependent.  `toJson(true)` omits the volatile ones,
+ * which is what lets tests assert that two engine configurations
+ * produced byte-identical metrics snapshots.
+ */
+#ifndef NVBIT_OBS_METRICS_HPP
+#define NVBIT_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvbit::obs {
+
+/** How reproducible a counter's value is across engine configs. */
+enum class Stability {
+    /** Bit-identical across {serial,parallel} x {decode,predecode}. */
+    Exact,
+    /** Host-dependent (wall-clock) or engine-dependent (cache luck). */
+    Volatile,
+};
+
+/** One SM's private slice of a launch (see sim::SmExecutor). */
+struct SmShard {
+    /** SM index the shard belongs to. */
+    uint32_t sm = 0;
+    /** Thread-level instructions executed on this SM. */
+    uint64_t thread_instrs = 0;
+    /** Warp-level instructions issued on this SM. */
+    uint64_t warp_instrs = 0;
+    /** Thread blocks this SM ran. */
+    uint64_t ctas = 0;
+    /** This SM's cycle total (issue + stall + replayed L2 penalty). */
+    uint64_t cycles = 0;
+    /** Fetches served from the SM's remembered page (Volatile). */
+    uint64_t decode_cache_hits = 0;
+    /** Fetches that consulted the shared code cache (Volatile). */
+    uint64_t decode_cache_misses = 0;
+};
+
+/** Everything the simulator knows about one kernel launch. */
+struct LaunchRecord {
+    /** Global launch ordinal (0-based, across all contexts). */
+    uint64_t index = 0;
+    /** Kernel name; filled by the driver via labelLastLaunch(). */
+    std::string kernel;
+    /** Thread-level instructions (guard predicate passed). */
+    uint64_t thread_instrs = 0;
+    /** Warp-level instructions (at least one active thread). */
+    uint64_t warp_instrs = 0;
+    /** Thread blocks in the grid. */
+    uint64_t ctas = 0;
+    /** Launch cycles: max over SMs of the per-SM cycle total. */
+    uint64_t cycles = 0;
+    /** Warp-level global-memory instructions (LDG/STG/ATOM). */
+    uint64_t global_mem_warp_instrs = 0;
+    /** Sum of unique cache lines per global-memory warp instruction. */
+    uint64_t unique_lines_sum = 0;
+    uint64_t l1_hits = 0, l1_misses = 0;
+    uint64_t l2_hits = 0, l2_misses = 0;
+    /** Per-SM shards, ascending by SM id; idle SMs are omitted. */
+    std::vector<SmShard> sms;
+};
+
+/**
+ * Singleton registry of named counters plus a bounded history of
+ * per-launch records.  All methods are thread-safe; publishing is a
+ * couple of map operations under a mutex, cheap enough for per-launch
+ * and per-API-call call sites (never per-instruction).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &instance();
+
+    /** Add @p delta to counter @p name, creating it at 0 on first use. */
+    void add(std::string_view name, uint64_t delta,
+             Stability st = Stability::Exact);
+
+    /** Current value of @p name (0 if it was never touched). */
+    uint64_t value(std::string_view name) const;
+
+    /**
+     * Append a launch record (the simulator calls this once per
+     * launch).  Returns the global launch ordinal assigned to it.
+     * Only the newest `kLaunchRecordCap` records are kept; the
+     * `dropped_launch_records` JSON field counts evictions.
+     */
+    uint64_t recordLaunch(LaunchRecord rec);
+
+    /** Attach the kernel name to the most recent launch record. */
+    void labelLastLaunch(std::string_view kernel);
+
+    /** Launch records currently retained (newest-first eviction). */
+    std::vector<LaunchRecord> launches() const;
+
+    /** Number of launches ever recorded (not just retained). */
+    uint64_t launchCount() const;
+
+    /**
+     * Serialise the registry as a deterministic JSON object
+     * (counters sorted by name, launches in launch order).  With
+     * @p exact_only, Volatile counters and the per-shard decode-cache
+     * fields are omitted so the result is bit-identical across engine
+     * configurations.
+     */
+    std::string toJson(bool exact_only = false) const;
+
+    /** Drop all counters and launch records (test isolation). */
+    void reset();
+
+  private:
+    MetricsRegistry();
+
+    struct Counter {
+        uint64_t value = 0;
+        Stability stability = Stability::Exact;
+    };
+
+    static constexpr size_t kLaunchRecordCap = 4096;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::deque<LaunchRecord> launches_;
+    uint64_t next_index_ = 0;
+    uint64_t dropped_records_ = 0;
+};
+
+} // namespace nvbit::obs
+
+#endif // NVBIT_OBS_METRICS_HPP

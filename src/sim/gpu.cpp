@@ -8,6 +8,8 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/sm.hpp"
 
 namespace nvbit::sim {
@@ -124,6 +126,13 @@ GpuDevice::launch(const LaunchParams &lp)
     for (const CtaWork &w : all)
         per_sm[w.cta_index % nsm].push_back(w);
 
+    if (obs::Tracer::instance().enabled())
+        for (unsigned sm = 0; sm < nsm; ++sm)
+            if (!per_sm[sm].empty())
+                obs::Tracer::instance().nameThread(
+                    obs::kDevicePid, static_cast<int>(sm),
+                    strfmt("sm %u", sm));
+
     AtomicGate gate(all.size());
     if (cfg_.exec_mode == ExecMode::Serial) {
         // Same executors, same per-SM streams — just one host thread
@@ -198,7 +207,51 @@ GpuDevice::launch(const LaunchParams &lp)
     stats.cycles = max_cycles;
 
     totals_.merge(stats);
+    publishLaunch(stats, execs, per_sm);
     return stats;
+}
+
+void
+GpuDevice::publishLaunch(
+    const LaunchStats &stats,
+    const std::vector<std::unique_ptr<SmExecutor>> &execs,
+    const std::vector<std::vector<CtaWork>> &per_sm)
+{
+    obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
+    obs::LaunchRecord rec;
+    rec.thread_instrs = stats.thread_instrs;
+    rec.warp_instrs = stats.warp_instrs;
+    rec.ctas = stats.ctas;
+    rec.cycles = stats.cycles;
+    rec.global_mem_warp_instrs = stats.global_mem_warp_instrs;
+    rec.unique_lines_sum = stats.unique_lines_sum;
+    rec.l1_hits = stats.l1_hits;
+    rec.l1_misses = stats.l1_misses;
+    rec.l2_hits = stats.l2_hits;
+    rec.l2_misses = stats.l2_misses;
+    for (unsigned sm = 0; sm < execs.size(); ++sm) {
+        if (per_sm[sm].empty())
+            continue;
+        const LaunchStats &sh = execs[sm]->shard();
+        rec.sms.push_back(obs::SmShard{sm, sh.thread_instrs,
+                                       sh.warp_instrs, sh.ctas,
+                                       execs[sm]->cycleTotal(),
+                                       sh.decode_cache_hits,
+                                       sh.decode_cache_misses});
+    }
+    mr.recordLaunch(std::move(rec));
+    mr.add("sim.launches", 1);
+    mr.add("sim.thread_instrs", stats.thread_instrs);
+    mr.add("sim.warp_instrs", stats.warp_instrs);
+    mr.add("sim.ctas", stats.ctas);
+    mr.add("sim.global_mem_warp_instrs", stats.global_mem_warp_instrs);
+    mr.add("sim.l1_misses", stats.l1_misses);
+    mr.add("sim.l2_misses", stats.l2_misses);
+    // Engine-dependent (predecode on/off changes them), so Volatile.
+    mr.add("sim.decode_cache_hits", stats.decode_cache_hits,
+           obs::Stability::Volatile);
+    mr.add("sim.decode_cache_misses", stats.decode_cache_misses,
+           obs::Stability::Volatile);
 }
 
 } // namespace nvbit::sim

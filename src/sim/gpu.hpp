@@ -48,6 +48,9 @@
 
 namespace nvbit::sim {
 
+struct CtaWork;
+class SmExecutor;
+
 /**
  * The simulated GPU device: memory, caches, and the execution engine.
  */
@@ -94,6 +97,13 @@ class GpuDevice
     const CodeCache &codeCache() const { return *code_cache_; }
 
   private:
+    /** Publish the launch's merged stats + per-SM shards to the
+     *  obs::MetricsRegistry (one LaunchRecord per successful launch). */
+    void publishLaunch(
+        const LaunchStats &stats,
+        const std::vector<std::unique_ptr<SmExecutor>> &execs,
+        const std::vector<std::vector<CtaWork>> &per_sm);
+
     GpuConfig cfg_;
     std::unique_ptr<mem::DeviceMemory> memory_;
     CacheHierarchy caches_;

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace nvbit::sim {
 
@@ -174,6 +175,14 @@ void
 SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
                    AtomicGate &gate)
 {
+    // CTA-residency timeline: one span per CTA on this SM's track.
+    std::string span_name;
+    if (obs::Tracer::instance().enabled())
+        span_name = strfmt("cta %llu",
+                           static_cast<unsigned long long>(w.cta_index));
+    obs::TraceSpan span(obs::kDevicePid, static_cast<int>(sm_),
+                        span_name, "sim.cta");
+
     WarpScheduler sched(lp);
     local_.assign(
         static_cast<size_t>(sched.numThreads()) * lp.local_bytes, 0);

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Basic-block-vector (BBV) profiler: XPU-Point-style region profiling
+ * on top of NVBit instrumentation.
+ *
+ * Every static basic block of every instrumented function gets a
+ * global 1-based id and a device-resident counter; injected probes
+ * accumulate the number of thread-level instructions each block
+ * contributed.  At every interval boundary (every
+ * `Options::interval_launches` kernel launches) the host harvests the
+ * counters into one frequency vector and resets them.  The result is
+ * SimPoint's `.bb` format — one `T:<id>:<count> ...` line per
+ * interval — the substrate sampling-based methodologies (SimPoint,
+ * XPU-Point, Nugget) cluster to pick representative regions.
+ *
+ * Counting is exact, not the paper's approximate per-block shortcut:
+ * blocks whose instructions are all unpredicated take one leader probe
+ * per warp execution (`popc(active) * ninstrs`); blocks containing
+ * guard-predicated instructions fall back to one probe per
+ * instruction that ballots the guard.  Per-interval totals therefore
+ * sum to the simulator's `LaunchStats::thread_instrs` oracle for the
+ * same (uninstrumented) workload, which tests/test_obs.cpp asserts.
+ */
+#ifndef NVBIT_TOOLS_BBV_PROFILER_HPP
+#define NVBIT_TOOLS_BBV_PROFILER_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/common.hpp"
+
+namespace nvbit::tools {
+
+class BbvProfiler : public LaunchInstrumentingTool
+{
+  public:
+    struct Options {
+        /** When non-empty, `<prefix>.bb` and `<prefix>.bbmap` are
+         *  written at context teardown. */
+        std::string output_prefix;
+        /** Kernel launches per profiling interval. */
+        uint32_t interval_launches = 1;
+        /** Capacity of the device counter table (block ids). */
+        uint32_t max_blocks = 1 << 16;
+    };
+
+    /** One interval's frequency vector: (block id, thread-instrs),
+     *  ascending by id, zero entries omitted. */
+    using Interval = std::vector<std::pair<uint32_t, uint64_t>>;
+
+    /** Static description of one profiled basic block. */
+    struct BlockInfo {
+        uint32_t id = 0;         ///< global 1-based id
+        std::string function;    ///< owning function name
+        uint64_t offset = 0;     ///< code offset of the first instr
+        uint32_t ninstrs = 0;    ///< static instruction count
+        bool uniform = false;    ///< true: single leader probe
+    };
+
+    BbvProfiler();
+    explicit BbvProfiler(Options opts);
+
+    /** Harvested intervals so far (one entry per closed interval). */
+    const std::vector<Interval> &intervals() const { return intervals_; }
+
+    /** Static info for every block id handed out. */
+    const std::vector<BlockInfo> &blocks() const { return blocks_; }
+
+    /** Sum of thread-level instructions in interval @p i. */
+    uint64_t intervalInstrTotal(size_t i) const;
+
+    /** Interval @p i as one SimPoint `.bb` line ("T:id:count ..."). */
+    std::string simpointLine(size_t i) const;
+
+    /** Blocks that could not get a counter slot (table full). */
+    uint64_t overflowedBlocks() const { return overflowed_; }
+
+    /** Write `<prefix>.bb` and `<prefix>.bbmap`; also runs
+     *  automatically at context teardown when a prefix is set. */
+    void writeOutputs() const;
+
+  protected:
+    void instrumentFunction(CUcontext ctx, CUfunction f) override;
+    void nvbit_at_ctx_init(CUcontext ctx) override;
+    void nvbit_at_ctx_term(CUcontext ctx) override;
+    void nvbit_at_term() override;
+    void onLaunchExit(CUcontext ctx, cudrv::cuLaunchKernel_params *p,
+                      CUresult status) override;
+
+  private:
+    /** Read + reset the device counters, closing the open interval. */
+    void harvestInterval();
+
+    /** Close a partial interval and write outputs (runs once). */
+    void finalize();
+
+    Options opts_;
+    cudrv::CUdeviceptr counters_ = 0;
+    uint32_t next_id_ = 1; ///< SimPoint ids are 1-based
+    uint64_t overflowed_ = 0;
+    uint32_t launches_in_interval_ = 0;
+    bool finalized_ = false;
+    std::vector<BlockInfo> blocks_;
+    std::vector<Interval> intervals_;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_BBV_PROFILER_HPP

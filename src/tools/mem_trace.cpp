@@ -7,12 +7,12 @@ namespace nvbit::tools {
 namespace {
 
 /**
- * Device side: every guard-passing thread claims a slot with an atomic
- * and stores the full 64-bit address.  When the buffer is full the
- * access is counted as dropped (mtrace_idx keeps growing, so the host
- * can tell).
+ * Device side, managed-buffer transport: every guard-passing thread
+ * claims a slot with an atomic and stores the full 64-bit address.
+ * When the buffer is full the access is counted as dropped
+ * (mtrace_idx keeps growing, so the host can tell).
  */
-const char *kPtx = R"(
+const char *kBufferPtx = R"(
 .global .u64 mtrace_buf;
 .global .u64 mtrace_cap;
 .global .u64 mtrace_idx;
@@ -54,11 +54,57 @@ SKIP:
 }
 )";
 
+/**
+ * Device side, channel transport: the probe computes the address,
+ * splits it into two 32-bit halves and hands it to the channel's push
+ * function (an intra-module call, resolved at tool-module load).  The
+ * slot-claim/drop protocol lives in mtc_push (obs::channelDevPtx), so
+ * drop accounting is identical to the managed-buffer scheme.
+ */
+const char *kChannelProbePtx = R"(
+.func mtrace_probe(.param .u32 pred, .param .u32 lo, .param .u32 hi,
+                   .param .u32 off)
+{
+    .reg .u32 %a<7>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+    ld.param.u32 %a1, [pred];
+    setp.eq.u32 %p1, %a1, 0;
+    @%p1 bra SKIP;
+
+    ld.param.u32 %a2, [lo];
+    ld.param.u32 %a3, [hi];
+    cvt.u64.u32 %rd1, %a2;
+    cvt.u64.u32 %rd2, %a3;
+    shl.b64 %rd2, %rd2, 32;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.param.u32 %a4, [off];
+    cvt.s64.s32 %rd4, %a4;
+    add.u64 %rd3, %rd3, %rd4;      // the accessed address
+
+    cvt.u32.u64 %a5, %rd3;         // low half
+    shr.u64 %rd5, %rd3, 32;
+    cvt.u32.u64 %a6, %rd5;         // high half
+    call mtc_push, (%a5, %a6);
+SKIP:
+    ret;
+}
+)";
+
+constexpr const char *kChannelPrefix = "mtc";
+
 } // namespace
 
-MemTraceTool::MemTraceTool(size_t capacity) : capacity_(capacity)
+MemTraceTool::MemTraceTool(size_t capacity, Transport transport)
+    : capacity_(capacity), transport_(transport)
 {
-    exportDeviceFunctions(kPtx);
+    if (transport_ == Transport::ManagedBuffer) {
+        exportDeviceFunctions(kBufferPtx);
+    } else {
+        obs::ChannelConfig cfg{kChannelPrefix, capacity_};
+        exportDeviceFunctions(obs::channelDevPtx(cfg));
+        exportDeviceFunctions(kChannelProbePtx);
+    }
 }
 
 void
@@ -68,10 +114,55 @@ MemTraceTool::nvbit_at_ctx_init(CUcontext)
     checkCu(cuMemAlloc(&buffer_, capacity_ * sizeof(uint64_t)),
             "mem-trace buffer");
     uint64_t cap = capacity_;
-    nvbit_write_tool_global("mtrace_buf", &buffer_, sizeof(buffer_));
-    nvbit_write_tool_global("mtrace_cap", &cap, sizeof(cap));
     uint64_t zero = 0;
-    nvbit_write_tool_global("mtrace_idx", &zero, sizeof(zero));
+    if (transport_ == Transport::ManagedBuffer) {
+        nvbit_write_tool_global("mtrace_buf", &buffer_, sizeof(buffer_));
+        nvbit_write_tool_global("mtrace_cap", &cap, sizeof(cap));
+        nvbit_write_tool_global("mtrace_idx", &zero, sizeof(zero));
+        return;
+    }
+    nvbit_write_tool_global("mtc_buf", &buffer_, sizeof(buffer_));
+    nvbit_write_tool_global("mtc_cap", &cap, sizeof(cap));
+    nvbit_write_tool_global("mtc_head", &zero, sizeof(zero));
+
+    obs::ChannelHooks hooks;
+    hooks.read_global = [](const std::string &name) {
+        uint64_t v = 0;
+        nvbit_read_tool_global(name.c_str(), &v, sizeof(v));
+        return v;
+    };
+    hooks.write_global = [](const std::string &name, uint64_t v) {
+        nvbit_write_tool_global(name.c_str(), &v, sizeof(v));
+    };
+    hooks.read_records = [this](uint64_t n, uint64_t *out) {
+        cudrv::checkCu(cudrv::cuMemcpyDtoH(out, buffer_,
+                                           n * sizeof(uint64_t)),
+                       "mem-trace channel drain");
+    };
+    channel_.start(obs::ChannelConfig{kChannelPrefix, capacity_},
+                   std::move(hooks),
+                   [this](const uint64_t *records, uint64_t count) {
+                       launch_batch_.insert(launch_batch_.end(),
+                                            records, records + count);
+                   });
+}
+
+void
+MemTraceTool::nvbit_at_ctx_term(CUcontext)
+{
+    // Stop the consumer thread while the driver (which the hooks call
+    // into) is still alive; the destructor would be too late.
+    if (transport_ == Transport::Channel)
+        channel_.stop();
+}
+
+void
+MemTraceTool::nvbit_at_term()
+{
+    // Apps that never destroy their context still need the consumer
+    // thread stopped before runApp() resets the driver (idempotent).
+    if (transport_ == Transport::Channel)
+        channel_.stop();
 }
 
 void
@@ -95,12 +186,35 @@ MemTraceTool::instrumentFunction(CUcontext ctx, CUfunction f)
     }
 }
 
+uint64_t
+MemTraceTool::recorded() const
+{
+    return transport_ == Transport::Channel ? channel_.received()
+                                            : recorded_;
+}
+
+uint64_t
+MemTraceTool::dropped() const
+{
+    return transport_ == Transport::Channel ? channel_.dropped()
+                                            : dropped_;
+}
+
 void
 MemTraceTool::onLaunchExit(CUcontext, cudrv::cuLaunchKernel_params *,
                            CUresult status)
 {
     if (status != cudrv::CUDA_SUCCESS || buffer_ == 0)
         return;
+    if (transport_ == Transport::Channel) {
+        // Flush point: wake the consumer thread and wait for it to
+        // drain the ring (the real tools' flush-kernel handshake).
+        launch_batch_.clear();
+        channel_.flush();
+        if (consumer_ && !launch_batch_.empty())
+            consumer_(launch_batch_);
+        return;
+    }
     uint64_t used = 0;
     nvbit_read_tool_global("mtrace_idx", &used, sizeof(used));
     uint64_t stored = std::min<uint64_t>(used, capacity_);

@@ -7,9 +7,21 @@
  * Entire cache simulators can be built around these mechanisms.")
  *
  * Every global-memory access of every thread appends its address to a
- * device-resident ring buffer; the host drains the buffer after each
- * launch and hands the addresses to a consumer (e.g. the cache-model
- * example in examples/cache_sim.cpp).
+ * device-resident ring; the host drains the ring after each launch and
+ * hands the addresses to a consumer (e.g. the cache-model example in
+ * examples/cache_sim.cpp).  Two transports are supported:
+ *
+ *  - `Transport::ManagedBuffer` — the original scheme: a tool-owned
+ *    device buffer, drained inline with `cuMemcpyDtoH` from the
+ *    launch-exit callback.
+ *  - `Transport::Channel` — the NVBit `ChannelDev`/`ChannelHost`
+ *    mechanism (obs/channel.hpp): the probe calls the channel's push
+ *    function and a dedicated host consumer thread drains the ring at
+ *    the launch-exit flush point.
+ *
+ * Both transports produce identical trace content and identical
+ * drop accounting (slot claims keep counting past capacity);
+ * tests/test_obs.cpp asserts this per launch.
  */
 #ifndef NVBIT_TOOLS_MEM_TRACE_HPP
 #define NVBIT_TOOLS_MEM_TRACE_HPP
@@ -18,6 +30,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/channel.hpp"
 #include "tools/common.hpp"
 
 namespace nvbit::tools {
@@ -25,31 +38,48 @@ namespace nvbit::tools {
 class MemTraceTool : public LaunchInstrumentingTool
 {
   public:
+    /** How trace records travel from the device to the host. */
+    enum class Transport {
+        ManagedBuffer, ///< tool-owned buffer, inline drain
+        Channel,       ///< obs::ChannelHost consumer thread
+    };
+
     /** Called after each launch with the addresses it generated. */
     using Consumer = std::function<void(const std::vector<uint64_t> &)>;
 
-    explicit MemTraceTool(size_t capacity = 1 << 20);
+    explicit MemTraceTool(size_t capacity = 1 << 20,
+                          Transport transport = Transport::ManagedBuffer);
 
     void setConsumer(Consumer c) { consumer_ = std::move(c); }
 
-    /** Thread-level accesses recorded (dropped ones excluded). */
-    uint64_t recorded() const { return recorded_; }
+    /** The transport this instance was built with. */
+    Transport transport() const { return transport_; }
 
-    /** Accesses dropped because the buffer filled up mid-launch. */
-    uint64_t dropped() const { return dropped_; }
+    /** Thread-level accesses recorded (dropped ones excluded). */
+    uint64_t recorded() const;
+
+    /** Accesses dropped because the ring filled up mid-launch. */
+    uint64_t dropped() const;
 
   protected:
     void instrumentFunction(CUcontext ctx, CUfunction f) override;
     void nvbit_at_ctx_init(CUcontext ctx) override;
+    void nvbit_at_ctx_term(CUcontext ctx) override;
+    void nvbit_at_term() override;
     void onLaunchExit(CUcontext ctx, cudrv::cuLaunchKernel_params *p,
                       CUresult status) override;
 
   private:
     size_t capacity_;
+    Transport transport_;
     cudrv::CUdeviceptr buffer_ = 0;
     Consumer consumer_;
     uint64_t recorded_ = 0;
     uint64_t dropped_ = 0;
+
+    /** Channel transport state (unused under ManagedBuffer). */
+    obs::ChannelHost channel_;
+    std::vector<uint64_t> launch_batch_;
 };
 
 } // namespace nvbit::tools
