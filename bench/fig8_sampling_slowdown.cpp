@@ -8,8 +8,12 @@
  * meaningful cost metric inside the simulator.  Expected shape
  * (paper): full instrumentation averages ~36x (up to ~112x); sampling
  * cuts this to ~2.3x.
+ *
+ * `--smoke` switches to the test problem size; CI uses it as a fast
+ * end-to-end check (the ratios are not meaningful at that size).
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,7 +31,8 @@ using tools::OpcodeHistogramTool;
 namespace {
 
 uint64_t
-runCycles(const std::string &name, OpcodeHistogramTool *tool)
+runCycles(const std::string &name, OpcodeHistogramTool *tool,
+          workloads::ProblemSize size)
 {
     uint64_t cycles = 0;
     auto app = [&] {
@@ -35,7 +40,7 @@ runCycles(const std::string &name, OpcodeHistogramTool *tool)
         CUcontext ctx;
         checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
         auto wl = workloads::makeSpecWorkload(name);
-        wl->run(workloads::ProblemSize::Large);
+        wl->run(size);
         cycles = deviceTotalStats().cycles;
     };
     if (tool) {
@@ -50,8 +55,11 @@ runCycles(const std::string &name, OpcodeHistogramTool *tool)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Large;
     std::printf("Figure 8: slowdown vs native execution "
                 "(simulated cycles)\n");
     std::printf("%-10s %12s %12s\n", "workload", "full", "sampling");
@@ -60,14 +68,14 @@ main()
     size_t n = 0;
     std::vector<bench::JsonRow> rows;
     for (const std::string &name : workloads::specSuiteNames()) {
-        uint64_t native = runCycles(name, nullptr);
+        uint64_t native = runCycles(name, nullptr, size);
 
         OpcodeHistogramTool full(OpcodeHistogramTool::Mode::Full);
-        uint64_t full_c = runCycles(name, &full);
+        uint64_t full_c = runCycles(name, &full, size);
 
         OpcodeHistogramTool sampled(
             OpcodeHistogramTool::Mode::SampleGridDim);
-        uint64_t samp_c = runCycles(name, &sampled);
+        uint64_t samp_c = runCycles(name, &sampled, size);
 
         double fs = static_cast<double>(full_c) /
                     static_cast<double>(native);
@@ -92,6 +100,7 @@ main()
         {{"full_mean", bench::jNum(full_sum / static_cast<double>(n))},
          {"full_max", bench::jNum(full_max)},
          {"sampling_mean",
-          bench::jNum(samp_sum / static_cast<double>(n))}});
+          bench::jNum(samp_sum / static_cast<double>(n))},
+         {"problem_size", bench::jStr(smoke ? "test" : "large")}});
     return 0;
 }

@@ -8,8 +8,13 @@
  * benchmarks whose control flow depends only on grid dimensions;
  * small nonzero error where control flow is data-dependent (here: md
  * with its evolving cutoff test, cg with value-driven updates).
+ *
+ * `--smoke` switches to the test problem size; CI uses it as a fast
+ * end-to-end check (the error figures are not meaningful at that
+ * size).
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,7 +32,8 @@ using tools::OpcodeCounts;
 namespace {
 
 OpcodeCounts
-runCounts(const std::string &name, OpcodeHistogramTool::Mode mode)
+runCounts(const std::string &name, OpcodeHistogramTool::Mode mode,
+          workloads::ProblemSize size)
 {
     OpcodeHistogramTool tool(mode);
     OpcodeCounts counts{};
@@ -36,7 +42,7 @@ runCounts(const std::string &name, OpcodeHistogramTool::Mode mode)
         CUcontext ctx;
         checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
         auto wl = workloads::makeSpecWorkload(name);
-        wl->run(workloads::ProblemSize::Large);
+        wl->run(size);
         counts = tool.counts();
     });
     return counts;
@@ -45,8 +51,11 @@ runCounts(const std::string &name, OpcodeHistogramTool::Mode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Large;
     std::printf("Figure 9: kernel-sampling error vs exact histogram "
                 "(mean abs per-opcode share difference)\n");
     std::printf("%-10s %12s\n", "workload", "error");
@@ -56,9 +65,9 @@ main()
     std::vector<bench::JsonRow> rows;
     for (const std::string &name : workloads::specSuiteNames()) {
         OpcodeCounts exact =
-            runCounts(name, OpcodeHistogramTool::Mode::Full);
-        OpcodeCounts approx =
-            runCounts(name, OpcodeHistogramTool::Mode::SampleGridDim);
+            runCounts(name, OpcodeHistogramTool::Mode::Full, size);
+        OpcodeCounts approx = runCounts(
+            name, OpcodeHistogramTool::Mode::SampleGridDim, size);
         double err =
             OpcodeHistogramTool::shareErrorPct(exact, approx);
         std::printf("%-10s %11.4f%%\n", name.c_str(), err);
@@ -74,6 +83,7 @@ main()
     bench::writeBenchJson(
         "fig9_sampling_error", "workloads", rows,
         {{"mean_error_pct",
-          bench::jNum(sum / static_cast<double>(n))}});
+          bench::jNum(sum / static_cast<double>(n))},
+         {"problem_size", bench::jStr(smoke ? "test" : "large")}});
     return 0;
 }

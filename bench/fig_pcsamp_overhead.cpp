@@ -1,0 +1,123 @@
+/**
+ * @file
+ * PC-sampling overhead: host-side wall-clock cost of running the
+ * deterministic PC-sampling engine at various periods, vs the same
+ * workloads with sampling disabled.
+ *
+ * Two invariants this bench also checks (and reports as columns):
+ *   - sampling is passive, so the *simulated* cycle count must be
+ *     bit-identical with and without it (`cycles_delta` is 0);
+ *   - the sample count scales ~1/period (same cycles, fixed stride).
+ *
+ * `--smoke` switches to the test problem size; CI uses it as a fast
+ * end-to-end check (wall-clock ratios are noise at that size).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "obs/profile.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+
+namespace {
+
+struct RunResult {
+    uint64_t cycles = 0;
+    uint64_t samples = 0;
+    double wall_ms = 0.0;
+};
+
+RunResult
+runOnce(const std::string &name, workloads::ProblemSize size,
+        uint64_t period)
+{
+    obs::Profiler &prof = obs::Profiler::instance();
+    prof.reset();
+    prof.requestPeriod(period);
+
+    RunResult res;
+    NvbitTool passive;
+    auto t0 = std::chrono::steady_clock::now();
+    runApp(passive, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        auto wl = workloads::makeSpecWorkload(name);
+        wl->run(size);
+        res.cycles = deviceTotalStats().cycles;
+    });
+    auto t1 = std::chrono::steady_clock::now();
+    res.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    res.samples = prof.totalSamples();
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Large;
+    const uint64_t period = smoke ? 100 : 1000;
+
+    std::printf("PC-sampling overhead (period %llu cycles, host "
+                "wall-clock)\n",
+                static_cast<unsigned long long>(period));
+    std::printf("%-10s %10s %10s %9s %12s %12s\n", "workload",
+                "off_ms", "on_ms", "overhead", "samples",
+                "cycles_delta");
+
+    double ratio_sum = 0.0;
+    size_t n = 0;
+    uint64_t delta_sum = 0;
+    std::vector<bench::JsonRow> rows;
+    for (const std::string &name : workloads::specSuiteNames()) {
+        RunResult off = runOnce(name, size, 0);
+        RunResult on = runOnce(name, size, period);
+
+        double ratio = on.wall_ms / off.wall_ms;
+        uint64_t delta = on.cycles > off.cycles
+                             ? on.cycles - off.cycles
+                             : off.cycles - on.cycles;
+        std::printf("%-10s %9.2f %9.2f %8.3fx %12llu %12llu\n",
+                    name.c_str(), off.wall_ms, on.wall_ms, ratio,
+                    static_cast<unsigned long long>(on.samples),
+                    static_cast<unsigned long long>(delta));
+        rows.push_back(
+            {{"workload", bench::jStr(name)},
+             {"off_ms", bench::jNum(off.wall_ms)},
+             {"on_ms", bench::jNum(on.wall_ms)},
+             {"overhead", bench::jNum(ratio)},
+             {"samples", bench::jNum(on.samples)},
+             {"cycles_delta", bench::jNum(delta)}});
+        ratio_sum += ratio;
+        delta_sum += delta;
+        ++n;
+    }
+    std::printf("%-10s %31.3fx\n", "mean",
+                ratio_sum / static_cast<double>(n));
+    if (delta_sum != 0)
+        std::printf("WARNING: sampling changed simulated cycles "
+                    "(delta_sum %llu) — it must be passive\n",
+                    static_cast<unsigned long long>(delta_sum));
+    bench::writeBenchJson(
+        "fig_pcsamp_overhead", "workloads", rows,
+        {{"period", bench::jNum(period)},
+         {"mean_overhead",
+          bench::jNum(ratio_sum / static_cast<double>(n))},
+         {"cycles_delta_sum", bench::jNum(delta_sum)},
+         {"problem_size", bench::jStr(smoke ? "test" : "large")}});
+    return delta_sum == 0 ? 0 : 1;
+}

@@ -257,12 +257,14 @@ struct EngineResult {
 
 EngineResult
 runEngine(const char *name, sim::ExecMode mode, bool predecode,
-          uint32_t block, const char *kernel, int reps)
+          uint32_t block, const char *kernel, int reps,
+          uint64_t sample_period = 0)
 {
     sim::GpuConfig cfg;
     cfg.mem_bytes = 16 << 20;
     cfg.exec_mode = mode;
     cfg.use_predecode = predecode;
+    cfg.pc_sample_period = sample_period;
     sim::GpuDevice gpu(cfg);
     sim::LaunchParams lp = placeLoopKernel(gpu, block);
 
@@ -309,6 +311,11 @@ emitEngineComparison()
                   "frontend", 40),
         runEngine("serial_predecode", sim::ExecMode::Serial, true, 1,
                   "frontend", 40),
+        // PC sampling enabled on the default engine: the disabled cost
+        // must stay one relaxed load in the scheduler hot loop, so the
+        // throughput ratio vs row [3] bounds the sampling machinery.
+        runEngine("parallel_predecode_sampled", sim::ExecMode::Parallel,
+                  true, 256, "throughput", 5, 1000),
     };
 
     std::printf("\nExecution-engine comparison (loop kernel, grid 4)\n");
@@ -355,12 +362,14 @@ emitEngineComparison()
     double sp_default = ratio(results[0], results[3]);
     double sp_pre_tp = ratio(results[0], results[1]);
     double sp_pre_fe = ratio(results[4], results[5]);
+    double samp_ovh = ratio(results[6], results[3]);
     std::fprintf(f,
                  "  ],\n"
                  "  \"speedup_default_vs_reference\": %.3f,\n"
                  "  \"speedup_predecode_throughput\": %.3f,\n"
-                 "  \"speedup_predecode_frontend\": %.3f\n}\n",
-                 sp_default, sp_pre_tp, sp_pre_fe);
+                 "  \"speedup_predecode_frontend\": %.3f,\n"
+                 "  \"sampling_overhead_throughput\": %.3f\n}\n",
+                 sp_default, sp_pre_tp, sp_pre_fe, samp_ovh);
     std::fclose(f);
     std::printf("wrote %s (predecode speedup: %.2fx throughput kernel, "
                 "%.2fx frontend kernel; default engine vs reference: "

@@ -5,11 +5,14 @@
  * `LD_PRELOAD=libtool.so ./app`).
  *
  * Usage:
- *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample|bbv]
- *             [--size test|medium|large] [--bbv-out PREFIX] [--list]
+ *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample|
+ *              bbv|pcsamp]
+ *             [--size test|medium|large] [--bbv-out PREFIX]
+ *             [--pcsamp-period N] [--pcsamp-out PREFIX] [--list]
  *             WORKLOAD
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -21,6 +24,7 @@
 #include "tools/instr_count.hpp"
 #include "tools/mem_divergence.hpp"
 #include "tools/opcode_histogram.hpp"
+#include "tools/pc_sampling.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace nvbit;
@@ -63,6 +67,8 @@ main(int argc, char **argv)
     std::string tool_name = "icount";
     std::string size_name = "medium";
     std::string bbv_out = "bbv_profile";
+    std::string pcsamp_out = "pcsamp_profile";
+    uint64_t pcsamp_period = 1000;
     std::string wl_name;
 
     for (int i = 1; i < argc; ++i) {
@@ -75,12 +81,17 @@ main(int argc, char **argv)
             size_name = argv[++i];
         } else if (arg == "--bbv-out" && i + 1 < argc) {
             bbv_out = argv[++i];
+        } else if (arg == "--pcsamp-out" && i + 1 < argc) {
+            pcsamp_out = argv[++i];
+        } else if (arg == "--pcsamp-period" && i + 1 < argc) {
+            pcsamp_period = std::strtoull(argv[++i], nullptr, 0);
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: nvbit_run [--tool none|icount|"
-                         "icount-bb|mdiv|ohist|ohist-sample|bbv] "
-                         "[--size test|medium|large] "
-                         "[--bbv-out PREFIX] [--list] WORKLOAD\n");
+                         "icount-bb|mdiv|ohist|ohist-sample|bbv|"
+                         "pcsamp] [--size test|medium|large] "
+                         "[--bbv-out PREFIX] [--pcsamp-period N] "
+                         "[--pcsamp-out PREFIX] [--list] WORKLOAD\n");
             return 2;
         } else {
             wl_name = arg;
@@ -103,6 +114,7 @@ main(int argc, char **argv)
     tools::MemDivergenceTool *mdiv = nullptr;
     tools::OpcodeHistogramTool *ohist = nullptr;
     tools::BbvProfiler *bbv = nullptr;
+    tools::PcSamplingTool *pcsamp = nullptr;
     if (tool_name == "none") {
         tool = std::make_unique<NvbitTool>();
     } else if (tool_name == "icount") {
@@ -130,6 +142,13 @@ main(int argc, char **argv)
         opts.output_prefix = bbv_out;
         auto t = std::make_unique<tools::BbvProfiler>(opts);
         bbv = t.get();
+        tool = std::move(t);
+    } else if (tool_name == "pcsamp") {
+        tools::PcSamplingTool::Options opts;
+        opts.period = pcsamp_period;
+        opts.output_prefix = pcsamp_out;
+        auto t = std::make_unique<tools::PcSamplingTool>(opts);
+        pcsamp = t.get();
         tool = std::move(t);
     } else {
         std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
@@ -181,6 +200,15 @@ main(int argc, char **argv)
                         "%s.bb / %s.bbmap\n",
                         bbv->blocks().size(), bbv->intervals().size(),
                         bbv_out.c_str(), bbv_out.c_str());
+        }
+        if (pcsamp) {
+            std::printf("%s", pcsamp->report().c_str());
+            std::printf("pcsamp: %llu samples -> %s.txt / %s.folded "
+                        "/ %s.json\n",
+                        static_cast<unsigned long long>(
+                            pcsamp->totalSamples()),
+                        pcsamp_out.c_str(), pcsamp_out.c_str(),
+                        pcsamp_out.c_str());
         }
         const JitStats &js = nvbit_get_jit_stats();
         std::printf("JIT: %.3f ms total (%llu trampolines, %llu "

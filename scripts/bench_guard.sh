@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Guard the simulator's scheduler hot path against perf regressions:
+# run the micro_core engine comparison and diff its per-(engine,
+# kernel) warp-MIPS throughput against the committed baseline in
+# bench/baselines/BENCH_micro_core.baseline.json.  Fails when any row
+# shared with the baseline regresses by more than 25% — wide enough to
+# absorb loaded-CI noise (micro_core already takes the min over
+# repetitions), tight enough to catch an accidental O(n) insertion in
+# the warp-scheduler loop (the PC-sampling work's documented budget is
+# one relaxed load when disabled).
+#
+# Usage: scripts/bench_guard.sh [--update]
+#   --update   refresh the committed baseline from a fresh run instead
+#              of diffing (use on a quiet machine, then commit).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=bench/baselines/BENCH_micro_core.baseline.json
+fresh=BENCH_micro_core.json
+threshold=0.75 # fresh/baseline warp-MIPS ratio below this fails
+
+if [[ ! -x build/bench/micro_core ]]; then
+    echo "bench_guard: build/bench/micro_core missing (build first)" >&2
+    exit 1
+fi
+
+echo "==> bench_guard: running micro_core engine comparison"
+./build/bench/micro_core --benchmark_filter=BM_CacheModel \
+    --benchmark_min_time=0.01 >/dev/null
+
+if [[ "${1:-}" == "--update" ]]; then
+    mkdir -p "$(dirname "$baseline")"
+    cp "$fresh" "$baseline"
+    echo "bench_guard: baseline updated from $fresh"
+    exit 0
+fi
+
+if [[ ! -s "$baseline" ]]; then
+    echo "bench_guard: no baseline at $baseline (run --update)" >&2
+    exit 1
+fi
+
+python3 - "$baseline" "$fresh" "$threshold" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+def rows(doc):
+    return {(r["engine"], r["kernel"]): r for r in doc["engine_comparison"]}
+
+base_rows, fresh_rows = rows(base), rows(fresh)
+failed = False
+for key in sorted(base_rows.keys() & fresh_rows.keys()):
+    b = base_rows[key]["warp_mips"]
+    f = fresh_rows[key]["warp_mips"]
+    ratio = f / b if b else 1.0
+    status = "OK" if ratio >= threshold else "REGRESSION"
+    print(f"  {key[1]:<12} {key[0]:<26} {b:8.2f} -> {f:8.2f} MIPS "
+          f"({ratio:5.2f}x) {status}")
+    if ratio < threshold:
+        failed = True
+if failed:
+    print(f"bench_guard: scheduler hot path regressed more than "
+          f"{(1 - threshold) * 100:.0f}% vs {baseline_path}", file=sys.stderr)
+    sys.exit(1)
+print("bench_guard: hot path within budget")
+EOF

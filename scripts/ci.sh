@@ -26,16 +26,24 @@ cmake --build build -j "$jobs"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "==> bench smoke: micro_core (one filter) + fig7 --smoke"
+echo "==> bench smoke: micro_core (one filter) + figure --smoke runs"
 ./build/bench/micro_core --benchmark_filter=BM_EncodeDecode \
     --benchmark_min_time=0.01
 ./build/bench/fig7_instr_histogram --smoke
-for artifact in BENCH_micro_core.json BENCH_fig7_instr_histogram.json; do
+./build/bench/fig8_sampling_slowdown --smoke
+./build/bench/fig9_sampling_error --smoke
+./build/bench/fig_pcsamp_overhead --smoke
+for artifact in BENCH_micro_core.json BENCH_fig7_instr_histogram.json \
+    BENCH_fig8_sampling_slowdown.json BENCH_fig9_sampling_error.json \
+    BENCH_fig_pcsamp_overhead.json; do
     if [[ ! -s "$artifact" ]]; then
         echo "ci: missing bench artifact $artifact" >&2
         exit 1
     fi
 done
+
+echo "==> bench guard: scheduler hot path vs committed baseline"
+scripts/bench_guard.sh
 
 if [[ "$run_sanitize" == 1 ]]; then
     echo "==> sanitize (ASan+UBSan): configure + build"

@@ -9,6 +9,7 @@
 #include "core/builtins.hpp"
 #include "isa/abi.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "ptx/compiler.hpp"
 
@@ -37,6 +38,14 @@ NvbitCore::inject(NvbitTool *tool)
     tool_ = tool;
     injected_ = true;
     cudrv::setDriverInterposer(&NvbitCore::interposerThunk, this);
+    // Let the PC-sampling profiler attribute sampled pcs to tool vs
+    // app code through the same maps fault attribution uses.
+    obs::Profiler::instance().setOriginResolver(
+        [this](uint64_t pc, const std::vector<uint64_t> &ret_stack,
+               obs::Profiler::OriginInfo &out) {
+            resolvePcOrigin(pc, ret_stack, out.tool, out.app_pc,
+                            &out.func, &out.func_base);
+        });
 }
 
 void
@@ -56,6 +65,7 @@ NvbitCore::uninject()
         mr.add("core.jit_swap_ns", jit_.swap_ns, v);
     }
     cudrv::setDriverInterposer(nullptr, nullptr);
+    obs::Profiler::instance().setOriginResolver(nullptr);
     tool_ = nullptr;
     injected_ = false;
     hal_.reset();
@@ -860,13 +870,12 @@ findSpan(const FuncState &st, uint64_t off)
 } // namespace
 
 void
-NvbitCore::attributeException(CUcontext ctx)
+NvbitCore::resolvePcOrigin(uint64_t pc,
+                           const std::vector<uint64_t> &ret_stack,
+                           bool &tool, uint64_t &app_pc,
+                           std::string *label,
+                           uint64_t *label_base) const
 {
-    cudrv::CUexceptionInfo *info = cudrv::mutableExceptionInfo(ctx);
-    if (!info || !info->valid ||
-        info->origin != cudrv::CU_EXCEPTION_ORIGIN_UNKNOWN)
-        return;
-    const sim::DeviceException &e = info->exc;
     const size_t ib = hal_ ? hal_->instrBytes() : 8;
 
     // Where does a pc live?  (a) inside a trampoline region: the span
@@ -875,58 +884,93 @@ NvbitCore::attributeException(CUcontext ctx)
     // the span.  (b) inside a tool device function or a builtin
     // save/restore/Device-API routine: tool origin.  (c) anywhere
     // else: application code.
-    auto inToolCode = [&](uint64_t pc) {
+    auto inToolCode = [&](uint64_t p) {
         if (tool_module_) {
             for (const auto &fn : tool_module_->funcs) {
-                if (pc >= fn->code_addr &&
-                    pc < fn->code_addr + fn->code_size)
+                if (p >= fn->code_addr &&
+                    p < fn->code_addr + fn->code_size)
                     return true;
             }
         }
         for (const auto &[addr, bytes] : builtin_ranges_) {
-            if (pc >= addr && pc < addr + bytes)
+            if (p >= addr && p < addr + bytes)
                 return true;
         }
         return false;
     };
-    auto inTrampoline = [&](uint64_t pc)
+    auto inTrampoline = [&](uint64_t p)
         -> std::pair<const FuncState *, const FuncState::TrampSpan *> {
         for (const auto &[f, st] : fstate_) {
-            if (st->tramp_base && pc >= st->tramp_base &&
-                pc < st->tramp_base + st->tramp_bytes) {
-                return {st.get(),
-                        findSpan(*st, pc - st->tramp_base)};
+            if (st->tramp_base && p >= st->tramp_base &&
+                p < st->tramp_base + st->tramp_bytes) {
+                return {st.get(), findSpan(*st, p - st->tramp_base)};
             }
         }
         return {nullptr, nullptr};
     };
 
-    info->origin = cudrv::CU_EXCEPTION_ORIGIN_APP;
-    info->app_pc = e.pc;
-    if (auto [st, sp] = inTrampoline(e.pc); st) {
-        info->app_pc =
-            sp ? st->func->code_addr + sp->instr_idx * ib : e.pc;
+    tool = false;
+    app_pc = pc;
+    if (auto [st, sp] = inTrampoline(pc); st) {
+        app_pc = sp ? st->func->code_addr + sp->instr_idx * ib : pc;
         bool at_orig = sp && sp->has_orig &&
-                       (e.pc - st->tramp_base) - sp->offset ==
+                       (pc - st->tramp_base) - sp->offset ==
                            sp->orig_slot_off;
-        // Faulting on the relocated original instruction is the app's
-        // own fault; anywhere else in the span is injected machinery.
-        info->origin = at_orig ? cudrv::CU_EXCEPTION_ORIGIN_APP
-                               : cudrv::CU_EXCEPTION_ORIGIN_TOOL;
-    } else if (inToolCode(e.pc)) {
-        info->origin = cudrv::CU_EXCEPTION_ORIGIN_TOOL;
+        // Landing on the relocated original instruction is the app's
+        // own code; anywhere else in the span is injected machinery.
+        tool = !at_orig;
+        if (label) {
+            *label = st->func->name + "$tramp";
+            if (label_base)
+                *label_base = st->tramp_base;
+        }
+    } else if (inToolCode(pc)) {
+        tool = true;
         // Walk the return stack (innermost last) for the trampoline
         // call site, recovering the app instruction being
-        // instrumented when the tool function faulted.
-        for (auto it = e.ret_stack.rbegin(); it != e.ret_stack.rend();
+        // instrumented when inside a tool device function.
+        for (auto it = ret_stack.rbegin(); it != ret_stack.rend();
              ++it) {
             if (auto [st, sp] = inTrampoline(*it); st && sp) {
-                info->app_pc =
-                    st->func->code_addr + sp->instr_idx * ib;
+                app_pc = st->func->code_addr + sp->instr_idx * ib;
+                break;
+            }
+        }
+        // Builtin routines (register save/restore, Device API) live
+        // outside every module; name them from the symbol table.
+        if (label) {
+            for (const auto &[addr, bytes] : builtin_ranges_) {
+                if (pc < addr || pc >= addr + bytes)
+                    continue;
+                for (const auto &[nm, a] : builtin_syms_) {
+                    if (a == addr) {
+                        *label = nm;
+                        if (label_base)
+                            *label_base = addr;
+                        break;
+                    }
+                }
                 break;
             }
         }
     }
+}
+
+void
+NvbitCore::attributeException(CUcontext ctx)
+{
+    cudrv::CUexceptionInfo *info = cudrv::mutableExceptionInfo(ctx);
+    if (!info || !info->valid ||
+        info->origin != cudrv::CU_EXCEPTION_ORIGIN_UNKNOWN)
+        return;
+    const sim::DeviceException &e = info->exc;
+
+    bool tool = false;
+    uint64_t app_pc = e.pc;
+    resolvePcOrigin(e.pc, e.ret_stack, tool, app_pc);
+    info->origin = tool ? cudrv::CU_EXCEPTION_ORIGIN_TOOL
+                        : cudrv::CU_EXCEPTION_ORIGIN_APP;
+    info->app_pc = app_pc;
 
     if (tool_)
         tool_->nvbit_at_exception(ctx, *info);

@@ -181,6 +181,21 @@ class NvbitCore
      */
     void attributeException(cudrv::CUcontext ctx);
 
+    /**
+     * Classify @p pc as tool- vs app-origin using the trampoline span
+     * maps and tool-module/builtin code ranges, mapping trampoline pcs
+     * (and, via @p ret_stack, tool-function pcs) back to the original
+     * app instruction.  Shared by fault attribution and the
+     * obs::Profiler origin resolver.  When @p label is non-null and
+     * the pc lives in code no module covers (a trampoline or builtin
+     * routine), a symbolic name and its base are stored there.
+     */
+    void resolvePcOrigin(uint64_t pc,
+                         const std::vector<uint64_t> &ret_stack,
+                         bool &tool, uint64_t &app_pc,
+                         std::string *label = nullptr,
+                         uint64_t *label_base = nullptr) const;
+
     /** Drop all state for functions of a module being unloaded. */
     void onModuleUnload(cudrv::CUmodule mod);
 

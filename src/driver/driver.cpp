@@ -7,6 +7,7 @@
 #include "driver/callback.hpp"
 #include "isa/abi.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "ptx/compiler.hpp"
 
@@ -217,6 +218,31 @@ cuInit(unsigned flags)
     if (!s.initialized) {
         s.gpu = std::make_unique<sim::GpuDevice>(s.pending_cfg);
         s.initialized = true;
+        // Let the PC-sampling profiler resolve device pcs to function
+        // names.  The closure reads the live driver state at each
+        // call, so functions loaded later are found too.
+        obs::Profiler::instance().setNameResolver(
+            [](uint64_t pc, obs::Profiler::PcInfo &out) {
+                auto search = [&](const CUmod_st *mod) {
+                    if (!mod)
+                        return false;
+                    for (const auto &fn : mod->funcs) {
+                        if (pc >= fn->code_addr &&
+                            pc < fn->code_addr + fn->code_size) {
+                            out.func = fn->name;
+                            out.func_base = fn->code_addr;
+                            return true;
+                        }
+                    }
+                    return false;
+                };
+                DriverState &ds = state();
+                for (const auto &ctx : ds.contexts)
+                    for (const auto &mod : ctx->modules)
+                        if (search(mod.get()))
+                            return true;
+                return search(ds.tool_module);
+            });
     }
     return scope.status() = CUDA_SUCCESS;
 }
@@ -243,6 +269,7 @@ void
 resetDriver()
 {
     DriverState &s = state();
+    obs::Profiler::instance().setNameResolver(nullptr);
     s.contexts.clear();
     s.current = nullptr;
     s.gpu.reset();
@@ -863,6 +890,12 @@ cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
             ctx->exc_info.func_name = fn->name;
             ctx->exc_info.valid = true;
         }
+        // Fault-path flush: leave valid (partial) observability
+        // artifacts on disk even if the process never reaches its
+        // atexit handlers after this error.
+        obs::MetricsRegistry::instance().exportToEnvPath();
+        obs::Tracer::instance().flushSnapshot();
+        obs::Profiler::instance().exportToEnvPath();
         return scope.status() = r;
     }
     return scope.status() = CUDA_SUCCESS;

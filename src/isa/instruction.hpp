@@ -82,6 +82,81 @@ struct Instruction {
     /** @return access size in bytes for memory operations (4 or 8). */
     unsigned memAccessBytes() const { return (mod & kModSize64) ? 8 : 4; }
 
+    /**
+     * @return true if this instruction writes a general-purpose
+     * register (rd is a real GPR destination).  Leader register only:
+     * 64-bit results also write rd+1, which this deliberately ignores
+     * — the stall model tracks the producing instruction, not every
+     * written name.
+     */
+    bool
+    writesGpr() const
+    {
+        switch (info().format) {
+          case OpFormat::Alu1:
+          case OpFormat::Alu2:
+          case OpFormat::Alu3:
+          case OpFormat::AluSel:
+          case OpFormat::Load:
+          case OpFormat::LoadConst:
+          case OpFormat::Atomic:
+          case OpFormat::Vote:
+          case OpFormat::Match:
+          case OpFormat::Shfl:
+          case OpFormat::ReadSpec:
+          case OpFormat::Proxy:
+            return rd != kRegZ;
+          case OpFormat::PredMove:
+            return op == Opcode::P2R && rd != kRegZ;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * @return true if this instruction reads GPR @p r as a source.
+     * Leader-register approximation: pair partners (r+1 of a 64-bit
+     * source) are not reported.  Used for read-after-write stall
+     * attribution, not for correctness.
+     */
+    bool
+    readsGpr(uint8_t r) const
+    {
+        if (r == kRegZ)
+            return false;
+        switch (info().format) {
+          case OpFormat::BranchInd:
+            return ra == r;
+          case OpFormat::Alu1:
+            return !(mod & kModImmSrc2) && ra == r;
+          case OpFormat::Alu2:
+            return ra == r || (!(mod & kModImmSrc2) && rb == r);
+          case OpFormat::Alu3:
+            return ra == r || rb == r || rc == r;
+          case OpFormat::AluSel:
+            return ra == r || rb == r;
+          case OpFormat::Setp:
+            return ra == r || (!(mod & kModSetpImm) && rb == r);
+          case OpFormat::Load:
+            return ra == r;
+          case OpFormat::Store:
+            return ra == r || rb == r;
+          case OpFormat::Atomic:
+            return ra == r || rb == r ||
+                   (modGetAtomOp(mod) == AtomOp::CAS && rc == r);
+          case OpFormat::Match:
+            return ra == r;
+          case OpFormat::Shfl:
+            return ra == r || (!(mod & kModShflImm) && rb == r);
+          case OpFormat::PredMove:
+            return op == Opcode::R2P && ra == r;
+          case OpFormat::Proxy:
+            return ra == r || rb == r;
+          default:
+            return false;
+        }
+    }
+
     /** Render in SASS-like text, e.g. "@!P0 LDG.64 R4, [R8+0x10]". */
     std::string toString() const;
 };

@@ -44,18 +44,14 @@ MetricsRegistry::instance()
 
 MetricsRegistry::MetricsRegistry()
 {
-    // Opt-in process-exit dump: NVBIT_SIM_METRICS=<path>.
-    if (const char *path = std::getenv("NVBIT_SIM_METRICS")) {
-        static std::string dump_path;
-        dump_path = path;
-        std::atexit([] {
-            std::string json = MetricsRegistry::instance().toJson();
-            if (std::FILE *f = std::fopen(dump_path.c_str(), "w")) {
-                std::fwrite(json.data(), 1, json.size(), f);
-                std::fclose(f);
-            }
-        });
+    // Opt-in process-exit dump: NVBIT_SIM_METRICS=<path>.  The path is
+    // re-read inside exportToEnvPath, so the handler also works if the
+    // variable changes before exit.
+    if (std::getenv("NVBIT_SIM_METRICS") != nullptr) {
+        std::atexit(
+            [] { MetricsRegistry::instance().exportToEnvPath(); });
     }
+    applyHistoryCapFromEnv();
 }
 
 void
@@ -76,17 +72,72 @@ MetricsRegistry::value(std::string_view name) const
     return it == counters_.end() ? 0 : it->second.value;
 }
 
+void
+MetricsRegistry::defineHistogram(std::string_view name,
+                                 std::vector<uint64_t> bounds,
+                                 Stability st)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (histograms_.find(name) != histograms_.end())
+        return;
+    Histogram h;
+    h.counts.assign(bounds.size() + 1, 0);
+    h.bounds = std::move(bounds);
+    h.stability = st;
+    histograms_.emplace(std::string(name), std::move(h));
+}
+
+void
+MetricsRegistry::observe(std::string_view name, uint64_t value)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        return;
+    Histogram &h = it->second;
+    size_t bucket = 0;
+    while (bucket < h.bounds.size() && value > h.bounds[bucket])
+        ++bucket;
+    ++h.counts[bucket];
+    ++h.total;
+    h.sum += value;
+}
+
+bool
+MetricsRegistry::histogram(std::string_view name,
+                           HistogramSnapshot &out) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        return false;
+    const Histogram &h = it->second;
+    out.bounds = h.bounds;
+    out.counts = h.counts;
+    out.total = h.total;
+    out.sum = h.sum;
+    out.stability = h.stability;
+    return true;
+}
+
+void
+MetricsRegistry::evictLocked()
+{
+    while (launches_.size() > launch_record_cap_) {
+        launches_.pop_front();
+        ++dropped_records_;
+    }
+}
+
 uint64_t
 MetricsRegistry::recordLaunch(LaunchRecord rec)
 {
     std::lock_guard<std::mutex> lk(mu_);
     rec.index = next_index_++;
+    uint64_t index = rec.index;
     launches_.push_back(std::move(rec));
-    if (launches_.size() > kLaunchRecordCap) {
-        launches_.pop_front();
-        ++dropped_records_;
-    }
-    return launches_.back().index;
+    evictLocked();
+    return index;
 }
 
 void
@@ -111,6 +162,33 @@ MetricsRegistry::launchCount() const
     return next_index_;
 }
 
+void
+MetricsRegistry::setLaunchRecordCap(size_t cap)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    launch_record_cap_ = cap == 0 ? 1 : cap;
+    evictLocked();
+}
+
+size_t
+MetricsRegistry::launchRecordCap() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return launch_record_cap_;
+}
+
+void
+MetricsRegistry::applyHistoryCapFromEnv()
+{
+    const char *env = std::getenv("NVBIT_SIM_METRICS_HISTORY");
+    if (env == nullptr || env[0] == '\0')
+        return;
+    char *end = nullptr;
+    unsigned long long cap = std::strtoull(env, &end, 10);
+    if (end != env && cap > 0)
+        setLaunchRecordCap(static_cast<size_t>(cap));
+}
+
 std::string
 MetricsRegistry::toJson(bool exact_only) const
 {
@@ -125,6 +203,24 @@ MetricsRegistry::toJson(bool exact_only) const
         first = false;
         appendJsonString(os, name);
         os << ": " << c.value;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (exact_only && h.stability == Stability::Volatile)
+            continue;
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        appendJsonString(os, name);
+        os << ": {\"bounds\": [";
+        for (size_t i = 0; i < h.bounds.size(); ++i)
+            os << (i ? ", " : "") << h.bounds[i];
+        os << "], \"counts\": [";
+        for (size_t i = 0; i < h.counts.size(); ++i)
+            os << (i ? ", " : "") << h.counts[i];
+        os << "], \"total\": " << h.total << ", \"sum\": " << h.sum
+           << "}";
     }
     os << (first ? "},\n" : "\n  },\n");
     os << "  \"launches\": [";
@@ -142,7 +238,15 @@ MetricsRegistry::toJson(bool exact_only) const
            << ", \"l1_hits\": " << r.l1_hits
            << ", \"l1_misses\": " << r.l1_misses
            << ", \"l2_hits\": " << r.l2_hits
-           << ", \"l2_misses\": " << r.l2_misses << ", \"sms\": [";
+           << ", \"l2_misses\": " << r.l2_misses
+           << ", \"cycles_by_reason\": {";
+        for (size_t i = 0; i < kNumStallReasons; ++i) {
+            os << (i ? ", " : "");
+            appendJsonString(
+                os, stallReasonName(static_cast<StallReason>(i)));
+            os << ": " << r.cycles_by_reason[i];
+        }
+        os << "}, \"sms\": [";
         for (size_t i = 0; i < r.sms.size(); ++i) {
             const SmShard &s = r.sms[i];
             os << (i ? ", {" : "{") << "\"sm\": " << s.sm
@@ -153,7 +257,14 @@ MetricsRegistry::toJson(bool exact_only) const
                 os << ", \"decode_cache_hits\": " << s.decode_cache_hits
                    << ", \"decode_cache_misses\": "
                    << s.decode_cache_misses;
-            os << "}";
+            os << ", \"cycles_by_reason\": {";
+            for (size_t j = 0; j < kNumStallReasons; ++j) {
+                os << (j ? ", " : "");
+                appendJsonString(
+                    os, stallReasonName(static_cast<StallReason>(j)));
+                os << ": " << s.cycles_by_reason[j];
+            }
+            os << "}}";
         }
         os << "]}";
     }
@@ -163,13 +274,31 @@ MetricsRegistry::toJson(bool exact_only) const
 }
 
 void
+MetricsRegistry::exportToEnvPath() const
+{
+    const char *path = std::getenv("NVBIT_SIM_METRICS");
+    if (path == nullptr || path[0] == '\0')
+        return;
+    std::string json = toJson();
+    if (std::FILE *f = std::fopen(path, "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
+}
+
+void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    counters_.clear();
-    launches_.clear();
-    next_index_ = 0;
-    dropped_records_ = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        counters_.clear();
+        histograms_.clear();
+        launches_.clear();
+        launch_record_cap_ = kLaunchRecordCap;
+        next_index_ = 0;
+        dropped_records_ = 0;
+    }
+    applyHistoryCapFromEnv();
 }
 
 } // namespace nvbit::obs

@@ -22,6 +22,7 @@
 #ifndef NVBIT_OBS_METRICS_HPP
 #define NVBIT_OBS_METRICS_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -29,6 +30,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/profile.hpp" // StallReason / kNumStallReasons
 
 namespace nvbit::obs {
 
@@ -56,6 +59,12 @@ struct SmShard {
     uint64_t decode_cache_hits = 0;
     /** Fetches that consulted the shared code cache (Volatile). */
     uint64_t decode_cache_misses = 0;
+    /**
+     * Per-StallReason cycle breakdown, indexed by `StallReason`.  The
+     * Idle bucket pads the shard up to the launch's `cycles` scalar,
+     * so every shard's breakdown sums to the launch cycles exactly.
+     */
+    std::array<uint64_t, kNumStallReasons> cycles_by_reason{};
 };
 
 /** Everything the simulator knows about one kernel launch. */
@@ -78,8 +87,24 @@ struct LaunchRecord {
     uint64_t unique_lines_sum = 0;
     uint64_t l1_hits = 0, l1_misses = 0;
     uint64_t l2_hits = 0, l2_misses = 0;
+    /**
+     * Per-StallReason cycle breakdown of the critical (slowest) SM;
+     * sums exactly to `cycles`.  Indexed by `StallReason`.
+     */
+    std::array<uint64_t, kNumStallReasons> cycles_by_reason{};
     /** Per-SM shards, ascending by SM id; idle SMs are omitted. */
     std::vector<SmShard> sms;
+};
+
+/** Read-only copy of a histogram's state (see defineHistogram). */
+struct HistogramSnapshot {
+    /** Upper bucket bounds (value <= bounds[i] lands in bucket i). */
+    std::vector<uint64_t> bounds;
+    /** bounds.size() + 1 counts; the last is the overflow bucket. */
+    std::vector<uint64_t> counts;
+    uint64_t total = 0; ///< number of observations
+    uint64_t sum = 0;   ///< sum of observed values
+    Stability stability = Stability::Exact;
 };
 
 /**
@@ -102,6 +127,22 @@ class MetricsRegistry
     uint64_t value(std::string_view name) const;
 
     /**
+     * Define a histogram with *fixed* upper bucket bounds (ascending).
+     * Fixed bounds keep snapshots deterministic: the bucket layout is
+     * part of the metric's identity, never derived from observed data.
+     * Idempotent — redefinition with any bounds leaves the original.
+     */
+    void defineHistogram(std::string_view name,
+                         std::vector<uint64_t> bounds,
+                         Stability st = Stability::Exact);
+
+    /** Record @p value into histogram @p name (no-op if undefined). */
+    void observe(std::string_view name, uint64_t value);
+
+    /** Copy out a histogram's state; false if it was never defined. */
+    bool histogram(std::string_view name, HistogramSnapshot &out) const;
+
+    /**
      * Append a launch record (the simulator calls this once per
      * launch).  Returns the global launch ordinal assigned to it.
      * Only the newest `kLaunchRecordCap` records are kept; the
@@ -119,6 +160,19 @@ class MetricsRegistry
     uint64_t launchCount() const;
 
     /**
+     * Change the retained-history cap (default kLaunchRecordCap,
+     * overridable via NVBIT_SIM_METRICS_HISTORY).  Shrinking evicts
+     * oldest-first immediately and counts the drops.
+     */
+    void setLaunchRecordCap(size_t cap);
+
+    /** Current retained-history cap. */
+    size_t launchRecordCap() const;
+
+    /** Re-read NVBIT_SIM_METRICS_HISTORY and apply it (> 0 only). */
+    void applyHistoryCapFromEnv();
+
+    /**
      * Serialise the registry as a deterministic JSON object
      * (counters sorted by name, launches in launch order).  With
      * @p exact_only, Volatile counters and the per-shard decode-cache
@@ -127,7 +181,15 @@ class MetricsRegistry
      */
     std::string toJson(bool exact_only = false) const;
 
-    /** Drop all counters and launch records (test isolation). */
+    /**
+     * Write toJson() to $NVBIT_SIM_METRICS if set.  The variable is
+     * re-read at call time, so the fault path can flush even when it
+     * was exported after the registry was first touched.
+     */
+    void exportToEnvPath() const;
+
+    /** Drop all counters, histograms and launch records; the history
+     *  cap returns to its default (then env override, if any). */
     void reset();
 
   private:
@@ -138,11 +200,24 @@ class MetricsRegistry
         Stability stability = Stability::Exact;
     };
 
+    struct Histogram {
+        std::vector<uint64_t> bounds;
+        std::vector<uint64_t> counts; // bounds.size() + 1
+        uint64_t total = 0;
+        uint64_t sum = 0;
+        Stability stability = Stability::Exact;
+    };
+
     static constexpr size_t kLaunchRecordCap = 4096;
+
+    /** Evict past the cap, oldest-first (mu_ held). */
+    void evictLocked();
 
     mutable std::mutex mu_;
     std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
     std::deque<LaunchRecord> launches_;
+    size_t launch_record_cap_ = kLaunchRecordCap;
     uint64_t next_index_ = 0;
     uint64_t dropped_records_ = 0;
 };

@@ -200,6 +200,22 @@ Tracer::encode(const Event &ev)
     return os.str();
 }
 
+bool
+Tracer::writeLocked() const
+{
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f)
+        return false;
+    std::fputs("{\"traceEvents\": [", f);
+    for (size_t i = 0; i < events_.size(); ++i) {
+        std::string line = encode(events_[i]);
+        std::fprintf(f, "%s%s", i ? ",\n" : "\n", line.c_str());
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    return true;
+}
+
 std::string
 Tracer::disableAndFlush()
 {
@@ -208,20 +224,21 @@ Tracer::disableAndFlush()
         return "";
     enabled_.store(false, std::memory_order_relaxed);
     std::string path = path_;
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f) {
-        std::fputs("{\"traceEvents\": [", f);
-        for (size_t i = 0; i < events_.size(); ++i) {
-            std::string line = encode(events_[i]);
-            std::fprintf(f, "%s%s", i ? ",\n" : "\n", line.c_str());
-        }
-        std::fputs("\n]}\n", f);
-        std::fclose(f);
-    }
+    writeLocked();
     events_.clear();
     named_threads_.clear();
     path_.clear();
     return path;
+}
+
+std::string
+Tracer::flushSnapshot()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!enabled_.load(std::memory_order_relaxed))
+        return "";
+    writeLocked();
+    return path_;
 }
 
 } // namespace nvbit::obs

@@ -79,6 +79,15 @@ class Tracer
      */
     std::string disableAndFlush();
 
+    /**
+     * Write the events buffered so far to the enable-time file without
+     * disabling or clearing anything — collection continues and a later
+     * flush simply rewrites the file with more events.  Used on the
+     * fault path so a dying launch still leaves a valid (partial)
+     * timeline on disk.  Returns the path written ("" when disabled).
+     */
+    std::string flushSnapshot();
+
     /** Microseconds since tracing was enabled (0 when disabled). */
     uint64_t nowUs() const;
 
@@ -107,6 +116,8 @@ class Tracer
 
     void push(Event ev);
     void emitProcessNames();
+    /** Write events_ to path_ as a complete JSON doc (mu_ held). */
+    bool writeLocked() const;
     static std::string encode(const Event &ev);
 
     std::atomic<bool> enabled_{false};

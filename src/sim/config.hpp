@@ -67,6 +67,17 @@ struct GpuConfig {
     uint64_t watchdog_cycles = 1ull << 32;
 
     /**
+     * PC-sampling period in SM cycles; 0 disables sampling.  When
+     * enabled, each SM emits one (pc, stall reason, cycle) record per
+     * resident warp every time its cycle counter crosses a multiple of
+     * the period.  Counter-based, so the sample stream is bit-identical
+     * across {serial,parallel} x {decode,predecode} engines.
+     * Env override: NVBIT_SIM_PC_SAMPLING=<period> (0 forces off, and
+     * beats any period a tool requested via obs::Profiler).
+     */
+    uint64_t pc_sample_period = 0;
+
+    /**
      * Host-side execution strategy.  Results are bit-identical in both
      * modes; Parallel runs each SM's thread blocks on a worker thread.
      * Env override: NVBIT_SIM_EXEC=serial|parallel.

@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/sm.hpp"
 
@@ -39,6 +40,15 @@ applyEnvOverrides(GpuConfig &cfg)
             warn("ignoring NVBIT_SIM_WATCHDOG_CYCLES=%s (want a "
                  "positive cycle count)", w);
     }
+    if (const char *s = std::getenv("NVBIT_SIM_PC_SAMPLING")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 0);
+        if (end && *end == '\0')
+            cfg.pc_sample_period = v; // 0 is a valid explicit "off"
+        else
+            warn("ignoring NVBIT_SIM_PC_SAMPLING=%s (want a cycle "
+                 "period, 0 = off)", s);
+    }
 }
 
 } // namespace
@@ -49,6 +59,12 @@ GpuDevice::GpuDevice(const GpuConfig &cfg)
       caches_(cfg)
 {
     applyEnvOverrides(cfg_);
+    // A tool may have requested sampling via the Profiler before the
+    // device existed (nvbit_at_init precedes cuInit).  An explicit
+    // config period or the env var (including an explicit 0) wins.
+    if (cfg_.pc_sample_period == 0 &&
+        std::getenv("NVBIT_SIM_PC_SAMPLING") == nullptr)
+        cfg_.pc_sample_period = obs::Profiler::instance().requestedPeriod();
     code_cache_ = std::make_unique<CodeCache>(*memory_, cfg_.family);
     pool_ = std::make_unique<ThreadPool>();
     // Host-side writes (module loads, trampoline patches, cuMemcpy)
@@ -185,26 +201,39 @@ GpuDevice::launch(const LaunchParams &lp)
                          logs[cursor[sm]].first == w.cta_index,
                      "L2 replay log out of order for CTA %llu",
                      static_cast<unsigned long long>(w.cta_index));
-        for (uint64_t line : logs[cursor[sm]].second) {
-            if (caches_.accessL2(line)) {
+        for (const L2LogLine &ll : logs[cursor[sm]].second) {
+            if (caches_.accessL2(ll.line)) {
                 ++ex.shard().l2_hits;
-                ex.addCycles(cfg_.l1_miss_penalty);
+                ex.addReplayCycles(cfg_.l1_miss_penalty, ll.pc, ll.warp,
+                                   w.cta_index);
             } else {
                 ++ex.shard().l2_misses;
-                ex.addCycles(cfg_.l1_miss_penalty + cfg_.l2_miss_penalty);
+                ex.addReplayCycles(cfg_.l1_miss_penalty +
+                                       cfg_.l2_miss_penalty,
+                                   ll.pc, ll.warp, w.cta_index);
             }
         }
         ++cursor[sm];
     }
 
-    // Aggregate the per-SM shards; launch time is the slowest SM.
+    // Aggregate the per-SM shards; launch time is the slowest SM,
+    // whose per-reason breakdown therefore *is* the launch breakdown
+    // (so it sums exactly to the cycles scalar).  Ties pick the
+    // lowest SM id, deterministically.
     LaunchStats stats;
     uint64_t max_cycles = 0;
+    const SmExecutor *critical = nullptr;
     for (const auto &ex : execs) {
         stats.merge(ex->shard());
-        max_cycles = std::max(max_cycles, ex->cycleTotal());
+        if (ex->cycleTotal() > max_cycles || critical == nullptr) {
+            max_cycles = ex->cycleTotal();
+            critical = ex.get();
+        }
     }
     stats.cycles = max_cycles;
+    stats.cycles_by_reason =
+        critical ? critical->cyclesByReason()
+                 : std::array<uint64_t, obs::kNumStallReasons>{};
 
     totals_.merge(stats);
     publishLaunch(stats, execs, per_sm);
@@ -229,15 +258,25 @@ GpuDevice::publishLaunch(
     rec.l1_misses = stats.l1_misses;
     rec.l2_hits = stats.l2_hits;
     rec.l2_misses = stats.l2_misses;
+    rec.cycles_by_reason = stats.cycles_by_reason;
     for (unsigned sm = 0; sm < execs.size(); ++sm) {
         if (per_sm[sm].empty())
             continue;
         const LaunchStats &sh = execs[sm]->shard();
-        rec.sms.push_back(obs::SmShard{sm, sh.thread_instrs,
-                                       sh.warp_instrs, sh.ctas,
-                                       execs[sm]->cycleTotal(),
-                                       sh.decode_cache_hits,
-                                       sh.decode_cache_misses});
+        obs::SmShard shard;
+        shard.sm = sm;
+        shard.thread_instrs = sh.thread_instrs;
+        shard.warp_instrs = sh.warp_instrs;
+        shard.ctas = sh.ctas;
+        shard.cycles = execs[sm]->cycleTotal();
+        shard.decode_cache_hits = sh.decode_cache_hits;
+        shard.decode_cache_misses = sh.decode_cache_misses;
+        shard.cycles_by_reason = execs[sm]->cyclesByReason();
+        // Idle padding: the gap between this SM and the critical one,
+        // so every shard's breakdown sums to the launch cycle scalar.
+        shard.cycles_by_reason[static_cast<size_t>(
+            obs::StallReason::Idle)] += stats.cycles - shard.cycles;
+        rec.sms.push_back(std::move(shard));
     }
     mr.recordLaunch(std::move(rec));
     mr.add("sim.launches", 1);
@@ -252,6 +291,27 @@ GpuDevice::publishLaunch(
            obs::Stability::Volatile);
     mr.add("sim.decode_cache_misses", stats.decode_cache_misses,
            obs::Stability::Volatile);
+
+    // Fixed bounds keep the bucket layout engine-invariant.
+    mr.defineHistogram("sim.launch_cycles",
+                       {1000, 10000, 100000, 1000000, 10000000,
+                        100000000});
+    mr.observe("sim.launch_cycles", stats.cycles);
+
+    if (cfg_.pc_sample_period != 0) {
+        // Concatenate the per-SM sample streams in ascending SM id —
+        // each stream is deterministic, so the whole launch stream is.
+        std::vector<obs::PcSample> samples;
+        for (const auto &ex : execs) {
+            const auto &s = ex->samples();
+            samples.insert(samples.end(), s.begin(), s.end());
+        }
+        mr.add("sim.pc_samples", samples.size());
+        mr.defineHistogram("profile.samples_per_launch",
+                           {10, 100, 1000, 10000, 100000});
+        mr.observe("profile.samples_per_launch", samples.size());
+        obs::Profiler::instance().addLaunchSamples(samples);
+    }
 }
 
 } // namespace nvbit::sim

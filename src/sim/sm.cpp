@@ -1,6 +1,7 @@
 #include "sim/sm.hpp"
 
 #include <bit>
+#include <iterator>
 
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
@@ -12,7 +13,9 @@ SmExecutor::SmExecutor(unsigned sm, const GpuConfig &cfg,
                        CodeCache *code_cache)
     : sm_(sm), cfg_(cfg), mem_(mem), caches_(caches),
       code_cache_(code_cache), ib_(isa::instrBytes(cfg.family)),
-      ib_shift_(std::countr_zero(ib_))
+      ib_shift_(std::countr_zero(ib_)),
+      sample_period_(cfg.pc_sample_period),
+      next_sample_(cfg.pc_sample_period)
 {}
 
 const isa::Instruction *
@@ -79,7 +82,12 @@ SmExecutor::accountGlobalAccess(const std::set<uint64_t> &lines)
         return;
     ++shard_.global_mem_warp_instrs;
     shard_.unique_lines_sum += lines.size();
-    cta_cycles_ += lines.size() - 1; // extra issue slots for divergence
+    if (lines.size() > 1) {
+        // Extra issue slots for divergence: memory-dependency stalls
+        // attributed to the issuing access.
+        chargeCycles(lines.size() - 1, obs::StallReason::MemDependency,
+                     cur_pc_, cur_warp_);
+    }
     for (uint64_t line : lines) {
         if (caches_.accessL1(sm_, line)) {
             ++shard_.l1_hits;
@@ -87,7 +95,7 @@ SmExecutor::accountGlobalAccess(const std::set<uint64_t> &lines)
             ++shard_.l1_misses;
             // L2 outcome and penalty are resolved in the post-join
             // replay so the shared L2 sees accesses in grid order.
-            cur_l2_log_.push_back(line);
+            cur_l2_log_.push_back({line, cur_pc_, cur_warp_});
         }
     }
 }
@@ -99,6 +107,95 @@ SmExecutor::atomicFence()
         gate_->waitForPriorCtas(cur_cta_->cta_index);
 }
 
+void
+SmExecutor::recordSample(uint64_t cycle, obs::StallReason r, uint64_t pc,
+                         unsigned w)
+{
+    // The charged warp's record, with the return stack of its lowest
+    // live lane (for flamegraph call-path folding).
+    obs::PcSample s;
+    s.cycle = cycle;
+    s.pc = pc;
+    s.sm = sm_;
+    s.warp = w;
+    s.cta_index = cur_cta_ ? cur_cta_->cta_index : 0;
+    s.reason = r;
+    if (cur_sched_ != nullptr) {
+        const ThreadCtx *warp = cur_sched_->warp(w);
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            if (warp[l].state != ThreadCtx::St::Exited) {
+                s.ret_stack.assign(warp[l].ret_stack,
+                                   warp[l].ret_stack + warp[l].ret_depth);
+                break;
+            }
+        }
+    }
+    cta_samples_.push_back(std::move(s));
+
+    // Sibling records: what every *other* resident warp was doing on
+    // this cycle, CUPTI-style (ready-but-not-issued vs barrier-parked).
+    if (cur_sched_ == nullptr)
+        return;
+    for (unsigned w2 = 0; w2 < cur_sched_->numWarps(); ++w2) {
+        if (w2 == w)
+            continue;
+        WarpScheduler::IssueSlot slot;
+        obs::PcSample sib;
+        switch (cur_sched_->pick(w2, slot)) {
+          case WarpScheduler::Pick::AllExited:
+            continue;
+          case WarpScheduler::Pick::Issue:
+            sib.reason = obs::StallReason::NotSelected;
+            sib.pc = slot.pc;
+            break;
+          case WarpScheduler::Pick::Blocked:
+            sib.reason = obs::StallReason::BarrierSync;
+            sib.pc = slot.pc >= ib_ ? slot.pc - ib_ : 0;
+            break;
+        }
+        sib.cycle = cycle;
+        sib.sm = sm_;
+        sib.warp = w2;
+        sib.cta_index = cur_cta_ ? cur_cta_->cta_index : 0;
+        cta_samples_.push_back(std::move(sib));
+    }
+}
+
+void
+SmExecutor::sampleTick(obs::StallReason r, uint64_t pc, unsigned w)
+{
+    const uint64_t now = cycle_total_ + cta_cycles_;
+    while (next_sample_ <= now) {
+        recordSample(next_sample_, r, pc, w);
+        next_sample_ += sample_period_;
+    }
+}
+
+void
+SmExecutor::addReplayCycles(uint64_t c, uint64_t pc, uint32_t warp,
+                            uint64_t cta_index)
+{
+    cycle_total_ += c;
+    by_reason_[static_cast<size_t>(obs::StallReason::MemDependency)] += c;
+    if (sample_period_ == 0)
+        return;
+    // Replay runs after the launch joined: cta_cycles_ still holds the
+    // last committed CTA's value, so the crossing basis is the
+    // committed total only.  No scheduler is alive — emit the charged
+    // record alone (empty stack), straight into the committed stream.
+    while (next_sample_ <= cycle_total_) {
+        obs::PcSample s;
+        s.cycle = next_sample_;
+        s.pc = pc;
+        s.sm = sm_;
+        s.warp = warp;
+        s.cta_index = cta_index;
+        s.reason = obs::StallReason::MemDependency;
+        samples_.push_back(std::move(s));
+        next_sample_ += sample_period_;
+    }
+}
+
 SmExecutor::StepResult
 SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
 {
@@ -107,6 +204,10 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
       case WarpScheduler::Pick::AllExited:
         return StepResult::AllExited;
       case WarpScheduler::Pick::Blocked:
+        // One barrier-wait cycle, attributed to the BAR the earliest
+        // parked thread sits behind (slot.pc is post-advance).
+        chargeCycles(1, obs::StallReason::BarrierSync,
+                     slot.pc >= ib_ ? slot.pc - ib_ : 0, w);
         return StepResult::Blocked;
       case WarpScheduler::Pick::Issue:
         break;
@@ -132,8 +233,14 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
         // All active threads advance; control flow overrides below.
         sched.advance(w, active_mask, next_pc);
 
+        // Read-after-write on the previous instruction's destination
+        // costs one dependency bubble before this issue slot.
+        const uint8_t last_dst = sched.lastDst(w);
+        if (last_dst != isa::kRegZ && in->readsGpr(last_dst))
+            chargeCycles(1, obs::StallReason::ExecDependency, minpc, w);
+
         ++shard_.warp_instrs;
-        ++cta_cycles_;
+        chargeCycles(1, obs::StallReason::None, minpc, w);
         shard_.thread_instrs += std::popcount(exec_mask);
         shard_.warp_instrs_by_op[static_cast<size_t>(in->op)] += 1;
         shard_.thread_instrs_by_op[static_cast<size_t>(in->op)] +=
@@ -155,7 +262,17 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
                 minpc);
         }
 
+        // Attribution context for MemModel callbacks fired inside
+        // execute (divergence / miss logging).
+        cur_pc_ = minpc;
+        cur_warp_ = w;
+
         interp.execute(*in, warp, active_mask, exec_mask, minpc, next_pc);
+
+        // Control flow costs one resolution bubble after executing.
+        if (in->isControlFlow())
+            chargeCycles(1, obs::StallReason::BranchResolve, minpc, w);
+        sched.setLastDst(w, in->writesGpr() ? in->rd : isa::kRegZ);
     } catch (DeviceException &e) {
         // First annotation layer: which warp faulted, which lanes
         // were on, and the return stack of the lowest faulting lane
@@ -188,6 +305,10 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
         static_cast<size_t>(sched.numThreads()) * lp.local_bytes, 0);
     shared_.assign(lp.shared_bytes, 0);
     cta_cycles_ = 0;
+    cta_by_reason_ = {};
+    cta_samples_.clear();
+    saved_next_sample_ = next_sample_;
+    cur_sched_ = &sched;
     cur_l2_log_.clear();
     cur_cta_ = &w;
     gate_ = &gate;
@@ -256,19 +377,37 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
             e.cta_index = w.cta_index;
             e.sm_id = sm_;
         }
+        // Trapped CTAs contribute no cycles (cta_cycles_ is not folded
+        // into cycle_total_); discard their samples and rewind the
+        // sampling counter so breakdown and stream stay consistent.
+        cta_samples_.clear();
+        next_sample_ = saved_next_sample_;
+        cur_sched_ = nullptr;
         cur_cta_ = nullptr;
         gate_ = nullptr;
         throw;
     } catch (...) {
+        cta_samples_.clear();
+        next_sample_ = saved_next_sample_;
+        cur_sched_ = nullptr;
         cur_cta_ = nullptr;
         gate_ = nullptr;
         throw;
     }
 
     cycle_total_ += cta_cycles_;
+    for (size_t i = 0; i < by_reason_.size(); ++i)
+        by_reason_[i] += cta_by_reason_[i];
+    if (!cta_samples_.empty()) {
+        samples_.insert(samples_.end(),
+                        std::make_move_iterator(cta_samples_.begin()),
+                        std::make_move_iterator(cta_samples_.end()));
+        cta_samples_.clear();
+    }
     ++shard_.ctas;
     l2_logs_.emplace_back(w.cta_index, std::move(cur_l2_log_));
     cur_l2_log_ = {};
+    cur_sched_ = nullptr;
     cur_cta_ = nullptr;
     gate_ = nullptr;
 }

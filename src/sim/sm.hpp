@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "mem/device_memory.hpp"
+#include "obs/profile.hpp"
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
 #include "sim/interpreter.hpp"
@@ -47,6 +48,17 @@ namespace nvbit::sim {
 struct CtaWork {
     uint64_t cta_index = 0; ///< flat grid index (x fastest)
     uint32_t ctaid[3] = {0, 0, 0};
+};
+
+/**
+ * One L1-miss line deferred to the post-join L2 replay, plus the
+ * (pc, warp) that issued it so replay penalty cycles can be attributed
+ * and PC-sampled like execution cycles.
+ */
+struct L2LogLine {
+    uint64_t line = 0;
+    uint64_t pc = 0;
+    uint32_t warp = 0;
 };
 
 /**
@@ -132,11 +144,30 @@ class SmExecutor : public MemModel
 
     /** Issue + stall cycles accumulated by this SM. */
     uint64_t cycleTotal() const { return cycle_total_; }
-    /** Charge post-join L2-replay penalty cycles to this SM. */
-    void addCycles(uint64_t c) { cycle_total_ += c; }
+
+    /**
+     * Charge post-join L2-replay penalty cycles to this SM as
+     * MemDependency stalls, attributed to the access that logged the
+     * line; emits PC samples against the committed cycle counter when
+     * sampling is on.  Called by the orchestrator in grid order, so
+     * the per-SM sample stream stays engine-invariant.
+     */
+    void addReplayCycles(uint64_t c, uint64_t pc, uint32_t warp,
+                         uint64_t cta_index);
+
+    /** Per-StallReason breakdown; sums exactly to cycleTotal(). */
+    const std::array<uint64_t, obs::kNumStallReasons> &
+    cyclesByReason() const
+    {
+        return by_reason_;
+    }
+
+    /** PC samples emitted so far (committed CTAs + replay), in cycle
+     *  order; empty when sampling is disabled. */
+    const std::vector<obs::PcSample> &samples() const { return samples_; }
 
     /** Per-CTA L1-miss lines, in this SM's execution order. */
-    const std::vector<std::pair<uint64_t, std::vector<uint64_t>>> &
+    const std::vector<std::pair<uint64_t, std::vector<L2LogLine>>> &
     l2Logs() const
     {
         return l2_logs_;
@@ -157,6 +188,31 @@ class SmExecutor : public MemModel
     const isa::Instruction *byteDecode(uint64_t pc,
                                        isa::Instruction &scratch);
 
+    /**
+     * Charge @p n cycles of kind @p r to the running CTA.  This is the
+     * only way cta_cycles_ grows, which is what keeps the per-reason
+     * breakdown summing exactly to the cycle scalar.  With sampling
+     * off the extra cost is one member load and a not-taken branch
+     * (the documented disabled-cost contract; see micro_core).
+     */
+    void
+    chargeCycles(uint64_t n, obs::StallReason r, uint64_t pc, unsigned w)
+    {
+        cta_cycles_ += n;
+        cta_by_reason_[static_cast<size_t>(r)] += n;
+        if (sample_period_ != 0)
+            sampleTick(r, pc, w);
+    }
+
+    /** Emit samples for every period crossing up to the current cycle
+     *  (out of line: keeps the disabled hot path small). */
+    void sampleTick(obs::StallReason r, uint64_t pc, unsigned w);
+
+    /** One crossing: record the charged warp plus sibling records for
+     *  every other resident warp (not_selected / barrier_sync). */
+    void recordSample(uint64_t cycle, obs::StallReason r, uint64_t pc,
+                      unsigned w);
+
     unsigned sm_;
     const GpuConfig &cfg_;
     mem::DeviceMemory &mem_;
@@ -169,6 +225,26 @@ class SmExecutor : public MemModel
     uint64_t cycle_total_ = 0;
     /** Cycle counter of the block currently running (read by %clock). */
     uint64_t cta_cycles_ = 0;
+    /** Committed per-reason cycles; sums to cycle_total_. */
+    std::array<uint64_t, obs::kNumStallReasons> by_reason_{};
+    /** Running CTA's per-reason cycles; folded in on CTA completion,
+     *  discarded on a trap (mirrors cta_cycles_ handling). */
+    std::array<uint64_t, obs::kNumStallReasons> cta_by_reason_{};
+
+    /** Sampling state (0 period = off). */
+    uint64_t sample_period_ = 0;
+    uint64_t next_sample_ = 0;
+    /** next_sample_ at runCta entry, restored when the CTA traps. */
+    uint64_t saved_next_sample_ = 0;
+    std::vector<obs::PcSample> samples_;     ///< committed
+    std::vector<obs::PcSample> cta_samples_; ///< running CTA
+    /** Scheduler of the running CTA (sibling-warp records). */
+    const WarpScheduler *cur_sched_ = nullptr;
+
+    /** (pc, warp) of the instruction currently in interp.execute,
+     *  for attribution from MemModel callbacks. */
+    uint64_t cur_pc_ = 0;
+    uint32_t cur_warp_ = 0;
 
     /** Fast path: the page the last fetch came from. */
     const PredecodedImage *cached_page_ = nullptr;
@@ -176,8 +252,8 @@ class SmExecutor : public MemModel
     /** Current CTA context (valid while runCta is on the stack). */
     const CtaWork *cur_cta_ = nullptr;
     AtomicGate *gate_ = nullptr;
-    std::vector<uint64_t> cur_l2_log_;
-    std::vector<std::pair<uint64_t, std::vector<uint64_t>>> l2_logs_;
+    std::vector<L2LogLine> cur_l2_log_;
+    std::vector<std::pair<uint64_t, std::vector<L2LogLine>>> l2_logs_;
 
     /** Reused per-CTA backing stores. */
     std::vector<uint8_t> local_;

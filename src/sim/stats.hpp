@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "isa/opcodes.hpp"
+#include "obs/profile.hpp" // StallReason / kNumStallReasons
 
 namespace nvbit::sim {
 
@@ -23,6 +24,14 @@ struct LaunchStats {
     uint64_t warp_instrs = 0;
     /** Estimated device cycles (max over SMs of per-SM issue+stall). */
     uint64_t cycles = 0;
+
+    /**
+     * Per-StallReason breakdown of `cycles`, indexed by
+     * `obs::StallReason`.  For a single launch this is the critical
+     * (slowest) SM's breakdown, so the buckets sum exactly to `cycles`;
+     * after merge() the invariant becomes sum(buckets) == sum(cycles).
+     */
+    std::array<uint64_t, obs::kNumStallReasons> cycles_by_reason{};
 
     /** Warp-level instructions per opcode. */
     std::array<uint64_t, static_cast<size_t>(isa::Opcode::NumOpcodes)>
@@ -59,6 +68,8 @@ struct LaunchStats {
         thread_instrs += o.thread_instrs;
         warp_instrs += o.warp_instrs;
         cycles += o.cycles;
+        for (size_t i = 0; i < cycles_by_reason.size(); ++i)
+            cycles_by_reason[i] += o.cycles_by_reason[i];
         for (size_t i = 0; i < warp_instrs_by_op.size(); ++i) {
             warp_instrs_by_op[i] += o.warp_instrs_by_op[i];
             thread_instrs_by_op[i] += o.thread_instrs_by_op[i];

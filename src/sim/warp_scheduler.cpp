@@ -14,6 +14,7 @@ WarpScheduler::WarpScheduler(const LaunchParams &lp)
                  "invalid block size %u", nthreads_);
     nwarps_ = (nthreads_ + kWarpSize - 1) / kWarpSize;
     threads_.resize(nwarps_ * kWarpSize);
+    last_dst_.assign(nwarps_, isa::kRegZ);
 
     for (uint32_t z = 0, i = 0; z < lp.block[2]; ++z) {
         for (uint32_t y = 0; y < lp.block[1]; ++y) {
@@ -41,6 +42,7 @@ WarpScheduler::pick(unsigned w, IssueSlot &slot) const
     const ThreadCtx *warp = &threads_[w * kWarpSize];
 
     uint64_t minpc = std::numeric_limits<uint64_t>::max();
+    uint64_t min_parked = std::numeric_limits<uint64_t>::max();
     bool any_not_exited = false;
     for (unsigned l = 0; l < kWarpSize; ++l) {
         const ThreadCtx &t = warp[l];
@@ -49,11 +51,18 @@ WarpScheduler::pick(unsigned w, IssueSlot &slot) const
         any_not_exited = true;
         if (t.state == ThreadCtx::St::Ready)
             minpc = std::min(minpc, t.pc);
+        else
+            min_parked = std::min(min_parked, t.pc);
     }
     if (!any_not_exited)
         return Pick::AllExited;
-    if (minpc == std::numeric_limits<uint64_t>::max())
-        return Pick::Blocked; // all live threads at barrier
+    if (minpc == std::numeric_limits<uint64_t>::max()) {
+        // All live threads at barrier; report where they are parked
+        // (post-advance pc of the earliest one) for stall attribution.
+        slot.pc = min_parked;
+        slot.active_mask = 0;
+        return Pick::Blocked;
+    }
 
     // Active set: live threads converged at min PC.
     uint32_t active_mask = 0;

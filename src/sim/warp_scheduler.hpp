@@ -113,13 +113,27 @@ class WarpScheduler
     uint32_t numThreads() const { return nthreads_; }
 
     ThreadCtx *warp(unsigned w) { return &threads_[w * kWarpSize]; }
+    const ThreadCtx *warp(unsigned w) const
+    {
+        return &threads_[w * kWarpSize];
+    }
 
     /**
      * Min-PC selection: the issue PC is the smallest PC among the
      * warp's Ready threads; the active set is every Ready thread
-     * converged at that PC.
+     * converged at that PC.  On Blocked the slot still reports where
+     * the warp is parked (smallest post-advance barrier PC, empty
+     * active mask) so stall attribution can point at the barrier.
      */
     Pick pick(unsigned w, IssueSlot &slot) const;
+
+    /**
+     * Destination GPR of the last instruction the warp issued
+     * (isa::kRegZ when none, or when it wrote no GPR).  Maintained by
+     * the SM layer to flag read-after-write dependency stalls.
+     */
+    uint8_t lastDst(unsigned w) const { return last_dst_[w]; }
+    void setLastDst(unsigned w, uint8_t r) { last_dst_[w] = r; }
 
     /** Advance all active threads to @p next_pc (control flow in the
      *  interpreter then overrides the divergent ones). */
@@ -156,6 +170,7 @@ class WarpScheduler
     uint32_t nthreads_ = 0;
     unsigned nwarps_ = 0;
     std::vector<ThreadCtx> threads_;
+    std::vector<uint8_t> last_dst_; // per warp; kRegZ = none
 };
 
 } // namespace nvbit::sim

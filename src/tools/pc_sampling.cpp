@@ -1,0 +1,77 @@
+#include "tools/pc_sampling.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "obs/profile.hpp"
+
+namespace nvbit::tools {
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("pc_sampling: cannot write %s", path.c_str());
+        return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+uint64_t
+PcSamplingTool::totalSamples() const
+{
+    return obs::Profiler::instance().totalSamples();
+}
+
+std::string
+PcSamplingTool::report() const
+{
+    return obs::Profiler::instance().report(opts_.top_n);
+}
+
+void
+PcSamplingTool::nvbit_at_init()
+{
+    // Before cuInit: the GpuDevice picks this up at construction
+    // unless NVBIT_SIM_PC_SAMPLING or an explicit config period wins.
+    obs::Profiler::instance().requestPeriod(opts_.period);
+}
+
+void
+PcSamplingTool::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    if (opts_.output_prefix.empty())
+        return;
+    obs::Profiler &prof = obs::Profiler::instance();
+    bool ok = writeFile(opts_.output_prefix + ".txt",
+                        prof.report(opts_.top_n));
+    ok &= writeFile(opts_.output_prefix + ".folded",
+                    prof.collapsedStacks());
+    ok &= writeFile(opts_.output_prefix + ".json", prof.toJson());
+    if (ok)
+        ++finalize_writes_;
+}
+
+void
+PcSamplingTool::nvbit_at_ctx_term(cudrv::CUcontext)
+{
+    finalize();
+}
+
+void
+PcSamplingTool::nvbit_at_term()
+{
+    finalize();
+}
+
+} // namespace nvbit::tools

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * PC-sampling profiler tool (CUPTI-pcsampling-style).
+ *
+ * A passive tool: it injects no instrumentation.  Instead it asks the
+ * simulator (through obs::Profiler::requestPeriod, before the device
+ * is created) to emit deterministic PC samples with stall attribution,
+ * and at teardown renders the aggregated hotspots three ways:
+ *
+ *   <prefix>.txt    nvprof-style top-N report
+ *   <prefix>.folded Brendan-Gregg collapsed stacks (flamegraph.pl)
+ *   <prefix>.json   machine-readable hotspot/stall document
+ *
+ * Teardown is idempotent: `nvbit_at_ctx_term` (explicit cuCtxDestroy)
+ * and `nvbit_at_term` (end of runApp) both finalize, but the files are
+ * written exactly once.
+ */
+#ifndef NVBIT_TOOLS_PC_SAMPLING_HPP
+#define NVBIT_TOOLS_PC_SAMPLING_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/nvbit.hpp"
+
+namespace nvbit::tools {
+
+class PcSamplingTool : public NvbitTool
+{
+  public:
+    struct Options {
+        /** Sampling period in SM cycles (NVBIT_SIM_PC_SAMPLING and an
+         *  explicit GpuConfig.pc_sample_period both override this). */
+        uint64_t period = 1000;
+        /** When non-empty, report files are written at teardown. */
+        std::string output_prefix;
+        /** Rows in the text report. */
+        size_t top_n = 20;
+    };
+
+    PcSamplingTool() = default;
+    explicit PcSamplingTool(Options opts) : opts_(std::move(opts)) {}
+
+    /** Samples aggregated by the profiler so far. */
+    uint64_t totalSamples() const;
+
+    /** The nvprof-style text report (also written to <prefix>.txt). */
+    std::string report() const;
+
+    /** How many times finalize actually wrote files (tests assert 1). */
+    unsigned finalizeWrites() const { return finalize_writes_; }
+
+    void nvbit_at_init() override;
+    void nvbit_at_ctx_term(cudrv::CUcontext ctx) override;
+    void nvbit_at_term() override;
+
+  private:
+    /** Write the three report files once; later calls are no-ops. */
+    void finalize();
+
+    Options opts_;
+    bool finalized_ = false;
+    unsigned finalize_writes_ = 0;
+};
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_PC_SAMPLING_HPP
