@@ -21,7 +21,7 @@ using namespace nvbit::cudrv;
 int
 main()
 {
-    std::printf("Figure 6: avg unique cache lines per warp-level "
+    std::printf("Figure 6: avg unique 32B sectors per warp-level "
                 "global memory instruction\n");
     std::printf("%-12s %12s %12s %10s %16s\n", "workload", "libs incl.",
                 "libs excl.", "overest.", "instrs in libs");

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hardware-counter collection overhead: host-side wall-clock cost of
+ * running every workload with all event groups enabled vs with none.
+ *
+ * The load-bearing invariant this bench asserts (exit status!) is
+ * *passivity*: the free-running counters never touch the cycle model,
+ * so enabling every event group must change the simulated cycle count
+ * by exactly zero (`cycles_delta` column, summed into the exit code).
+ * The wall-clock ratio is informational — collection is a handful of
+ * array adds per launch, so it should sit at ~1.0x.
+ *
+ * `--smoke` switches to the test problem size; CI uses it as a fast
+ * end-to-end check (wall-clock ratios are noise at that size).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/nvbit.hpp"
+#include "driver/api.hpp"
+#include "driver/event_groups.hpp"
+#include "driver/internal.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace nvbit;
+using namespace nvbit::cudrv;
+
+namespace {
+
+struct RunResult {
+    uint64_t cycles = 0;
+    uint64_t inst_executed = 0;
+    double wall_ms = 0.0;
+};
+
+RunResult
+runOnce(const std::string &name, workloads::ProblemSize size,
+        bool collect)
+{
+    RunResult res;
+    NvbitTool passive;
+    auto t0 = std::chrono::steady_clock::now();
+    runApp(passive, [&] {
+        checkCu(cuInit(0), "cuInit");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUeventGroup grp = nullptr;
+        if (collect) {
+            checkCu(cuEventGroupCreate(ctx, &grp), "group create");
+            checkCu(cuEventGroupAddAllEvents(grp), "group select");
+            checkCu(cuEventGroupEnable(grp), "group enable");
+        }
+        auto wl = workloads::makeSpecWorkload(name);
+        wl->run(size);
+        res.cycles = deviceTotalStats().cycles;
+        if (collect)
+            checkCu(cuEventGroupReadEvent(grp, "inst_executed",
+                                          &res.inst_executed),
+                    "group read");
+    });
+    auto t1 = std::chrono::steady_clock::now();
+    res.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Large;
+
+    std::printf("Hardware-counter collection overhead (all event "
+                "groups enabled, host wall-clock)\n");
+    std::printf("%-10s %10s %10s %9s %14s %12s\n", "workload",
+                "off_ms", "on_ms", "overhead", "inst_executed",
+                "cycles_delta");
+
+    double ratio_sum = 0.0;
+    size_t n = 0;
+    uint64_t delta_sum = 0;
+    std::vector<bench::JsonRow> rows;
+    for (const std::string &name : workloads::specSuiteNames()) {
+        RunResult off = runOnce(name, size, false);
+        RunResult on = runOnce(name, size, true);
+
+        double ratio = on.wall_ms / off.wall_ms;
+        uint64_t delta = on.cycles > off.cycles
+                             ? on.cycles - off.cycles
+                             : off.cycles - on.cycles;
+        std::printf("%-10s %9.2f %9.2f %8.3fx %14llu %12llu\n",
+                    name.c_str(), off.wall_ms, on.wall_ms, ratio,
+                    static_cast<unsigned long long>(on.inst_executed),
+                    static_cast<unsigned long long>(delta));
+        rows.push_back(
+            {{"workload", bench::jStr(name)},
+             {"off_ms", bench::jNum(off.wall_ms)},
+             {"on_ms", bench::jNum(on.wall_ms)},
+             {"overhead", bench::jNum(ratio)},
+             {"inst_executed", bench::jNum(on.inst_executed)},
+             {"cycles_delta", bench::jNum(delta)}});
+        ratio_sum += ratio;
+        delta_sum += delta;
+        ++n;
+    }
+    std::printf("%-10s %31.3fx\n", "mean",
+                ratio_sum / static_cast<double>(n));
+    if (delta_sum != 0)
+        std::printf("WARNING: counter collection changed simulated "
+                    "cycles (delta_sum %llu) — it must be passive\n",
+                    static_cast<unsigned long long>(delta_sum));
+    bench::writeBenchJson(
+        "fig_counter_overhead", "workloads", rows,
+        {{"mean_overhead",
+          bench::jNum(ratio_sum / static_cast<double>(n))},
+         {"cycles_delta_sum", bench::jNum(delta_sum)},
+         {"problem_size", bench::jStr(smoke ? "test" : "large")}});
+    return delta_sum == 0 ? 0 : 1;
+}

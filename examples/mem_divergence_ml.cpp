@@ -22,7 +22,7 @@ using namespace nvbit::cudrv;
 int
 main()
 {
-    std::printf("Average cache lines requested per warp-level global "
+    std::printf("Average 32B sectors requested per warp-level global "
                 "memory instruction\n");
     std::printf("%-12s %14s %14s %18s\n", "workload", "libs on",
                 "libs off", "instrs in libs %");

@@ -6,9 +6,10 @@
  *
  * Usage:
  *   nvbit_run [--tool none|icount|icount-bb|mdiv|ohist|ohist-sample|
- *              bbv|pcsamp]
+ *              bbv|pcsamp|kprof]
  *             [--size test|medium|large] [--bbv-out PREFIX]
- *             [--pcsamp-period N] [--pcsamp-out PREFIX] [--list]
+ *             [--pcsamp-period N] [--pcsamp-out PREFIX]
+ *             [--kprof-out PREFIX] [--kprof-diff icount|mdiv] [--list]
  *             WORKLOAD
  */
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include "driver/internal.hpp"
 #include "tools/bbv_profiler.hpp"
 #include "tools/instr_count.hpp"
+#include "tools/kernel_profiler.hpp"
 #include "tools/mem_divergence.hpp"
 #include "tools/opcode_histogram.hpp"
 #include "tools/pc_sampling.hpp"
@@ -68,6 +70,8 @@ main(int argc, char **argv)
     std::string size_name = "medium";
     std::string bbv_out = "bbv_profile";
     std::string pcsamp_out = "pcsamp_profile";
+    std::string kprof_out = "kernel_profile";
+    std::string kprof_diff; // empty = off; "icount" or "mdiv"
     uint64_t pcsamp_period = 1000;
     std::string wl_name;
 
@@ -85,13 +89,19 @@ main(int argc, char **argv)
             pcsamp_out = argv[++i];
         } else if (arg == "--pcsamp-period" && i + 1 < argc) {
             pcsamp_period = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--kprof-out" && i + 1 < argc) {
+            kprof_out = argv[++i];
+        } else if (arg == "--kprof-diff" && i + 1 < argc) {
+            kprof_diff = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: nvbit_run [--tool none|icount|"
                          "icount-bb|mdiv|ohist|ohist-sample|bbv|"
-                         "pcsamp] [--size test|medium|large] "
+                         "pcsamp|kprof] [--size test|medium|large] "
                          "[--bbv-out PREFIX] [--pcsamp-period N] "
-                         "[--pcsamp-out PREFIX] [--list] WORKLOAD\n");
+                         "[--pcsamp-out PREFIX] [--kprof-out PREFIX] "
+                         "[--kprof-diff icount|mdiv] [--list] "
+                         "WORKLOAD\n");
             return 2;
         } else {
             wl_name = arg;
@@ -109,12 +119,46 @@ main(int argc, char **argv)
     else if (size_name == "large")
         size = workloads::ProblemSize::Large;
 
+    if (!kprof_diff.empty()) {
+        tools::DifferentialMode mode;
+        if (kprof_diff == "icount") {
+            mode = tools::DifferentialMode::InstrCount;
+        } else if (kprof_diff == "mdiv") {
+            mode = tools::DifferentialMode::MemDivergence;
+        } else {
+            std::fprintf(stderr, "unknown --kprof-diff mode '%s' "
+                                 "(icount|mdiv)\n",
+                         kprof_diff.c_str());
+            return 2;
+        }
+        tools::DifferentialResult res =
+            tools::runKprofDifferential(mode, [&] {
+                checkCu(cuInit(0), "cuInit");
+                CUcontext ctx;
+                checkCu(cuCtxCreate(&ctx, 0, 0), "cuCtxCreate");
+                makeWorkload(wl_name)->run(size);
+            });
+        std::printf("kprof differential (%s) on %s (%s):\n",
+                    kprof_diff.c_str(), wl_name.c_str(),
+                    size_name.c_str());
+        for (const auto &r : res.rows)
+            std::printf("  %-58s tool=%llu counters=%llu  %s\n",
+                        r.quantity.c_str(),
+                        static_cast<unsigned long long>(r.tool_value),
+                        static_cast<unsigned long long>(r.counter_value),
+                        r.match ? "MATCH" : "MISMATCH");
+        std::printf("kprof differential: %s\n",
+                    res.all_match ? "PASS" : "FAIL");
+        return res.all_match ? 0 : 1;
+    }
+
     std::unique_ptr<NvbitTool> tool;
     tools::InstrCountTool *icount = nullptr;
     tools::MemDivergenceTool *mdiv = nullptr;
     tools::OpcodeHistogramTool *ohist = nullptr;
     tools::BbvProfiler *bbv = nullptr;
     tools::PcSamplingTool *pcsamp = nullptr;
+    tools::KernelProfilerTool *kprof = nullptr;
     if (tool_name == "none") {
         tool = std::make_unique<NvbitTool>();
     } else if (tool_name == "icount") {
@@ -150,6 +194,12 @@ main(int argc, char **argv)
         auto t = std::make_unique<tools::PcSamplingTool>(opts);
         pcsamp = t.get();
         tool = std::move(t);
+    } else if (tool_name == "kprof") {
+        tools::KernelProfilerTool::Options opts;
+        opts.output_prefix = kprof_out;
+        auto t = std::make_unique<tools::KernelProfilerTool>(opts);
+        kprof = t.get();
+        tool = std::move(t);
     } else {
         std::fprintf(stderr, "unknown tool '%s'\n", tool_name.c_str());
         return 2;
@@ -178,7 +228,7 @@ main(int argc, char **argv)
                             icount->warpInstrs()));
         }
         if (mdiv) {
-            std::printf("mdiv: %.3f avg cache lines per warp-level "
+            std::printf("mdiv: %.3f avg 32B sectors per warp-level "
                         "global memory instruction (%llu accesses)\n",
                         mdiv->divergence(),
                         static_cast<unsigned long long>(
@@ -200,6 +250,12 @@ main(int argc, char **argv)
                         "%s.bb / %s.bbmap\n",
                         bbv->blocks().size(), bbv->intervals().size(),
                         bbv_out.c_str(), bbv_out.c_str());
+        }
+        if (kprof) {
+            std::printf("%s", kprof->report().c_str());
+            std::printf("kprof: %zu kernels -> %s.txt / %s.json\n",
+                        kprof->kernels().size(), kprof_out.c_str(),
+                        kprof_out.c_str());
         }
         if (pcsamp) {
             std::printf("%s", pcsamp->report().c_str());

@@ -33,9 +33,10 @@ echo "==> bench smoke: micro_core (one filter) + figure --smoke runs"
 ./build/bench/fig8_sampling_slowdown --smoke
 ./build/bench/fig9_sampling_error --smoke
 ./build/bench/fig_pcsamp_overhead --smoke
+./build/bench/fig_counter_overhead --smoke
 for artifact in BENCH_micro_core.json BENCH_fig7_instr_histogram.json \
     BENCH_fig8_sampling_slowdown.json BENCH_fig9_sampling_error.json \
-    BENCH_fig_pcsamp_overhead.json; do
+    BENCH_fig_pcsamp_overhead.json BENCH_fig_counter_overhead.json; do
     if [[ ! -s "$artifact" ]]; then
         echo "ci: missing bench artifact $artifact" >&2
         exit 1

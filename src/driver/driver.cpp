@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "driver/callback.hpp"
+#include "driver/event_groups.hpp"
 #include "isa/abi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -270,6 +271,9 @@ resetDriver()
 {
     DriverState &s = state();
     obs::Profiler::instance().setNameResolver(nullptr);
+    // Contexts die without cuCtxDestroy callbacks on this path, so the
+    // event-group registry needs an explicit teardown.
+    detail::resetEventGroups();
     s.contexts.clear();
     s.current = nullptr;
     s.gpu.reset();
@@ -326,6 +330,7 @@ cuCtxDestroy(CUcontext ctx)
         return scope.status() = CUDA_ERROR_INVALID_CONTEXT;
     if (s.current == ctx)
         s.current = nullptr;
+    detail::dropEventGroupsForContext(ctx);
     s.contexts.erase(it);
     return scope.status() = CUDA_SUCCESS;
 }
@@ -862,6 +867,7 @@ cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
         obs::MetricsRegistry &mr = obs::MetricsRegistry::instance();
         mr.labelLastLaunch(fn->name);
         mr.add("driver.launches", 1);
+        detail::accumulateEventGroups(s.current, st.events);
     } catch (const sim::DeviceException &e) {
         CUresult r = resultOfTrap(e.code);
         obs::MetricsRegistry::instance().add("driver.faults", 1);

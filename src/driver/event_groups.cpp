@@ -1,0 +1,219 @@
+#include "driver/event_groups.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "driver/internal.hpp"
+#include "obs/counters.hpp"
+
+namespace nvbit::cudrv {
+
+struct CUevtgrp_st {
+    CUcontext ctx = nullptr;
+    bool enabled = false;
+    std::array<bool, obs::kNumHwEvents> selected{};
+    obs::EventSet values;
+};
+
+namespace {
+
+struct GroupRegistry {
+    std::mutex mu;
+    std::vector<std::unique_ptr<CUevtgrp_st>> groups;
+};
+
+GroupRegistry &
+registry()
+{
+    static GroupRegistry *r = new GroupRegistry();
+    return *r;
+}
+
+/** Locate @p grp in the registry (mu held); end() when stale. */
+std::vector<std::unique_ptr<CUevtgrp_st>>::iterator
+findLocked(GroupRegistry &r, CUeventGroup grp)
+{
+    return std::find_if(r.groups.begin(), r.groups.end(),
+                        [&](const auto &g) { return g.get() == grp; });
+}
+
+bool
+validGroup(GroupRegistry &r, CUeventGroup grp)
+{
+    return grp != nullptr && findLocked(r, grp) != r.groups.end();
+}
+
+} // namespace
+
+CUresult
+cuEventGroupCreate(CUcontext ctx, CUeventGroup *out)
+{
+    if (out == nullptr)
+        return CUDA_ERROR_INVALID_VALUE;
+    if (ctx == nullptr)
+        return CUDA_ERROR_INVALID_CONTEXT;
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto g = std::make_unique<CUevtgrp_st>();
+    g->ctx = ctx;
+    *out = g.get();
+    r.groups.push_back(std::move(g));
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupDestroy(CUeventGroup grp)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto it = findLocked(r, grp);
+    if (grp == nullptr || it == r.groups.end())
+        return CUDA_ERROR_INVALID_VALUE;
+    r.groups.erase(it);
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupAddEvent(CUeventGroup grp, const char *event_name)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp) || event_name == nullptr)
+        return CUDA_ERROR_INVALID_VALUE;
+    const obs::EventDesc *d = obs::findEvent(event_name);
+    if (d == nullptr)
+        return CUDA_ERROR_NOT_FOUND;
+    grp->selected[static_cast<size_t>(d->id)] = true;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupAddAllEvents(CUeventGroup grp)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp))
+        return CUDA_ERROR_INVALID_VALUE;
+    grp->selected.fill(true);
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupEnable(CUeventGroup grp)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp))
+        return CUDA_ERROR_INVALID_VALUE;
+    grp->enabled = true;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupDisable(CUeventGroup grp)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp))
+        return CUDA_ERROR_INVALID_VALUE;
+    grp->enabled = false;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupReadEvent(CUeventGroup grp, const char *event_name,
+                      uint64_t *value)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp) || event_name == nullptr || value == nullptr)
+        return CUDA_ERROR_INVALID_VALUE;
+    const obs::EventDesc *d = obs::findEvent(event_name);
+    if (d == nullptr || !grp->selected[static_cast<size_t>(d->id)])
+        return CUDA_ERROR_NOT_FOUND;
+    *value = grp->values.get(d->id);
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupReadAllEvents(CUeventGroup grp, size_t *count,
+                          obs::HwEvent *ids, uint64_t *values)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp) || count == nullptr)
+        return CUDA_ERROR_INVALID_VALUE;
+    size_t selected = 0;
+    for (bool s : grp->selected)
+        selected += s ? 1 : 0;
+    if (ids == nullptr || values == nullptr) {
+        *count = selected;
+        return CUDA_SUCCESS;
+    }
+    if (*count < selected)
+        return CUDA_ERROR_INVALID_VALUE;
+    size_t n = 0;
+    for (size_t i = 0; i < obs::kNumHwEvents; ++i) {
+        if (!grp->selected[i])
+            continue;
+        ids[n] = static_cast<obs::HwEvent>(i);
+        values[n] = grp->values.counts[i];
+        ++n;
+    }
+    *count = n;
+    return CUDA_SUCCESS;
+}
+
+CUresult
+cuEventGroupResetAllEvents(CUeventGroup grp)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!validGroup(r, grp))
+        return CUDA_ERROR_INVALID_VALUE;
+    grp->values = obs::EventSet{};
+    return CUDA_SUCCESS;
+}
+
+namespace detail {
+
+void
+accumulateEventGroups(CUcontext ctx, const obs::EventSet &ev)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto &g : r.groups) {
+        if (g->ctx != ctx || !g->enabled)
+            continue;
+        for (size_t i = 0; i < obs::kNumHwEvents; ++i)
+            if (g->selected[i])
+                g->values.counts[i] += ev.counts[i];
+    }
+}
+
+void
+dropEventGroupsForContext(CUcontext ctx)
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.groups.erase(std::remove_if(r.groups.begin(), r.groups.end(),
+                                  [&](const auto &g) {
+                                      return g->ctx == ctx;
+                                  }),
+                   r.groups.end());
+}
+
+void
+resetEventGroups()
+{
+    GroupRegistry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.groups.clear();
+}
+
+} // namespace detail
+
+} // namespace nvbit::cudrv

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CUPTI-event-API-style hardware counter collection.
+ *
+ * An event group is a per-context selection of hardware events
+ * (obs/events.hpp) plus an accumulator.  While the group is enabled,
+ * every successful kernel launch on its context adds the launch's
+ * event values into the accumulator; reads are cumulative until
+ * cuEventGroupResetAllEvents.
+ *
+ * The underlying counters are free-running in the simulator — every
+ * launch counts everything, always, and never through the cycle
+ * model — so enabling any set of groups changes simulated results by
+ * exactly zero cycles.  Groups are purely a selection/accumulation
+ * layer, which is also why there is no conflict model: any number of
+ * groups can collect any events concurrently.
+ *
+ * Event and metric *descriptors* are enumerated through the obs layer
+ * (obs::eventDescriptors / obs::metricDescriptors); this API only
+ * manages collection.
+ */
+#ifndef NVBIT_DRIVER_EVENT_GROUPS_HPP
+#define NVBIT_DRIVER_EVENT_GROUPS_HPP
+
+#include <cstdint>
+
+#include "driver/api.hpp"
+#include "obs/events.hpp"
+
+namespace nvbit::cudrv {
+
+struct CUevtgrp_st;
+using CUeventGroup = CUevtgrp_st *;
+
+/**
+ * Create an empty, disabled event group bound to @p ctx.
+ * @return CUDA_ERROR_INVALID_CONTEXT for a null/unknown context,
+ * CUDA_ERROR_INVALID_VALUE for a null @p out.
+ */
+CUresult cuEventGroupCreate(CUcontext ctx, CUeventGroup *out);
+
+/** Destroy a group (its accumulated values are lost).
+ *  @return CUDA_ERROR_INVALID_VALUE for a null/unknown group. */
+CUresult cuEventGroupDestroy(CUeventGroup grp);
+
+/**
+ * Add one event, by CUPTI-style name, to the group's selection.
+ * Idempotent per event.  @return CUDA_ERROR_NOT_FOUND for an unknown
+ * event name.
+ */
+CUresult cuEventGroupAddEvent(CUeventGroup grp, const char *event_name);
+
+/** Select every defined event. */
+CUresult cuEventGroupAddAllEvents(CUeventGroup grp);
+
+/** Start accumulating on the group's context (idempotent). */
+CUresult cuEventGroupEnable(CUeventGroup grp);
+
+/** Stop accumulating; accumulated values are kept (idempotent). */
+CUresult cuEventGroupDisable(CUeventGroup grp);
+
+/**
+ * Read one accumulated event value by name.
+ * @return CUDA_ERROR_NOT_FOUND when the event is unknown *or* not in
+ * the group's selection.
+ */
+CUresult cuEventGroupReadEvent(CUeventGroup grp, const char *event_name,
+                               uint64_t *value);
+
+/**
+ * Read every selected event.  Call with null @p ids / @p values to
+ * query the selection size: @p count is set to the number of selected
+ * events.  Otherwise @p count supplies the capacity of both arrays on
+ * entry and receives the number of entries written; events arrive in
+ * obs::HwEvent order.  @return CUDA_ERROR_INVALID_VALUE when the
+ * capacity is too small.
+ */
+CUresult cuEventGroupReadAllEvents(CUeventGroup grp, size_t *count,
+                                   obs::HwEvent *ids, uint64_t *values);
+
+/** Zero the group's accumulated values (selection is kept). */
+CUresult cuEventGroupResetAllEvents(CUeventGroup grp);
+
+namespace detail {
+
+/** Driver hook: fold a successful launch's events into every enabled
+ *  group bound to @p ctx. */
+void accumulateEventGroups(CUcontext ctx, const obs::EventSet &ev);
+
+/** Driver hook: cuCtxDestroy destroys the context's groups. */
+void dropEventGroupsForContext(CUcontext ctx);
+
+/** Driver hook: resetDriver destroys every group (contexts go away
+ *  without cuCtxDestroy callbacks on this path). */
+void resetEventGroups();
+
+} // namespace detail
+
+} // namespace nvbit::cudrv
+
+#endif // NVBIT_DRIVER_EVENT_GROUPS_HPP

@@ -1,0 +1,267 @@
+#include "obs/counters.hpp"
+
+#include <cstring>
+
+namespace nvbit::obs {
+
+namespace {
+
+const char *
+eventDescription(HwEvent e)
+{
+    switch (e) {
+      case HwEvent::InstExecuted:
+        return "warp-level instructions issued";
+      case HwEvent::ThreadInstExecuted:
+        return "thread-level instructions (active lanes, before "
+               "predication)";
+      case HwEvent::ThreadInstNotPredicatedOff:
+        return "thread-level instructions whose guard predicate passed";
+      case HwEvent::WarpsLaunched:
+        return "warps resident at CTA start, summed over CTAs";
+      case HwEvent::WarpCyclesActive:
+        return "resident warps x CTA duration, summed over CTAs";
+      case HwEvent::SmActiveCycles:
+        return "per-SM cycle totals, summed over active SMs";
+      case HwEvent::EligibleWarpsSum:
+        return "last-observed issuable warps, summed per issue slot";
+      case HwEvent::GlobalLoadRequests:
+        return "warp-level global load instructions";
+      case HwEvent::GlobalLoadSectors:
+        return "unique 32-byte sectors requested by global loads";
+      case HwEvent::GlobalLoadBytes:
+        return "bytes requested by global-load lanes";
+      case HwEvent::GlobalStoreRequests:
+        return "warp-level global store instructions";
+      case HwEvent::GlobalStoreSectors:
+        return "unique 32-byte sectors requested by global stores";
+      case HwEvent::GlobalStoreBytes:
+        return "bytes requested by global-store lanes";
+      case HwEvent::GlobalAtomRequests:
+        return "warp-level global atomic instructions";
+      case HwEvent::GlobalAtomSectors:
+        return "unique 32-byte sectors requested by global atomics";
+      case HwEvent::SharedLoadRequests:
+        return "warp-level shared-memory load instructions";
+      case HwEvent::SharedLoadTransactions:
+        return "bank-serialised transactions for shared loads";
+      case HwEvent::SharedStoreRequests:
+        return "warp-level shared-memory store instructions";
+      case HwEvent::SharedStoreTransactions:
+        return "bank-serialised transactions for shared stores";
+      case HwEvent::SharedBankConflicts:
+        return "extra shared transactions caused by bank conflicts";
+      case HwEvent::L1SectorReadHits:
+        return "L1 sectors read that hit";
+      case HwEvent::L1SectorReadMisses:
+        return "L1 sectors read that missed";
+      case HwEvent::L1SectorWriteHits:
+        return "L1 sectors written that hit";
+      case HwEvent::L1SectorWriteMisses:
+        return "L1 sectors written that missed";
+      case HwEvent::L2SectorReadHits:
+        return "L2 sectors read that hit (L1-miss stream)";
+      case HwEvent::L2SectorReadMisses:
+        return "L2 sectors read that missed";
+      case HwEvent::L2SectorWriteHits:
+        return "L2 sectors written that hit";
+      case HwEvent::L2SectorWriteMisses:
+        return "L2 sectors written that missed";
+      case HwEvent::NumEvents: break;
+    }
+    return "";
+}
+
+std::vector<MetricDesc>
+buildMetricTable()
+{
+    using E = HwEvent;
+    std::vector<MetricDesc> t;
+    t.push_back({"ipc", "warp instructions per elapsed cycle", "",
+                 {{src(E::InstExecuted)}},
+                 {{MetricSource::ElapsedCycles}},
+                 1.0});
+    t.push_back({"sm_efficiency",
+                 "fraction of the grid's SM-cycle capacity the active "
+                 "SMs were busy",
+                 "%",
+                 {{src(E::SmActiveCycles)}},
+                 {{MetricSource::SmCycleCapacity}},
+                 100.0});
+    t.push_back({"achieved_occupancy",
+                 "resident warps per active cycle vs the SM maximum",
+                 "%",
+                 {{src(E::WarpCyclesActive)}},
+                 {{MetricSource::WarpSlotCapacity}},
+                 100.0});
+    t.push_back({"warp_execution_efficiency",
+                 "average active lanes per issued instruction vs the "
+                 "warp width",
+                 "%",
+                 {{src(E::ThreadInstExecuted)}},
+                 {{src(E::InstExecuted), 32}},
+                 100.0});
+    t.push_back({"warp_nonpred_execution_efficiency",
+                 "average guard-passed lanes per issued instruction vs "
+                 "the warp width",
+                 "%",
+                 {{src(E::ThreadInstNotPredicatedOff)}},
+                 {{src(E::InstExecuted), 32}},
+                 100.0});
+    t.push_back({"eligible_warps_per_issue",
+                 "average issuable warps observed per issue slot", "",
+                 {{src(E::EligibleWarpsSum)}},
+                 {{src(E::InstExecuted)}},
+                 1.0});
+    t.push_back({"l1_hit_rate", "L1 sector hits vs all L1 sectors", "%",
+                 {{src(E::L1SectorReadHits)},
+                  {src(E::L1SectorWriteHits)}},
+                 {{src(E::L1SectorReadHits)},
+                  {src(E::L1SectorWriteHits)},
+                  {src(E::L1SectorReadMisses)},
+                  {src(E::L1SectorWriteMisses)}},
+                 100.0});
+    t.push_back({"l2_hit_rate", "L2 sector hits vs all L2 sectors", "%",
+                 {{src(E::L2SectorReadHits)},
+                  {src(E::L2SectorWriteHits)}},
+                 {{src(E::L2SectorReadHits)},
+                  {src(E::L2SectorWriteHits)},
+                  {src(E::L2SectorReadMisses)},
+                  {src(E::L2SectorWriteMisses)}},
+                 100.0});
+    t.push_back({"gld_efficiency",
+                 "requested global-load bytes vs sector bytes moved",
+                 "%",
+                 {{src(E::GlobalLoadBytes)}},
+                 {{src(E::GlobalLoadSectors), kSectorBytes}},
+                 100.0});
+    t.push_back({"gst_efficiency",
+                 "requested global-store bytes vs sector bytes moved",
+                 "%",
+                 {{src(E::GlobalStoreBytes)}},
+                 {{src(E::GlobalStoreSectors), kSectorBytes}},
+                 100.0});
+    t.push_back({"gld_transactions_per_request",
+                 "sectors per warp-level global load (coalescing)", "",
+                 {{src(E::GlobalLoadSectors)}},
+                 {{src(E::GlobalLoadRequests)}},
+                 1.0});
+    t.push_back({"gst_transactions_per_request",
+                 "sectors per warp-level global store (coalescing)", "",
+                 {{src(E::GlobalStoreSectors)}},
+                 {{src(E::GlobalStoreRequests)}},
+                 1.0});
+    t.push_back({"shared_bank_conflict_rate",
+                 "conflict-added transactions vs all shared "
+                 "transactions",
+                 "%",
+                 {{src(E::SharedBankConflicts)}},
+                 {{src(E::SharedLoadTransactions)},
+                  {src(E::SharedStoreTransactions)}},
+                 100.0});
+    return t;
+}
+
+double
+sourceValue(MetricSource s, const MetricInputs &in)
+{
+    const auto raw = static_cast<size_t>(s);
+    if (raw < kNumHwEvents)
+        return static_cast<double>(in.events.counts[raw]);
+    switch (s) {
+      case MetricSource::ElapsedCycles:
+        return static_cast<double>(in.elapsed_cycles);
+      case MetricSource::SmCycleCapacity:
+        return static_cast<double>(in.sm_cycle_capacity);
+      case MetricSource::WarpSlotCapacity:
+        return static_cast<double>(
+                   in.events.get(HwEvent::SmActiveCycles)) *
+               static_cast<double>(in.max_warps_per_sm);
+      default: break;
+    }
+    return 0.0;
+}
+
+double
+dot(const std::vector<MetricTerm> &terms, const MetricInputs &in)
+{
+    double v = 0.0;
+    for (const MetricTerm &t : terms)
+        v += static_cast<double>(t.coeff) * sourceValue(t.source, in);
+    return v;
+}
+
+} // namespace
+
+const std::vector<EventDesc> &
+eventDescriptors()
+{
+    static const std::vector<EventDesc> *table = [] {
+        auto *t = new std::vector<EventDesc>();
+        for (size_t i = 0; i < kNumHwEvents; ++i) {
+            HwEvent e = static_cast<HwEvent>(i);
+            t->push_back({e, eventName(e), eventDescription(e)});
+        }
+        return t;
+    }();
+    return *table;
+}
+
+const EventDesc *
+findEvent(std::string_view name)
+{
+    for (const EventDesc &d : eventDescriptors())
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
+const std::vector<MetricDesc> &
+metricDescriptors()
+{
+    static const std::vector<MetricDesc> *table =
+        new std::vector<MetricDesc>(buildMetricTable());
+    return *table;
+}
+
+const MetricDesc *
+findMetric(std::string_view name)
+{
+    for (const MetricDesc &d : metricDescriptors())
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
+bool
+evaluateMetric(const MetricDesc &m, const MetricInputs &in, double *out)
+{
+    double den = dot(m.den, in);
+    if (den == 0.0)
+        return false;
+    if (out)
+        *out = m.scale * dot(m.num, in) / den;
+    return true;
+}
+
+bool
+evaluateMetric(std::string_view name, const MetricInputs &in,
+               double *out)
+{
+    const MetricDesc *m = findMetric(name);
+    return m != nullptr && evaluateMetric(*m, in, out);
+}
+
+std::vector<std::pair<std::string, double>>
+evaluateAllMetrics(const MetricInputs &in)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const MetricDesc &m : metricDescriptors()) {
+        double v = 0.0;
+        if (evaluateMetric(m, in, &v))
+            out.emplace_back(m.name, v);
+    }
+    return out;
+}
+
+} // namespace nvbit::obs

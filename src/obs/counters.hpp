@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Event/metric descriptor tables and the derived-metric evaluator
+ * (CUPTI-metric-API-style).
+ *
+ * Derived metrics are defined *declaratively*: each metric is a scaled
+ * ratio of two linear combinations of sources, where a source is
+ * either a hardware event (obs/events.hpp) or one of a few launch
+ * scalars (elapsed cycles, SM-cycle capacity, warp-slot capacity).
+ * Because every source is deterministic, every metric value is too —
+ * the same rational number in all four engine configurations.
+ *
+ * The formula table is the single point of truth: enumeration
+ * (metricDescriptors), evaluation (evaluateMetric/evaluateAllMetrics)
+ * and documentation (docs/observability.md) all read from it.
+ */
+#ifndef NVBIT_OBS_COUNTERS_HPP
+#define NVBIT_OBS_COUNTERS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace nvbit::obs {
+
+/** One enumerable hardware event. */
+struct EventDesc {
+    HwEvent id = HwEvent::InstExecuted;
+    const char *name = "";
+    const char *description = "";
+};
+
+/** All events, in HwEvent order. */
+const std::vector<EventDesc> &eventDescriptors();
+
+/** Find an event by its CUPTI-style name; nullptr when unknown. */
+const EventDesc *findEvent(std::string_view name);
+
+/**
+ * A metric-formula source: a hardware event, or one of the launch
+ * scalars the evaluator computes from `MetricInputs`.
+ */
+enum class MetricSource : uint16_t {
+    // values [0, kNumHwEvents) alias HwEvent
+    ElapsedCycles = 1000, ///< launch cycles (critical-SM total)
+    /** elapsed_cycles x active SMs: the cycle capacity the grid had. */
+    SmCycleCapacity,
+    /** sm_active_cycles x max resident warps per SM: the warp-slot
+     *  capacity the active SMs offered while they were busy. */
+    WarpSlotCapacity,
+};
+
+constexpr MetricSource
+src(HwEvent e)
+{
+    return static_cast<MetricSource>(e);
+}
+
+/** One term of a linear combination: coeff * source. */
+struct MetricTerm {
+    MetricSource source;
+    uint64_t coeff = 1;
+};
+
+/** One derived metric: scale * dot(num) / dot(den). */
+struct MetricDesc {
+    const char *name = "";
+    const char *description = "";
+    /** "%" for percentages, "" for plain ratios. */
+    const char *unit = "";
+    std::vector<MetricTerm> num;
+    std::vector<MetricTerm> den;
+    double scale = 1.0;
+};
+
+/** The formula table, in report order. */
+const std::vector<MetricDesc> &metricDescriptors();
+
+/** Find a metric by name; nullptr when unknown. */
+const MetricDesc *findMetric(std::string_view name);
+
+/** Everything a metric formula can read. */
+struct MetricInputs {
+    EventSet events;
+    /** Launch cycles; summed when aggregating multiple launches. */
+    uint64_t elapsed_cycles = 0;
+    /** Sum over launches of cycles x active SMs. */
+    uint64_t sm_cycle_capacity = 0;
+    /** Device constant: max resident warps per SM. */
+    uint64_t max_warps_per_sm = 0;
+};
+
+/**
+ * Evaluate one metric.  @return false when the metric is unknown or
+ * its denominator is zero (the metric is undefined for this launch);
+ * @p out is untouched in that case.
+ */
+bool evaluateMetric(const MetricDesc &m, const MetricInputs &in,
+                    double *out);
+bool evaluateMetric(std::string_view name, const MetricInputs &in,
+                    double *out);
+
+/** Every defined (non-zero-denominator) metric, in table order. */
+std::vector<std::pair<std::string, double>>
+evaluateAllMetrics(const MetricInputs &in);
+
+} // namespace nvbit::obs
+
+#endif // NVBIT_OBS_COUNTERS_HPP

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/counters.hpp"
+
 namespace nvbit::obs {
 
 namespace {
@@ -31,6 +33,34 @@ appendJsonString(std::ostringstream &os, std::string_view s)
         }
     }
     os << '"';
+}
+
+/** Emit the non-zero entries of an event set as a JSON object. */
+void
+appendEventsJson(std::ostringstream &os, const EventSet &ev)
+{
+    os << '{';
+    bool first = true;
+    for (size_t i = 0; i < kNumHwEvents; ++i) {
+        if (ev.counts[i] == 0)
+            continue;
+        os << (first ? "" : ", ");
+        first = false;
+        appendJsonString(os, eventName(static_cast<HwEvent>(i)));
+        os << ": " << ev.counts[i];
+    }
+    os << '}';
+}
+
+/** Deterministic double formatting for derived-metric values: the
+ *  inputs are engine-invariant integers, so the IEEE result — and its
+ *  shortest %.6g rendering — is too. */
+void
+appendMetricValue(std::ostringstream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
 }
 
 } // namespace
@@ -235,11 +265,31 @@ MetricsRegistry::toJson(bool exact_only) const
            << ", \"ctas\": " << r.ctas << ", \"cycles\": " << r.cycles
            << ", \"global_mem_warp_instrs\": " << r.global_mem_warp_instrs
            << ", \"unique_lines_sum\": " << r.unique_lines_sum
+           << ", \"unique_sectors_sum\": " << r.unique_sectors_sum
            << ", \"l1_hits\": " << r.l1_hits
            << ", \"l1_misses\": " << r.l1_misses
            << ", \"l2_hits\": " << r.l2_hits
            << ", \"l2_misses\": " << r.l2_misses
-           << ", \"cycles_by_reason\": {";
+           << ", \"events\": ";
+        appendEventsJson(os, r.events);
+        os << ", \"metrics\": {";
+        {
+            MetricInputs mi;
+            mi.events = r.events;
+            mi.elapsed_cycles = r.cycles;
+            mi.sm_cycle_capacity =
+                r.cycles * static_cast<uint64_t>(r.sms.size());
+            mi.max_warps_per_sm = r.max_warps_per_sm;
+            bool mfirst = true;
+            for (const auto &[mname, mval] : evaluateAllMetrics(mi)) {
+                os << (mfirst ? "" : ", ");
+                mfirst = false;
+                appendJsonString(os, mname);
+                os << ": ";
+                appendMetricValue(os, mval);
+            }
+        }
+        os << "}, \"cycles_by_reason\": {";
         for (size_t i = 0; i < kNumStallReasons; ++i) {
             os << (i ? ", " : "");
             appendJsonString(
@@ -257,6 +307,12 @@ MetricsRegistry::toJson(bool exact_only) const
                 os << ", \"decode_cache_hits\": " << s.decode_cache_hits
                    << ", \"decode_cache_misses\": "
                    << s.decode_cache_misses;
+            os << ", \"l1_hits\": " << s.l1_hits
+               << ", \"l1_misses\": " << s.l1_misses
+               << ", \"l2_hits\": " << s.l2_hits
+               << ", \"l2_misses\": " << s.l2_misses
+               << ", \"events\": ";
+            appendEventsJson(os, s.events);
             os << ", \"cycles_by_reason\": {";
             for (size_t j = 0; j < kNumStallReasons; ++j) {
                 os << (j ? ", " : "");

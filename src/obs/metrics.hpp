@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/events.hpp"  // HwEvent / EventSet
 #include "obs/profile.hpp" // StallReason / kNumStallReasons
 
 namespace nvbit::obs {
@@ -59,6 +60,14 @@ struct SmShard {
     uint64_t decode_cache_hits = 0;
     /** Fetches that consulted the shared code cache (Volatile). */
     uint64_t decode_cache_misses = 0;
+    /** This SM's private L1 outcomes (Exact: the per-SM L1 stream is
+     *  engine-invariant). */
+    uint64_t l1_hits = 0, l1_misses = 0;
+    /** Shared-L2 outcomes attributed to this SM by the grid-order
+     *  replay (Exact for the same reason). */
+    uint64_t l2_hits = 0, l2_misses = 0;
+    /** This SM's hardware-event shard (Exact). */
+    EventSet events;
     /**
      * Per-StallReason cycle breakdown, indexed by `StallReason`.  The
      * Idle bucket pads the shard up to the launch's `cycles` scalar,
@@ -85,8 +94,15 @@ struct LaunchRecord {
     uint64_t global_mem_warp_instrs = 0;
     /** Sum of unique cache lines per global-memory warp instruction. */
     uint64_t unique_lines_sum = 0;
+    /** Sum of unique 32-byte sectors per global-memory warp instr. */
+    uint64_t unique_sectors_sum = 0;
     uint64_t l1_hits = 0, l1_misses = 0;
     uint64_t l2_hits = 0, l2_misses = 0;
+    /** Aggregated hardware events for the launch (Exact). */
+    EventSet events;
+    /** Device constant at launch time: max resident warps per SM
+     *  (denominator input for occupancy metrics). */
+    uint64_t max_warps_per_sm = 0;
     /**
      * Per-StallReason cycle breakdown of the critical (slowest) SM;
      * sums exactly to `cycles`.  Indexed by `StallReason`.

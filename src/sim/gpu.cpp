@@ -202,12 +202,19 @@ GpuDevice::launch(const LaunchParams &lp)
                      "L2 replay log out of order for CTA %llu",
                      static_cast<unsigned long long>(w.cta_index));
         for (const L2LogLine &ll : logs[cursor[sm]].second) {
+            obs::EventSet &ev = ex.shard().events;
             if (caches_.accessL2(ll.line)) {
                 ++ex.shard().l2_hits;
+                ev.add(ll.is_write ? obs::HwEvent::L2SectorWriteHits
+                                   : obs::HwEvent::L2SectorReadHits,
+                       ll.sectors);
                 ex.addReplayCycles(cfg_.l1_miss_penalty, ll.pc, ll.warp,
                                    w.cta_index);
             } else {
                 ++ex.shard().l2_misses;
+                ev.add(ll.is_write ? obs::HwEvent::L2SectorWriteMisses
+                                   : obs::HwEvent::L2SectorReadMisses,
+                       ll.sectors);
                 ex.addReplayCycles(cfg_.l1_miss_penalty +
                                        cfg_.l2_miss_penalty,
                                    ll.pc, ll.warp, w.cta_index);
@@ -215,6 +222,13 @@ GpuDevice::launch(const LaunchParams &lp)
         }
         ++cursor[sm];
     }
+
+    // Close out each SM's activity event: the full per-SM cycle total
+    // (execution + replay penalties), charged once so the launch sum
+    // is the aggregate busy time of the active SMs.
+    for (const auto &ex : execs)
+        ex->shard().events.add(obs::HwEvent::SmActiveCycles,
+                               ex->cycleTotal());
 
     // Aggregate the per-SM shards; launch time is the slowest SM,
     // whose per-reason breakdown therefore *is* the launch breakdown
@@ -254,10 +268,13 @@ GpuDevice::publishLaunch(
     rec.cycles = stats.cycles;
     rec.global_mem_warp_instrs = stats.global_mem_warp_instrs;
     rec.unique_lines_sum = stats.unique_lines_sum;
+    rec.unique_sectors_sum = stats.unique_sectors_sum;
     rec.l1_hits = stats.l1_hits;
     rec.l1_misses = stats.l1_misses;
     rec.l2_hits = stats.l2_hits;
     rec.l2_misses = stats.l2_misses;
+    rec.events = stats.events;
+    rec.max_warps_per_sm = cfg_.max_warps_per_sm;
     rec.cycles_by_reason = stats.cycles_by_reason;
     for (unsigned sm = 0; sm < execs.size(); ++sm) {
         if (per_sm[sm].empty())
@@ -271,6 +288,11 @@ GpuDevice::publishLaunch(
         shard.cycles = execs[sm]->cycleTotal();
         shard.decode_cache_hits = sh.decode_cache_hits;
         shard.decode_cache_misses = sh.decode_cache_misses;
+        shard.l1_hits = sh.l1_hits;
+        shard.l1_misses = sh.l1_misses;
+        shard.l2_hits = sh.l2_hits;
+        shard.l2_misses = sh.l2_misses;
+        shard.events = sh.events;
         shard.cycles_by_reason = execs[sm]->cyclesByReason();
         // Idle padding: the gap between this SM and the critical one,
         // so every shard's breakdown sums to the launch cycle scalar.

@@ -130,6 +130,29 @@ cmpApplySigned(isa::CmpOp c, int64_t a, int64_t b)
     return false;
 }
 
+/**
+ * Bank-serialised transaction count for one warp shared-memory access.
+ * @p words holds every 4-byte word index touched (duplicates allowed —
+ * lanes reading the same word broadcast and count once).  The access
+ * replays once per distinct word mapped to the busiest bank.
+ */
+uint32_t
+sharedBankTransactions(std::vector<uint64_t> &words)
+{
+    if (words.empty())
+        return 0;
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    std::array<uint32_t, obs::kSharedBanks> per_bank{};
+    uint32_t worst = 0;
+    for (uint64_t w : words) {
+        uint32_t n = ++per_bank[w % obs::kSharedBanks];
+        if (n > worst)
+            worst = n;
+    }
+    return worst;
+}
+
 } // namespace
 
 Interpreter::Interpreter(const GpuConfig &cfg, mem::DeviceMemory &mem,
@@ -139,8 +162,10 @@ Interpreter::Interpreter(const GpuConfig &cfg, mem::DeviceMemory &mem,
                          std::vector<uint8_t> &shared,
                          const uint64_t &cycles, MemModel &mm)
     : cfg_(cfg), mem_(mem), lp_(lp), sm_(sm),
-      line_bytes_(cfg.l1.line_bytes), local_(local), shared_(shared),
-      cycles_(cycles), mm_(mm)
+      sector_bytes_(obs::kSectorBytes < cfg.l1.line_bytes
+                        ? obs::kSectorBytes
+                        : cfg.l1.line_bytes),
+      local_(local), shared_(shared), cycles_(cycles), mm_(mm)
 {
     ctaid_[0] = ctaid[0];
     ctaid_[1] = ctaid[1];
@@ -628,35 +653,41 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
         break;
 
       case Opcode::LDG: {
-        std::set<uint64_t> lines;
+        GlobalAccess ga;
+        ga.kind = GlobalAccess::Kind::Load;
         unsigned bytes = in.memAccessBytes();
         forEachExec([&](ThreadCtx &t, unsigned) {
             uint64_t addr = readPair(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
-            lines.insert(addr &
-                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            ga.sectors.insert(
+                addr & ~static_cast<uint64_t>(sector_bytes_ - 1));
+            ++ga.lanes;
+            ga.bytes += bytes;
             uint64_t v = loadGlobal(addr, bytes, pc);
             if (bytes == 8)
                 writePair(t, in.rd, v);
             else
                 writeReg(t, in.rd, static_cast<uint32_t>(v));
         });
-        mm_.accountGlobalAccess(lines);
+        mm_.accountGlobalAccess(ga);
         break;
       }
       case Opcode::STG: {
-        std::set<uint64_t> lines;
+        GlobalAccess ga;
+        ga.kind = GlobalAccess::Kind::Store;
         unsigned bytes = in.memAccessBytes();
         forEachExec([&](ThreadCtx &t, unsigned) {
             uint64_t addr = readPair(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
-            lines.insert(addr &
-                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            ga.sectors.insert(
+                addr & ~static_cast<uint64_t>(sector_bytes_ - 1));
+            ++ga.lanes;
+            ga.bytes += bytes;
             uint64_t v = bytes == 8 ? readPair(t, in.rb)
                                     : readReg(t, in.rb);
             storeGlobal(addr, bytes, v, pc);
         });
-        mm_.accountGlobalAccess(lines);
+        mm_.accountGlobalAccess(ga);
         break;
       }
       case Opcode::LDL: {
@@ -686,9 +717,16 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
       }
       case Opcode::LDS: {
         unsigned bytes = in.memAccessBytes();
+        SharedAccess sa;
+        sa.write = false;
+        std::vector<uint64_t> words;
         forEachExec([&](ThreadCtx &t, unsigned) {
             uint64_t addr = readReg(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
+            ++sa.lanes;
+            words.push_back(addr >> 2);
+            if (bytes == 8)
+                words.push_back((addr >> 2) + 1);
             uint64_t v = 0;
             std::memcpy(&v, sharedPtr(addr, bytes, pc, false), bytes);
             if (bytes == 8)
@@ -696,17 +734,30 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
             else
                 writeReg(t, in.rd, static_cast<uint32_t>(v));
         });
+        sa.transactions = sharedBankTransactions(words);
+        if (sa.lanes != 0)
+            mm_.accountSharedAccess(sa);
         break;
       }
       case Opcode::STS: {
         unsigned bytes = in.memAccessBytes();
+        SharedAccess sa;
+        sa.write = true;
+        std::vector<uint64_t> words;
         forEachExec([&](ThreadCtx &t, unsigned) {
             uint64_t addr = readReg(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
+            ++sa.lanes;
+            words.push_back(addr >> 2);
+            if (bytes == 8)
+                words.push_back((addr >> 2) + 1);
             uint64_t v = bytes == 8 ? readPair(t, in.rb)
                                     : readReg(t, in.rb);
             std::memcpy(sharedPtr(addr, bytes, pc, true), &v, bytes);
         });
+        sa.transactions = sharedBankTransactions(words);
+        if (sa.lanes != 0)
+            mm_.accountSharedAccess(sa);
         break;
       }
       case Opcode::LDC: {
@@ -721,7 +772,8 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
         break;
       }
       case Opcode::ATOM: {
-        std::set<uint64_t> lines;
+        GlobalAccess ga;
+        ga.kind = GlobalAccess::Kind::Atomic;
         const isa::AtomOp aop = isa::modGetAtomOp(in.mod);
         const DType adt = isa::modGetAtomDType(in.mod);
         const unsigned bytes = (adt == DType::U64) ? 8 : 4;
@@ -730,8 +782,10 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
         forEachExec([&](ThreadCtx &t, unsigned) {
             uint64_t addr = readPair(t, in.ra) +
                             static_cast<uint64_t>(in.imm);
-            lines.insert(addr &
-                         ~static_cast<uint64_t>(line_bytes_ - 1));
+            ga.sectors.insert(
+                addr & ~static_cast<uint64_t>(sector_bytes_ - 1));
+            ++ga.lanes;
+            ga.bytes += bytes;
             uint64_t old_v = loadGlobal(addr, bytes, pc);
             uint64_t b = bytes == 8 ? readPair(t, in.rb)
                                     : readReg(t, in.rb);
@@ -744,7 +798,7 @@ Interpreter::execute(const Instruction &in, ThreadCtx *warp,
             else
                 writeReg(t, in.rd, static_cast<uint32_t>(old_v));
         });
-        mm_.accountGlobalAccess(lines);
+        mm_.accountGlobalAccess(ga);
         break;
       }
 

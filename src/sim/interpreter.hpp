@@ -17,6 +17,7 @@
 
 #include "isa/instruction.hpp"
 #include "mem/device_memory.hpp"
+#include "obs/events.hpp"
 #include "sim/config.hpp"
 #include "sim/launch.hpp"
 #include "sim/warp_scheduler.hpp"
@@ -24,13 +25,51 @@
 namespace nvbit::sim {
 
 /**
+ * One warp-level global-memory access, as observed by the interpreter
+ * while it executed the lanes.  Traffic is recorded at 32-byte sector
+ * granularity (obs::kSectorBytes); the SM layer derives cache lines
+ * from the sorted sector set, which preserves the exact L1 access
+ * stream the line-based accounting produced.
+ */
+struct GlobalAccess {
+    enum class Kind : uint8_t { Load, Store, Atomic };
+
+    Kind kind = Kind::Load;
+    /** Unique sector base addresses touched (each lane contributes the
+     *  sector of its base address, matching the instrumentation-side
+     *  probe in tools/mem_divergence). */
+    std::set<uint64_t> sectors;
+    /** Guard-passed lanes that participated. */
+    uint32_t lanes = 0;
+    /** Bytes requested across lanes (lanes x access width). */
+    uint32_t bytes = 0;
+};
+
+/**
+ * One warp-level shared-memory access with its bank-serialisation
+ * cost already computed by the interpreter (32 banks of 4-byte words;
+ * lanes reading the same word broadcast for free).
+ */
+struct SharedAccess {
+    bool write = false;
+    /** Guard-passed lanes. */
+    uint32_t lanes = 0;
+    /** Bank-serialised transactions (>= 1; conflicts add extras). */
+    uint32_t transactions = 0;
+};
+
+/**
  * Memory-system callbacks the SM layer provides to the interpreter.
  */
 class MemModel
 {
   public:
-    /** Charge the cache/timing model for one warp memory access. */
-    virtual void accountGlobalAccess(const std::set<uint64_t> &lines) = 0;
+    /** Charge the cache/timing model for one warp global access. */
+    virtual void accountGlobalAccess(const GlobalAccess &a) = 0;
+
+    /** Charge the shared-memory bank model for one warp access.
+     *  Strictly passive: events only, never simulated cycles. */
+    virtual void accountSharedAccess(const SharedAccess &a) = 0;
 
     /**
      * Called before an ATOM's read-modify-write.  The parallel SM
@@ -87,7 +126,9 @@ class Interpreter
     const LaunchParams &lp_;
     unsigned sm_;
     uint32_t ctaid_[3];
-    unsigned line_bytes_;
+    /** Sector granularity for global-access accounting: 32 bytes,
+     *  clamped to the cache-line size for exotic sub-sector configs. */
+    unsigned sector_bytes_;
     std::vector<uint8_t> &local_;
     std::vector<uint8_t> &shared_;
     const uint64_t &cycles_;

@@ -76,28 +76,86 @@ SmExecutor::fetch(uint64_t pc, isa::Instruction &scratch)
 }
 
 void
-SmExecutor::accountGlobalAccess(const std::set<uint64_t> &lines)
+SmExecutor::accountGlobalAccess(const GlobalAccess &a)
 {
-    if (lines.empty())
+    if (a.sectors.empty())
         return;
+    using obs::HwEvent;
+    const bool is_write = a.kind != GlobalAccess::Kind::Load;
+    obs::EventSet &ev = shard_.events;
     ++shard_.global_mem_warp_instrs;
-    shard_.unique_lines_sum += lines.size();
-    if (lines.size() > 1) {
-        // Extra issue slots for divergence: memory-dependency stalls
-        // attributed to the issuing access.
-        chargeCycles(lines.size() - 1, obs::StallReason::MemDependency,
-                     cur_pc_, cur_warp_);
+    shard_.unique_sectors_sum += a.sectors.size();
+    switch (a.kind) {
+      case GlobalAccess::Kind::Load:
+        ev.add(HwEvent::GlobalLoadRequests, 1);
+        ev.add(HwEvent::GlobalLoadSectors, a.sectors.size());
+        ev.add(HwEvent::GlobalLoadBytes, a.bytes);
+        break;
+      case GlobalAccess::Kind::Store:
+        ev.add(HwEvent::GlobalStoreRequests, 1);
+        ev.add(HwEvent::GlobalStoreSectors, a.sectors.size());
+        ev.add(HwEvent::GlobalStoreBytes, a.bytes);
+        break;
+      case GlobalAccess::Kind::Atomic:
+        ev.add(HwEvent::GlobalAtomRequests, 1);
+        ev.add(HwEvent::GlobalAtomSectors, a.sectors.size());
+        break;
     }
-    for (uint64_t line : lines) {
+
+    // The cache still moves whole lines: walk the sorted sector set
+    // grouped by line.  This reproduces exactly the per-line access
+    // order the line-granular accounting used, so L1 behaviour, the
+    // unique-lines oracle and the divergence charge are unchanged.
+    const uint64_t line_mask =
+        ~static_cast<uint64_t>(caches_.lineBytes() - 1);
+    size_t nlines = 0;
+    auto it = a.sectors.begin();
+    while (it != a.sectors.end()) {
+        const uint64_t line = *it & line_mask;
+        uint32_t secs = 0;
+        do {
+            ++secs;
+            ++it;
+        } while (it != a.sectors.end() && (*it & line_mask) == line);
+        ++nlines;
         if (caches_.accessL1(sm_, line)) {
             ++shard_.l1_hits;
+            ev.add(is_write ? HwEvent::L1SectorWriteHits
+                            : HwEvent::L1SectorReadHits,
+                   secs);
         } else {
             ++shard_.l1_misses;
+            ev.add(is_write ? HwEvent::L1SectorWriteMisses
+                            : HwEvent::L1SectorReadMisses,
+                   secs);
             // L2 outcome and penalty are resolved in the post-join
             // replay so the shared L2 sees accesses in grid order.
-            cur_l2_log_.push_back({line, cur_pc_, cur_warp_});
+            cur_l2_log_.push_back(
+                {line, cur_pc_, cur_warp_, secs, is_write});
         }
     }
+    shard_.unique_lines_sum += nlines;
+    if (nlines > 1) {
+        // Extra issue slots for divergence: memory-dependency stalls
+        // attributed to the issuing access.
+        chargeCycles(nlines - 1, obs::StallReason::MemDependency,
+                     cur_pc_, cur_warp_);
+    }
+}
+
+void
+SmExecutor::accountSharedAccess(const SharedAccess &a)
+{
+    using obs::HwEvent;
+    obs::EventSet &ev = shard_.events;
+    ev.add(a.write ? HwEvent::SharedStoreRequests
+                   : HwEvent::SharedLoadRequests,
+           1);
+    ev.add(a.write ? HwEvent::SharedStoreTransactions
+                   : HwEvent::SharedLoadTransactions,
+           a.transactions);
+    if (a.transactions > 1)
+        ev.add(HwEvent::SharedBankConflicts, a.transactions - 1);
 }
 
 void
@@ -202,14 +260,17 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
     WarpScheduler::IssueSlot slot;
     switch (sched.pick(w, slot)) {
       case WarpScheduler::Pick::AllExited:
+        noteWarpReadiness(w, false);
         return StepResult::AllExited;
       case WarpScheduler::Pick::Blocked:
+        noteWarpReadiness(w, false);
         // One barrier-wait cycle, attributed to the BAR the earliest
         // parked thread sits behind (slot.pc is post-advance).
         chargeCycles(1, obs::StallReason::BarrierSync,
                      slot.pc >= ib_ ? slot.pc - ib_ : 0, w);
         return StepResult::Blocked;
       case WarpScheduler::Pick::Issue:
+        noteWarpReadiness(w, true);
         break;
     }
     const uint64_t minpc = slot.pc;
@@ -245,6 +306,16 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
         shard_.warp_instrs_by_op[static_cast<size_t>(in->op)] += 1;
         shard_.thread_instrs_by_op[static_cast<size_t>(in->op)] +=
             std::popcount(exec_mask);
+        {
+            using obs::HwEvent;
+            obs::EventSet &ev = shard_.events;
+            ev.add(HwEvent::InstExecuted, 1);
+            ev.add(HwEvent::ThreadInstExecuted,
+                   std::popcount(active_mask));
+            ev.add(HwEvent::ThreadInstNotPredicatedOff,
+                   std::popcount(exec_mask));
+            ev.add(HwEvent::EligibleWarpsSum, eligible_warps_);
+        }
         if (shard_.warp_instrs > cfg_.max_warp_instrs_per_launch) {
             throw DeviceException(
                 TrapCode::WatchdogTimeout,
@@ -304,6 +375,10 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
     local_.assign(
         static_cast<size_t>(sched.numThreads()) * lp.local_bytes, 0);
     shared_.assign(lp.shared_bytes, 0);
+    // Every resident warp starts issuable (fresh contexts, no
+    // barriers), so the eligible-warps event begins at full residency.
+    warp_eligible_.assign(sched.numWarps(), 1);
+    eligible_warps_ = sched.numWarps();
     cta_cycles_ = 0;
     cta_by_reason_ = {};
     cta_samples_.clear();
@@ -398,6 +473,12 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
     cycle_total_ += cta_cycles_;
     for (size_t i = 0; i < by_reason_.size(); ++i)
         by_reason_[i] += cta_by_reason_[i];
+    // Occupancy events commit with the CTA (trapped CTAs publish
+    // nothing, mirroring the cycle handling above).
+    shard_.events.add(obs::HwEvent::WarpsLaunched, sched.numWarps());
+    shard_.events.add(obs::HwEvent::WarpCyclesActive,
+                      static_cast<uint64_t>(sched.numWarps()) *
+                          cta_cycles_);
     if (!cta_samples_.empty()) {
         samples_.insert(samples_.end(),
                         std::make_move_iterator(cta_samples_.begin()),

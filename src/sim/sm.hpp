@@ -59,6 +59,10 @@ struct L2LogLine {
     uint64_t line = 0;
     uint64_t pc = 0;
     uint32_t warp = 0;
+    /** Sectors of the line the access touched (event accounting). */
+    uint32_t sectors = 1;
+    /** Store/atomic traffic (read/write split in L2 sector events). */
+    bool is_write = false;
 };
 
 /**
@@ -176,7 +180,8 @@ class SmExecutor : public MemModel
     const std::optional<CapturedTrap> &trap() const { return trap_; }
 
     // MemModel
-    void accountGlobalAccess(const std::set<uint64_t> &lines) override;
+    void accountGlobalAccess(const GlobalAccess &a) override;
+    void accountSharedAccess(const SharedAccess &a) override;
     void atomicFence() override;
 
   private:
@@ -207,6 +212,21 @@ class SmExecutor : public MemModel
     /** Emit samples for every period crossing up to the current cycle
      *  (out of line: keeps the disabled hot path small). */
     void sampleTick(obs::StallReason r, uint64_t pc, unsigned w);
+
+    /** Update warp @p w's last-observed issuability (eligible-warps
+     *  event accounting; see warp_eligible_). */
+    void
+    noteWarpReadiness(unsigned w, bool eligible)
+    {
+        const uint8_t v = eligible ? 1 : 0;
+        if (w < warp_eligible_.size() && warp_eligible_[w] != v) {
+            warp_eligible_[w] = v;
+            if (v)
+                ++eligible_warps_;
+            else
+                --eligible_warps_;
+        }
+    }
 
     /** One crossing: record the charged warp plus sibling records for
      *  every other resident warp (not_selected / barrier_sync). */
@@ -245,6 +265,12 @@ class SmExecutor : public MemModel
      *  for attribution from MemModel callbacks. */
     uint64_t cur_pc_ = 0;
     uint32_t cur_warp_ = 0;
+
+    /** Last-observed issuability per resident warp of the running CTA
+     *  (1 = last step issued, 0 = blocked/exited), plus the popcount.
+     *  Feeds the eligible_warps_sum event at every issue slot. */
+    std::vector<uint8_t> warp_eligible_;
+    unsigned eligible_warps_ = 0;
 
     /** Fast path: the page the last fetch came from. */
     const PredecodedImage *cached_page_ = nullptr;

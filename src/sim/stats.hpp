@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "isa/opcodes.hpp"
+#include "obs/events.hpp"  // HwEvent / EventSet
 #include "obs/profile.hpp" // StallReason / kNumStallReasons
 
 namespace nvbit::sim {
@@ -48,12 +49,27 @@ struct LaunchStats {
      * divergence = unique_lines_sum / global_mem_warp_instrs).
      */
     uint64_t unique_lines_sum = 0;
+    /**
+     * Sum over global-memory warp instructions of the number of unique
+     * 32-byte sectors touched — the oracle tools/mem_divergence
+     * measures against (transactions-per-request at the granularity
+     * the memory system actually moves data in).
+     */
+    uint64_t unique_sectors_sum = 0;
 
     uint64_t l1_hits = 0, l1_misses = 0;
     uint64_t l2_hits = 0, l2_misses = 0;
 
     /** Thread blocks executed. */
     uint64_t ctas = 0;
+
+    /**
+     * Hardware performance events (obs/events.hpp).  Free-running and
+     * strictly passive: charged by the SM layer alongside the counters
+     * above, never through chargeCycles, so collecting them changes
+     * the cycle count by exactly zero.
+     */
+    obs::EventSet events;
 
     /** Instruction fetches served by an SM's cached predecoded page. */
     uint64_t decode_cache_hits = 0;
@@ -76,6 +92,8 @@ struct LaunchStats {
         }
         global_mem_warp_instrs += o.global_mem_warp_instrs;
         unique_lines_sum += o.unique_lines_sum;
+        unique_sectors_sum += o.unique_sectors_sum;
+        events.merge(o.events);
         l1_hits += o.l1_hits;
         l1_misses += o.l1_misses;
         l2_hits += o.l2_hits;

@@ -1,0 +1,326 @@
+#include "tools/kernel_profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "tools/instr_count.hpp"
+#include "tools/mem_divergence.hpp"
+
+namespace nvbit::tools {
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("kernel_profiler: cannot write %s", path.c_str());
+        return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+/** Deterministic value formatting shared by the text and JSON
+ *  renderers (inputs are engine-invariant integers, so the IEEE
+ *  result and its %.6g rendering are too). */
+std::string
+fmtValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** One report section: a title plus the metrics it displays. */
+struct Section {
+    const char *title;
+    std::vector<const char *> metrics;
+};
+
+/** Nsight-Compute-style section layout, built from the declarative
+ *  metric table (obs::metricDescriptors). */
+const std::vector<Section> &
+sections()
+{
+    static const std::vector<Section> *s = new std::vector<Section>{
+        {"GPU Speed Of Light",
+         {"ipc", "sm_efficiency", "achieved_occupancy"}},
+        {"Memory Workload Analysis",
+         {"l1_hit_rate", "l2_hit_rate", "gld_efficiency",
+          "gst_efficiency", "gld_transactions_per_request",
+          "gst_transactions_per_request", "shared_bank_conflict_rate"}},
+        {"Scheduler Statistics",
+         {"eligible_warps_per_issue", "warp_execution_efficiency",
+          "warp_nonpred_execution_efficiency"}},
+    };
+    return *s;
+}
+
+} // namespace
+
+obs::EventSet
+KernelProfilerTool::totalEvents() const
+{
+    obs::EventSet total;
+    for (const KernelAgg &k : kernels_)
+        total.merge(k.events);
+    return total;
+}
+
+obs::MetricInputs
+KernelProfilerTool::metricInputs(const KernelAgg &k) const
+{
+    obs::MetricInputs in;
+    in.events = k.events;
+    in.elapsed_cycles = k.cycles;
+    in.sm_cycle_capacity = k.sm_cycle_capacity;
+    in.max_warps_per_sm = max_warps_per_sm_;
+    return in;
+}
+
+obs::EventSet
+KernelProfilerTool::readGroupTotals() const
+{
+    obs::EventSet total;
+    for (cudrv::CUeventGroup g : groups_) {
+        size_t n = 0;
+        if (cudrv::cuEventGroupReadAllEvents(g, &n, nullptr, nullptr) !=
+            cudrv::CUDA_SUCCESS)
+            continue;
+        std::vector<obs::HwEvent> ids(n);
+        std::vector<uint64_t> values(n);
+        if (cudrv::cuEventGroupReadAllEvents(g, &n, ids.data(),
+                                             values.data()) !=
+            cudrv::CUDA_SUCCESS)
+            continue;
+        for (size_t i = 0; i < n; ++i)
+            total.add(ids[i], values[i]);
+    }
+    return total;
+}
+
+bool
+KernelProfilerTool::eventGroupConsistent() const
+{
+    // After finalize the groups may already be gone (cuCtxDestroy),
+    // so use the snapshot; before that, read them live.
+    const obs::EventSet groups =
+        finalized_ ? group_totals_ : readGroupTotals();
+    return groups == totalEvents();
+}
+
+void
+KernelProfilerTool::nvbit_at_ctx_init(cudrv::CUcontext ctx)
+{
+    cudrv::CUeventGroup g = nullptr;
+    if (cudrv::cuEventGroupCreate(ctx, &g) != cudrv::CUDA_SUCCESS)
+        return;
+    cudrv::cuEventGroupAddAllEvents(g);
+    cudrv::cuEventGroupEnable(g);
+    groups_.push_back(g);
+}
+
+void
+KernelProfilerTool::nvbit_at_cuda_driver_call(
+    cudrv::CUcontext, bool is_exit, CallbackId cbid, const char *,
+    void *params, cudrv::CUresult *status)
+{
+    if (cbid != CallbackId::cuLaunchKernel || !is_exit ||
+        *status != cudrv::CUDA_SUCCESS)
+        return;
+    auto *p = static_cast<cudrv::cuLaunchKernel_params *>(params);
+    const sim::LaunchStats &st = cudrv::lastLaunchStats();
+    const sim::GpuConfig &cfg = cudrv::device().config();
+    max_warps_per_sm_ = cfg.max_warps_per_sm;
+    num_sms_ = cfg.num_sms;
+
+    const std::string &name = p->f->name;
+    auto [it, inserted] = by_name_.emplace(name, kernels_.size());
+    if (inserted) {
+        kernels_.push_back(KernelAgg{});
+        kernels_.back().name = name;
+    }
+    KernelAgg &agg = kernels_[it->second];
+    ++agg.launches;
+    agg.cycles += st.cycles;
+    // CTAs are assigned round-robin, so the active-SM count of a
+    // launch is min(ctas, num_sms).
+    agg.sm_cycle_capacity +=
+        st.cycles * std::min<uint64_t>(st.ctas, num_sms_);
+    agg.events.merge(st.events);
+}
+
+std::string
+KernelProfilerTool::report() const
+{
+    std::ostringstream os;
+    os << "Kernel Analysis Report\n"
+       << "======================\n";
+    size_t shown = 0;
+    for (const KernelAgg &k : kernels_) {
+        if (shown++ >= opts_.top_n)
+            break;
+        os << "\nKernel: " << k.name << "  (" << k.launches
+           << (k.launches == 1 ? " launch, " : " launches, ") << k.cycles
+           << " cycles, "
+           << k.events.get(obs::HwEvent::InstExecuted)
+           << " warp instructions)\n";
+        obs::MetricInputs in = metricInputs(k);
+        for (const Section &sec : sections()) {
+            os << "  " << sec.title << "\n";
+            for (const char *mname : sec.metrics) {
+                const obs::MetricDesc *m = obs::findMetric(mname);
+                double v = 0.0;
+                if (!m || !obs::evaluateMetric(*m, in, &v))
+                    continue;
+                char line[128];
+                std::snprintf(line, sizeof(line), "    %-36s %3s %s\n",
+                              m->name, m->unit, fmtValue(v).c_str());
+                os << line;
+            }
+        }
+    }
+    if (kernels_.size() > opts_.top_n)
+        os << "\n(" << kernels_.size() - opts_.top_n
+           << " more kernels omitted)\n";
+    os << "\nevent-group consistency: "
+       << (eventGroupConsistent() ? "OK" : "MISMATCH") << "\n";
+    return os.str();
+}
+
+std::string
+KernelProfilerTool::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"kernels\": [";
+    bool first = true;
+    for (const KernelAgg &k : kernels_) {
+        os << (first ? "\n    {" : ",\n    {");
+        first = false;
+        os << "\"name\": \"" << k.name << "\", \"launches\": "
+           << k.launches << ", \"cycles\": " << k.cycles
+           << ", \"events\": {";
+        bool efirst = true;
+        for (size_t i = 0; i < obs::kNumHwEvents; ++i) {
+            if (k.events.counts[i] == 0)
+                continue;
+            os << (efirst ? "" : ", ") << "\""
+               << obs::eventName(static_cast<obs::HwEvent>(i))
+               << "\": " << k.events.counts[i];
+            efirst = false;
+        }
+        os << "}, \"metrics\": {";
+        obs::MetricInputs in = metricInputs(k);
+        bool mfirst = true;
+        for (const auto &[mname, mval] : obs::evaluateAllMetrics(in)) {
+            os << (mfirst ? "" : ", ") << "\"" << mname
+               << "\": " << fmtValue(mval);
+            mfirst = false;
+        }
+        os << "}}";
+    }
+    os << (first ? "],\n" : "\n  ],\n");
+    os << "  \"event_group_consistent\": "
+       << (eventGroupConsistent() ? "true" : "false") << "\n}\n";
+    return os.str();
+}
+
+void
+KernelProfilerTool::finalize()
+{
+    if (finalized_)
+        return;
+    // Snapshot the event-group totals while the groups still exist
+    // (cuCtxDestroy and resetDriver both tear the registry down).
+    group_totals_ = readGroupTotals();
+    finalized_ = true;
+    if (opts_.output_prefix.empty())
+        return;
+    bool ok = writeFile(opts_.output_prefix + ".txt", report());
+    ok &= writeFile(opts_.output_prefix + ".json", toJson());
+    if (ok)
+        ++finalize_writes_;
+}
+
+void
+KernelProfilerTool::nvbit_at_ctx_term(cudrv::CUcontext)
+{
+    finalize();
+}
+
+void
+KernelProfilerTool::nvbit_at_term()
+{
+    finalize();
+}
+
+DifferentialResult
+runKprofDifferential(DifferentialMode mode,
+                     const std::function<void()> &workload)
+{
+    DifferentialResult res;
+
+    // Pass 1 (instrumented): what the injected code measures.
+    uint64_t tool_a = 0, tool_b = 0;
+    if (mode == DifferentialMode::InstrCount) {
+        InstrCountTool tool;
+        runApp(tool, [&] {
+            workload();
+            tool_a = tool.warpInstrs();
+            tool_b = tool.threadInstrs();
+        });
+    } else {
+        MemDivergenceTool tool;
+        runApp(tool, [&] {
+            workload();
+            tool_a = tool.memInstrs();
+            tool_b = tool.uniqueSectors();
+        });
+    }
+
+    // Pass 2 (clean): what the free-running hardware counters saw.
+    // Separate pass because injected code executes real (counted)
+    // instructions and memory accesses of its own.
+    obs::EventSet ev;
+    {
+        KernelProfilerTool kprof;
+        runApp(kprof, [&] {
+            workload();
+            ev = kprof.totalEvents();
+        });
+    }
+
+    using E = obs::HwEvent;
+    if (mode == DifferentialMode::InstrCount) {
+        res.rows.push_back({"warp_instrs vs inst_executed", tool_a,
+                            ev.get(E::InstExecuted), false});
+        res.rows.push_back(
+            {"thread_instrs vs not_predicated_off_thread_inst_executed",
+             tool_b, ev.get(E::ThreadInstNotPredicatedOff), false});
+    } else {
+        res.rows.push_back(
+            {"mem_instrs vs global requests", tool_a,
+             ev.get(E::GlobalLoadRequests) +
+                 ev.get(E::GlobalStoreRequests) +
+                 ev.get(E::GlobalAtomRequests),
+             false});
+        res.rows.push_back({"unique_sectors vs global sectors", tool_b,
+                            ev.get(E::GlobalLoadSectors) +
+                                ev.get(E::GlobalStoreSectors) +
+                                ev.get(E::GlobalAtomSectors),
+                            false});
+    }
+    res.all_match = true;
+    for (DifferentialRow &r : res.rows) {
+        r.match = r.tool_value == r.counter_value;
+        res.all_match &= r.match;
+    }
+    return res;
+}
+
+} // namespace nvbit::tools

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Kernel-analysis profiler tool (Nsight-Compute-report-style).
+ *
+ * A passive tool: it injects no instrumentation.  It collects the
+ * simulator's free-running hardware counters through the driver's
+ * CUPTI-style event-group API (driver/event_groups.hpp) plus the
+ * per-launch statistics, aggregates them per kernel, and renders a
+ * sectioned analysis report — Speed Of Light, Memory Workload
+ * Analysis, Scheduler Statistics — in text and JSON.
+ *
+ * Because collection is passive and every input is deterministic, the
+ * report is byte-identical across the four engine configurations.
+ *
+ * Teardown is idempotent: `nvbit_at_ctx_term` (explicit cuCtxDestroy)
+ * and `nvbit_at_term` (end of runApp) both finalize, but the report
+ * files are written exactly once.
+ *
+ * The differential mode (runKprofDifferential) cross-validates the
+ * counter subsystem against the instrumentation-based tools: one
+ * instrumented pass measures with injected code, one clean pass reads
+ * the hardware counters, and the rows must agree exactly.
+ */
+#ifndef NVBIT_TOOLS_KERNEL_PROFILER_HPP
+#define NVBIT_TOOLS_KERNEL_PROFILER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/nvbit.hpp"
+#include "driver/event_groups.hpp"
+#include "obs/counters.hpp"
+
+namespace nvbit::tools {
+
+class KernelProfilerTool : public NvbitTool
+{
+  public:
+    struct Options {
+        /** When non-empty, <prefix>.txt and <prefix>.json are written
+         *  at teardown. */
+        std::string output_prefix;
+        /** Max kernels rendered in the text report. */
+        size_t top_n = 16;
+    };
+
+    /** Everything aggregated for one kernel (by name). */
+    struct KernelAgg {
+        std::string name;
+        uint64_t launches = 0;
+        /** Sum of launch cycle totals. */
+        uint64_t cycles = 0;
+        /** Sum over launches of cycles x active SMs. */
+        uint64_t sm_cycle_capacity = 0;
+        obs::EventSet events;
+    };
+
+    KernelProfilerTool() = default;
+    explicit KernelProfilerTool(Options opts) : opts_(std::move(opts)) {}
+
+    /** Per-kernel aggregates, in first-launch order. */
+    const std::vector<KernelAgg> &kernels() const { return kernels_; }
+
+    /** Whole-run event totals (sum over kernels). */
+    obs::EventSet totalEvents() const;
+
+    /** Metric-evaluation inputs for one kernel's aggregate. */
+    obs::MetricInputs metricInputs(const KernelAgg &k) const;
+
+    /**
+     * Whether the event-group accumulation (driver API) agrees with
+     * the tool's own per-launch aggregation.  They measure the same
+     * free-running counters through two paths, so this is always true
+     * unless the driver plumbing regresses; surfaced in the report.
+     */
+    bool eventGroupConsistent() const;
+
+    /** The sectioned text report (also written to <prefix>.txt). */
+    std::string report() const;
+
+    /** Machine-readable document (also written to <prefix>.json). */
+    std::string toJson() const;
+
+    /** How many times finalize actually wrote files (tests assert 1). */
+    unsigned finalizeWrites() const { return finalize_writes_; }
+
+    void nvbit_at_ctx_init(cudrv::CUcontext ctx) override;
+    void nvbit_at_ctx_term(cudrv::CUcontext ctx) override;
+    void nvbit_at_term() override;
+    void nvbit_at_cuda_driver_call(cudrv::CUcontext ctx, bool is_exit,
+                                   CallbackId cbid, const char *name,
+                                   void *params,
+                                   cudrv::CUresult *status) override;
+
+  private:
+    /** Snapshot event-group totals and write report files once. */
+    void finalize();
+
+    /** Read the current totals out of the live event groups. */
+    obs::EventSet readGroupTotals() const;
+
+    Options opts_;
+    std::vector<KernelAgg> kernels_;
+    std::map<std::string, size_t> by_name_;
+    /** One enabled all-events group per context this run created. */
+    std::vector<cudrv::CUeventGroup> groups_;
+    /** Group totals, snapshotted while the groups are still alive. */
+    obs::EventSet group_totals_;
+    bool finalized_ = false;
+    unsigned finalize_writes_ = 0;
+    /** Device constant, captured at first launch exit. */
+    uint64_t max_warps_per_sm_ = 0;
+    uint64_t num_sms_ = 0;
+};
+
+/** Which instrumentation-based tool the differential mode runs. */
+enum class DifferentialMode { InstrCount, MemDivergence };
+
+/** One cross-validated quantity. */
+struct DifferentialRow {
+    std::string quantity;
+    uint64_t tool_value = 0;    ///< measured by injected code
+    uint64_t counter_value = 0; ///< measured by hardware counters
+    bool match = false;
+};
+
+struct DifferentialResult {
+    std::vector<DifferentialRow> rows;
+    bool all_match = false;
+};
+
+/**
+ * Run @p workload twice — once instrumented (InstrCountTool or
+ * MemDivergenceTool), once clean under KernelProfilerTool — and
+ * compare what the injected code measured against the hardware
+ * counters.  Two passes because injected code perturbs the
+ * whole-device counters (tool loads/stores count too); the clean pass
+ * reads what the uninstrumented application did, which is exactly what
+ * the instrumentation-based tool claims to have measured.
+ */
+DifferentialResult
+runKprofDifferential(DifferentialMode mode,
+                     const std::function<void()> &workload);
+
+} // namespace nvbit::tools
+
+#endif // NVBIT_TOOLS_KERNEL_PROFILER_HPP

@@ -7,13 +7,14 @@ namespace {
 /**
  * Divergence-measuring device function.  Mirrors the paper's Listing 8
  * but accumulates exact integer counts: each warp-level access adds 1
- * to mdiv_instrs and its number of distinct 128-byte lines to
- * mdiv_lines (the ratio is the paper's "average cache lines requested
- * per memory instruction").
+ * to mdiv_instrs and its number of distinct 32-byte sectors to
+ * mdiv_sectors (the ratio is the paper's "average cache lines
+ * requested per memory instruction", at the sector granularity the
+ * memory system moves data in).
  */
 const char *kPtx = R"(
 .global .u64 mdiv_instrs;
-.global .u64 mdiv_lines;
+.global .u64 mdiv_sectors;
 .func mdiv_probe(.param .u32 pred, .param .u32 lo, .param .u32 hi,
                  .param .u32 off)
 {
@@ -35,17 +36,17 @@ const char *kPtx = R"(
     ld.param.u32 %a5, [off];
     cvt.s64.s32 %rd4, %a5;
     add.u64 %rd3, %rd3, %rd4;
-    shr.u64 %rd5, %rd3, 7;         // cache line (128 B)
+    shr.u64 %rd5, %rd3, 5;         // memory sector (32 B)
 
-    // Group lanes touching the same line.
+    // Group lanes touching the same sector.
     match.any.sync.b64 %a6, %rd5;
     mov.u32 %a7, %laneid;
     mov.u32 %a8, 1;
     shl.b32 %a8, %a8, %a7;
     sub.u32 %a8, %a8, 1;           // mask of lower lanes
     and.b32 %a9, %a6, %a8;
-    setp.eq.u32 %p2, %a9, 0;       // line leader?
-    vote.ballot.b32 %a6, %p2;      // one bit per distinct line
+    setp.eq.u32 %p2, %a9, 0;       // sector leader?
+    vote.ballot.b32 %a6, %p2;      // one bit per distinct sector
     popc.b32 %a6, %a6;
 
     // Warp leader (lowest participating lane) does the bookkeeping.
@@ -55,7 +56,7 @@ const char *kPtx = R"(
     mov.u64 %rd6, mdiv_instrs;
     mov.u64 %rd7, 1;
     atom.global.add.u64 %rd8, [%rd6], %rd7;
-    mov.u64 %rd6, mdiv_lines;
+    mov.u64 %rd6, mdiv_sectors;
     cvt.u64.u32 %rd7, %a6;
     atom.global.add.u64 %rd8, [%rd6], %rd7;
 SKIP:
@@ -102,10 +103,10 @@ MemDivergenceTool::memInstrs() const
 }
 
 uint64_t
-MemDivergenceTool::uniqueLines() const
+MemDivergenceTool::uniqueSectors() const
 {
     uint64_t v = 0;
-    nvbit_read_tool_global("mdiv_lines", &v, sizeof(v));
+    nvbit_read_tool_global("mdiv_sectors", &v, sizeof(v));
     return v;
 }
 
@@ -114,7 +115,7 @@ MemDivergenceTool::divergence() const
 {
     uint64_t n = memInstrs();
     return n == 0 ? 0.0
-                  : static_cast<double>(uniqueLines()) /
+                  : static_cast<double>(uniqueSectors()) /
                         static_cast<double>(n);
 }
 
@@ -123,7 +124,7 @@ MemDivergenceTool::reset()
 {
     uint64_t z = 0;
     nvbit_write_tool_global("mdiv_instrs", &z, sizeof(z));
-    nvbit_write_tool_global("mdiv_lines", &z, sizeof(z));
+    nvbit_write_tool_global("mdiv_sectors", &z, sizeof(z));
 }
 
 } // namespace nvbit::tools

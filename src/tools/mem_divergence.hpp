@@ -1,8 +1,15 @@
 /**
  * @file
  * Memory-access address-divergence tool (paper Listing 8, Section 6.1):
- * computes the number of unique cache lines requested by each
+ * computes the number of unique memory sectors requested by each
  * warp-level global-memory instruction.
+ *
+ * Granularity change: this tool originally grouped lane addresses by
+ * 128-byte cache line; it now groups by 32-byte *sector*, the unit the
+ * memory system actually moves (4 sectors per line).  The simulator's
+ * `unique_sectors_sum` oracle and the `gld/gst_transactions_per_request`
+ * hardware counters measure the same quantity, so the three agree
+ * exactly.
  */
 #ifndef NVBIT_TOOLS_MEM_DIVERGENCE_HPP
 #define NVBIT_TOOLS_MEM_DIVERGENCE_HPP
@@ -17,25 +24,26 @@ namespace nvbit::tools {
  * For every global-memory instruction, the injected function combines
  * the base-register pair and displacement into the accessed address
  * (exactly the signature used in the paper: predicate, two register
- * values, one immediate), groups equal cache lines with MATCH.ANY, and
- * accumulates the unique-line count and the warp-level memory
+ * values, one immediate), groups equal sectors with MATCH.ANY, and
+ * accumulates the unique-sector count and the warp-level memory
  * instruction count.
  */
 class MemDivergenceTool : public LaunchInstrumentingTool
 {
   public:
-    /** Cache-line size used for grouping (paper: LOG2_CACHE_LINE). */
-    static constexpr unsigned kLineBytes = 128;
+    /** Sector size used for grouping (paper: LOG2_CACHE_LINE; here
+     *  log2(32) — see the granularity note above). */
+    static constexpr unsigned kSectorBytes = 32;
 
     MemDivergenceTool();
 
     /** Warp-level global-memory instructions observed. */
     uint64_t memInstrs() const;
 
-    /** Total unique cache lines requested. */
-    uint64_t uniqueLines() const;
+    /** Total unique 32-byte sectors requested. */
+    uint64_t uniqueSectors() const;
 
-    /** Average cache lines requested per warp-level memory instr. */
+    /** Average sectors requested per warp-level memory instr. */
     double divergence() const;
 
     void reset();

@@ -114,21 +114,22 @@ TEST_F(ToolsTest, InstrCountMatchesOracleOnDivergentKernel)
     EXPECT_EQ(warps, native.warp_instrs);
 }
 
-TEST_F(ToolsTest, MemDivergenceCoalescedIsOneLinePerAccess)
+TEST_F(ToolsTest, MemDivergenceCoalescedIsFourSectorsPerAccess)
 {
     StrideApp app;
     app.n = 256;
     app.stride = 1;
     MemDivergenceTool tool;
-    uint64_t instrs = 0, lines = 0;
+    uint64_t instrs = 0, sectors = 0;
     runApp(tool, [&] {
         app();
         instrs = tool.memInstrs();
-        lines = tool.uniqueLines();
+        sectors = tool.uniqueSectors();
     });
-    // 8 warps x (1 load + 1 store), all fully coalesced.
+    // 8 warps x (1 load + 1 store), all fully coalesced: 32 lanes x
+    // 4 bytes span 128 B = 4 distinct 32-byte sectors per access.
     EXPECT_EQ(instrs, 16u);
-    EXPECT_EQ(lines, 16u);
+    EXPECT_EQ(sectors, 64u);
 }
 
 TEST_F(ToolsTest, MemDivergenceMatchesSimulatorOracle)
@@ -146,15 +147,16 @@ TEST_F(ToolsTest, MemDivergenceMatchesSimulatorOracle)
             });
         }
         MemDivergenceTool tool;
-        uint64_t instrs = 0, lines = 0;
+        uint64_t instrs = 0, sectors = 0;
         runApp(tool, [&] {
             app();
             instrs = tool.memInstrs();
-            lines = tool.uniqueLines();
+            sectors = tool.uniqueSectors();
         });
         EXPECT_EQ(instrs, native.global_mem_warp_instrs)
             << "stride " << stride;
-        EXPECT_EQ(lines, native.unique_lines_sum) << "stride " << stride;
+        EXPECT_EQ(sectors, native.unique_sectors_sum)
+            << "stride " << stride;
     }
 }
 
