@@ -13,6 +13,7 @@
  * ilbdc (many unique short kernels), disassembly dominating.
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -29,20 +30,25 @@ using namespace nvbit::cudrv;
 namespace {
 
 void
-runWorkload(const std::string &name)
+runWorkload(const std::string &name, workloads::ProblemSize size)
 {
     checkCu(cuInit(0), "cuInit");
     CUcontext ctx;
     checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
     auto wl = workloads::makeSpecWorkload(name);
-    wl->run(workloads::ProblemSize::Medium);
+    wl->run(size);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // `--smoke` switches to the test problem size; CI uses it as a
+    // fast artifact-path check, not a measurement.
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Medium;
     std::printf("Figure 5: JIT-compilation overhead breakdown "
                 "(%% of native execution time)\n");
     std::printf("%-10s %9s %9s %9s %9s %9s %9s %9s\n", "workload",
@@ -59,7 +65,7 @@ main()
         uint64_t t0 = nowNs();
         {
             NvbitTool passive;
-            runApp(passive, [&] { runWorkload(name); });
+            runApp(passive, [&] { runWorkload(name, size); });
         }
         double native_ns = static_cast<double>(nowNs() - t0);
 
@@ -68,7 +74,7 @@ main()
         {
             tools::InstrCountTool tool;
             runApp(tool, [&] {
-                runWorkload(name);
+                runWorkload(name, size);
                 js = nvbit_get_jit_stats();
             });
         }
@@ -119,6 +125,7 @@ main()
         "fig5_jit_overhead", "workloads", rows,
         {{"mean_total_pct", bench::jNum(sum_total / n)},
          {"worst_workload", bench::jStr(max_name)},
-         {"worst_total_pct", bench::jNum(max_total)}});
+         {"worst_total_pct", bench::jNum(max_total)},
+         {"problem_size", bench::jStr(smoke ? "test" : "medium")}});
     return 0;
 }

@@ -6,6 +6,7 @@
  * inside the libraries (74-96%, average 88% in the paper).
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench_json.hpp"
@@ -19,8 +20,13 @@ using namespace nvbit;
 using namespace nvbit::cudrv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // `--smoke` switches to the test problem size; CI uses it as a
+    // fast artifact-path check, not a measurement.
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    workloads::ProblemSize size = smoke ? workloads::ProblemSize::Test
+                                        : workloads::ProblemSize::Medium;
     std::printf("Figure 6: avg unique 32B sectors per warp-level "
                 "global memory instruction\n");
     std::printf("%-12s %12s %12s %10s %16s\n", "workload", "libs incl.",
@@ -42,7 +48,7 @@ main()
                 CUcontext ctx;
                 checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
                 auto wl = workloads::makeMlWorkload(name);
-                wl->run(workloads::ProblemSize::Medium);
+                wl->run(size);
                 uint64_t lib = 0;
                 for (const auto &[mod, st] : perModuleStats()) {
                     for (CUmodule m : wl->libraryModules())
@@ -72,7 +78,7 @@ main()
                         return true;
                     });
                 }
-                wl->run(workloads::ProblemSize::Medium);
+                wl->run(size);
                 if (include_libs)
                     div_with = tool.divergence();
                 else
@@ -109,6 +115,7 @@ main()
         {{"lib_share_min_pct", bench::jNum(share_min)},
          {"lib_share_max_pct", bench::jNum(share_max)},
          {"lib_share_mean_pct",
-          bench::jNum(share_sum / static_cast<double>(count))}});
+          bench::jNum(share_sum / static_cast<double>(count))},
+         {"problem_size", bench::jStr(smoke ? "test" : "medium")}});
     return 0;
 }

@@ -247,6 +247,7 @@ struct EngineResult {
     const char *kernel;
     sim::ExecMode mode;
     bool predecode;
+    bool traces = false;
     double ms_per_launch = 0.0;
     double warp_mips = 0.0;
     uint64_t warp_instrs = 0;
@@ -258,21 +259,22 @@ struct EngineResult {
 EngineResult
 runEngine(const char *name, sim::ExecMode mode, bool predecode,
           uint32_t block, const char *kernel, int reps,
-          uint64_t sample_period = 0)
+          uint64_t sample_period = 0, bool traces = false)
 {
     sim::GpuConfig cfg;
     cfg.mem_bytes = 16 << 20;
     cfg.exec_mode = mode;
     cfg.use_predecode = predecode;
+    cfg.use_traces = traces;
     cfg.pc_sample_period = sample_period;
     sim::GpuDevice gpu(cfg);
     sim::LaunchParams lp = placeLoopKernel(gpu, block);
 
-    gpu.launch(lp); // warm-up (predecode pages, pool threads)
+    gpu.launch(lp); // warm-up (predecode pages, pool threads, traces)
 
     // Min over repetitions: robust against scheduler noise on a
     // loaded machine (any one launch can only be slowed down).
-    EngineResult r{name, kernel, mode, predecode, 0, 0, 0, 0, 0, 0};
+    EngineResult r{name, kernel, mode, predecode, traces, 0, 0, 0, 0, 0, 0};
     uint64_t best = UINT64_MAX;
     for (int i = 0; i < reps; ++i) {
         uint64_t t0 = nowNs();
@@ -316,6 +318,13 @@ emitEngineComparison()
         // throughput ratio vs row [3] bounds the sampling machinery.
         runEngine("parallel_predecode_sampled", sim::ExecMode::Parallel,
                   true, 256, "throughput", 5, 1000),
+        // Trace-compiled threaded-code engine: superblocks of the hot
+        // loop body execute as pre-bound handler arrays.  The serial
+        // row against row [1] is the trace_speedup acceptance ratio.
+        runEngine("serial_traced", sim::ExecMode::Serial, true, 256,
+                  "throughput", 5, 0, true),
+        runEngine("parallel_traced", sim::ExecMode::Parallel, true, 256,
+                  "throughput", 5, 0, true),
     };
 
     std::printf("\nExecution-engine comparison (loop kernel, grid 4)\n");
@@ -342,13 +351,14 @@ emitEngineComparison()
             f,
             "    {\"engine\": \"%s\", \"kernel\": \"%s\", "
             "\"exec_mode\": \"%s\", "
-            "\"predecode\": %s, \"ms_per_launch\": %.3f, "
+            "\"predecode\": %s, \"traces\": %s, \"ms_per_launch\": %.3f, "
             "\"warp_mips\": %.2f, \"warp_instrs\": %llu, "
             "\"decode_cache_hits\": %llu, "
             "\"decode_cache_misses\": %llu, \"pages_built\": %llu}%s\n",
             r.name, r.kernel,
             r.mode == sim::ExecMode::Serial ? "serial" : "parallel",
-            r.predecode ? "true" : "false", r.ms_per_launch, r.warp_mips,
+            r.predecode ? "true" : "false", r.traces ? "true" : "false",
+            r.ms_per_launch, r.warp_mips,
             static_cast<unsigned long long>(r.warp_instrs),
             static_cast<unsigned long long>(r.decode_cache_hits),
             static_cast<unsigned long long>(r.decode_cache_misses),
@@ -363,18 +373,20 @@ emitEngineComparison()
     double sp_pre_tp = ratio(results[0], results[1]);
     double sp_pre_fe = ratio(results[4], results[5]);
     double samp_ovh = ratio(results[6], results[3]);
+    double sp_trace = ratio(results[1], results[7]);
     std::fprintf(f,
                  "  ],\n"
                  "  \"speedup_default_vs_reference\": %.3f,\n"
                  "  \"speedup_predecode_throughput\": %.3f,\n"
                  "  \"speedup_predecode_frontend\": %.3f,\n"
-                 "  \"sampling_overhead_throughput\": %.3f\n}\n",
-                 sp_default, sp_pre_tp, sp_pre_fe, samp_ovh);
+                 "  \"sampling_overhead_throughput\": %.3f,\n"
+                 "  \"trace_speedup\": %.3f\n}\n",
+                 sp_default, sp_pre_tp, sp_pre_fe, samp_ovh, sp_trace);
     std::fclose(f);
     std::printf("wrote %s (predecode speedup: %.2fx throughput kernel, "
                 "%.2fx frontend kernel; default engine vs reference: "
-                "%.2fx)\n",
-                path, sp_pre_tp, sp_pre_fe, sp_default);
+                "%.2fx; trace speedup: %.2fx)\n",
+                path, sp_pre_tp, sp_pre_fe, sp_default, sp_trace);
 }
 
 } // namespace

@@ -9,6 +9,12 @@
 # the warp-scheduler loop (the PC-sampling work's documented budget is
 # one relaxed load when disabled).
 #
+# The guard is two-sided: a row more than 25% FASTER than the baseline
+# also fails.  An unexpected speedup usually means the engine stopped
+# doing work it should do (a skipped charge, a dropped differential
+# check) or the baseline is stale; either way a human should look and,
+# if the speedup is real, refresh the baseline deliberately.
+#
 # Usage: scripts/bench_guard.sh [--update]
 #   --update   refresh the committed baseline from a fresh run instead
 #              of diffing (use on a quiet machine, then commit).
@@ -19,6 +25,7 @@ cd "$(dirname "$0")/.."
 baseline=bench/baselines/BENCH_micro_core.baseline.json
 fresh=BENCH_micro_core.json
 threshold=0.75 # fresh/baseline warp-MIPS ratio below this fails
+upper=1.25     # ...and above this fails too (unexpected improvement)
 
 if [[ ! -x build/bench/micro_core ]]; then
     echo "bench_guard: build/bench/micro_core missing (build first)" >&2
@@ -41,11 +48,12 @@ if [[ ! -s "$baseline" ]]; then
     exit 1
 fi
 
-python3 - "$baseline" "$fresh" "$threshold" <<'EOF'
+python3 - "$baseline" "$fresh" "$threshold" "$upper" <<'EOF'
 import json
 import sys
 
-baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+threshold, upper = float(sys.argv[3]), float(sys.argv[4])
 with open(baseline_path) as f:
     base = json.load(f)
 with open(fresh_path) as f:
@@ -60,14 +68,21 @@ for key in sorted(base_rows.keys() & fresh_rows.keys()):
     b = base_rows[key]["warp_mips"]
     f = fresh_rows[key]["warp_mips"]
     ratio = f / b if b else 1.0
-    status = "OK" if ratio >= threshold else "REGRESSION"
+    if ratio < threshold:
+        status = "REGRESSION"
+    elif ratio > upper:
+        status = "UNEXPECTED IMPROVEMENT"
+    else:
+        status = "OK"
     print(f"  {key[1]:<12} {key[0]:<26} {b:8.2f} -> {f:8.2f} MIPS "
           f"({ratio:5.2f}x) {status}")
-    if ratio < threshold:
+    if status != "OK":
         failed = True
 if failed:
-    print(f"bench_guard: scheduler hot path regressed more than "
-          f"{(1 - threshold) * 100:.0f}% vs {baseline_path}", file=sys.stderr)
+    print(f"bench_guard: hot-path throughput moved more than "
+          f"{(1 - threshold) * 100:.0f}% from {baseline_path}; if the "
+          f"change is intentional, rerun with --update and commit the "
+          f"new baseline", file=sys.stderr)
     sys.exit(1)
 print("bench_guard: hot path within budget")
 EOF

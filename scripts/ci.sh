@@ -29,14 +29,19 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "==> bench smoke: micro_core (one filter) + figure --smoke runs"
 ./build/bench/micro_core --benchmark_filter=BM_EncodeDecode \
     --benchmark_min_time=0.01
+./build/bench/fig5_jit_overhead --smoke
+./build/bench/fig6_mem_divergence --smoke
 ./build/bench/fig7_instr_histogram --smoke
 ./build/bench/fig8_sampling_slowdown --smoke
 ./build/bench/fig9_sampling_error --smoke
 ./build/bench/fig_pcsamp_overhead --smoke
 ./build/bench/fig_counter_overhead --smoke
-for artifact in BENCH_micro_core.json BENCH_fig7_instr_histogram.json \
+./build/bench/tab_wfft_emulation --smoke
+for artifact in BENCH_micro_core.json BENCH_fig5_jit_overhead.json \
+    BENCH_fig6_mem_divergence.json BENCH_fig7_instr_histogram.json \
     BENCH_fig8_sampling_slowdown.json BENCH_fig9_sampling_error.json \
-    BENCH_fig_pcsamp_overhead.json BENCH_fig_counter_overhead.json; do
+    BENCH_fig_pcsamp_overhead.json BENCH_fig_counter_overhead.json \
+    BENCH_tab_wfft_emulation.json; do
     if [[ ! -s "$artifact" ]]; then
         echo "ci: missing bench artifact $artifact" >&2
         exit 1
@@ -53,6 +58,9 @@ if [[ "$run_sanitize" == 1 ]]; then
 
     echo "==> sanitize: ctest"
     ctest --preset sanitize
+
+    echo "==> sanitize: ctest (traced execution engine)"
+    NVBIT_SIM_TRACES=1 ctest --preset sanitize
 fi
 
 echo "==> CI OK"

@@ -77,6 +77,7 @@ NvbitCore::uninject()
     restore_addr_.clear();
     fstate_.clear();
     instr_owner_.clear();
+    probe_decls_.clear();
     jit_ = JitStats{};
 }
 
@@ -442,9 +443,30 @@ struct PendingTrampoline {
     size_t offset = 0;       ///< byte offset within the bulk region
     size_t orig_slot = 0;    ///< instruction slot of the relocated orig
     bool has_orig = false;   ///< false under nvbit_remove_orig
+    /** Set when the callsite matched a declared inline-probe shape;
+     *  registered with the device once the region address is known. */
+    bool inlinable = false;
+    sim::InlineProbe probe{};
 };
 
 } // namespace
+
+void
+NvbitCore::declareInlineProbe(const std::string &name,
+                              const nvbit_probe_desc &desc)
+{
+    ProbeDecl d;
+    d.ballot_guard = desc.ballot_guard;
+    if (desc.warp_counter)
+        d.warp_counter = desc.warp_counter;
+    if (desc.thread_counter)
+        d.thread_counter = desc.thread_counter;
+    if (desc.table_ptr)
+        d.table_ptr = desc.table_ptr;
+    d.index_arg = desc.index_arg;
+    d.scale_arg = desc.scale_arg;
+    probe_decls_[name] = std::move(d);
+}
 
 unsigned
 NvbitCore::pickSaveBucket(const FuncState &st,
@@ -620,11 +642,76 @@ NvbitCore::generate(FuncState &st)
         st.tramp_bytes = 0;
     }
     st.tramp_spans.clear();
+    // Inline probes registered by a previous generation point at the
+    // trampolines just freed; drop them before registering new ones.
+    gpu.clearInlineProbes(f->code_addr, f->code_size);
 
     st.instrumented_code = st.original_code;
     unsigned max_k = 0;
     uint32_t tool_regs = 0;
     uint32_t tool_stack = 0;
+
+    // Does this callsite's request list match a declared inline-probe
+    // shape exactly?  Single IPOINT_BEFORE call, original kept, every
+    // argument accounted for by the declaration, all named tool
+    // globals resolvable.  Anything else falls back to the trampoline.
+    auto resolveGlobal = [&](const std::string &nm, uint64_t &out) {
+        if (nm.empty()) {
+            out = 0;
+            return true;
+        }
+        if (!tool_module_)
+            return false;
+        auto git = tool_module_->globals.find(nm);
+        if (git == tool_module_->globals.end())
+            return false;
+        out = git->second.first;
+        return true;
+    };
+    auto matchProbe = [&](const InstrRequests &reqs, const Instr &I,
+                          sim::InlineProbe &p) {
+        if (reqs.before.size() != 1 || !reqs.after.empty() ||
+            reqs.remove_orig)
+            return false;
+        const CallRequest &req = reqs.before.front();
+        auto dit = probe_decls_.find(req.func_name);
+        if (dit == probe_decls_.end())
+            return false;
+        const ProbeDecl &d = dit->second;
+        std::vector<bool> used(req.args.size(), false);
+        if (d.ballot_guard) {
+            if (req.args.empty() ||
+                req.args[0].kind != CallRequest::ArgKind::GuardPred)
+                return false;
+            used[0] = true;
+        }
+        auto takeImm = [&](int pos, uint64_t &v) {
+            if (pos < 0)
+                return true; // declaration does not use this term
+            if (pos >= static_cast<int>(req.args.size()) || used[pos] ||
+                req.args[pos].kind != CallRequest::ArgKind::Imm32)
+                return false;
+            v = req.args[pos].v0;
+            used[pos] = true;
+            return true;
+        };
+        uint64_t index = 0;
+        uint64_t scale = 1;
+        if (!takeImm(d.index_arg, index) || !takeImm(d.scale_arg, scale))
+            return false;
+        for (bool u : used)
+            if (!u)
+                return false; // an argument the shape cannot explain
+        if (!resolveGlobal(d.warp_counter, p.warp_counter) ||
+            !resolveGlobal(d.thread_counter, p.thread_counter) ||
+            !resolveGlobal(d.table_ptr, p.table_ptr))
+            return false;
+        p.ballot_guard = d.ballot_guard;
+        p.index = static_cast<uint32_t>(index);
+        p.scale = scale;
+        p.orig = I.decoded(); // un-relocated: replayed at the callsite pc
+        return true;
+    };
 
     std::vector<PendingTrampoline> tramps;
     for (auto &[idx, reqs] : st.requests) {
@@ -690,6 +777,8 @@ NvbitCore::generate(FuncState &st)
         // Return to the next PC of the instrumented code.
         tr.code.push_back(
             isa::makeJmpAbs(f->code_addr + (idx + 1) * ib));
+        if (!probe_decls_.empty() && matchProbe(reqs, I, tr.probe))
+            tr.inlinable = true;
         tramps.push_back(std::move(tr));
     }
 
@@ -743,6 +832,11 @@ NvbitCore::generate(FuncState &st)
             Instruction jmp = isa::makeJmpAbs(base);
             hal_->assemble(jmp, st.instrumented_code.data() +
                                     tr.instr_idx * ib);
+            if (tr.inlinable) {
+                tr.probe.jmp_pc = f->code_addr + tr.instr_idx * ib;
+                tr.probe.tramp_target = base;
+                gpu.registerInlineProbe(tr.probe);
+            }
             ++jit_.trampolines_generated;
         }
         gpu.memory().write(st.tramp_base, bulk.data(), bulk.size());
@@ -1013,6 +1107,7 @@ NvbitCore::resetInstrumented(CUcontext ctx, CUfunction f)
         st.tramp_base = 0;
         st.tramp_bytes = 0;
     }
+    cudrv::device().clearInlineProbes(f->code_addr, f->code_size);
     st.tramp_spans.clear();
     st.requests.clear();
     st.last_call = nullptr;
@@ -1029,6 +1124,8 @@ NvbitCore::onModuleUnload(cudrv::CUmodule mod)
     for (auto it = fstate_.begin(); it != fstate_.end();) {
         if (it->first->mod == mod) {
             FuncState &st = *it->second;
+            cudrv::device().clearInlineProbes(it->first->code_addr,
+                                              it->first->code_size);
             if (st.tramp_base)
                 cudrv::device().memory().free(st.tramp_base);
             for (Instr *i : st.instr_ptrs)

@@ -135,6 +135,10 @@ class NvbitCore
     // --- Tool globals ----------------------------------------------------
     cudrv::CUdeviceptr toolGlobal(const char *name);
 
+    // --- Inline probes ---------------------------------------------------
+    void declareInlineProbe(const std::string &name,
+                            const nvbit_probe_desc &desc);
+
     const JitStats &jitStats() const { return jit_; }
 
     /**
@@ -227,6 +231,18 @@ class NvbitCore
 
     std::map<cudrv::CUfunction, std::unique_ptr<FuncState>> fstate_;
     std::map<const Instr *, FuncState *> instr_owner_;
+
+    /** Owned copy of one nvbit_probe_desc (string lifetimes). */
+    struct ProbeDecl {
+        bool ballot_guard = false;
+        std::string warp_counter;
+        std::string thread_counter;
+        std::string table_ptr;
+        int index_arg = -1;
+        int scale_arg = -1;
+    };
+    /** Declared inlinable tool functions (nvbit_declare_inline_probe). */
+    std::map<std::string, ProbeDecl> probe_decls_;
 
     JitStats jit_;
 };

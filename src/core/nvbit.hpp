@@ -181,6 +181,47 @@ void nvbit_enable_instrumented(CUcontext ctx, CUfunction func,
 /** Discard all instrumentation of @p func and restore original code. */
 void nvbit_reset_instrumented(CUcontext ctx, CUfunction func);
 
+// --- Inline-probe declaration (trace engine fast path) ---------------------
+
+/**
+ * Declared semantics of an inlinable instrumentation function.  A tool
+ * that injects a device function whose whole effect is the canonical
+ * counting pattern
+ *
+ *   P = popc(ballot(guard))        (or popc(active) without a guard arg)
+ *   warp_counter   += scale                        (always)
+ *   thread_counter += P * scale                    (when P != 0)
+ *   (*table_ptr)[index] += P * scale               (when P != 0)
+ *
+ * can declare that shape up front.  When the trace engine is on
+ * (GpuConfig::use_traces / NVBIT_SIM_TRACES) and a callsite's
+ * arguments match the declaration, the simulator executes these
+ * semantics directly at the callsite instead of interpreting the
+ * save/marshal/call/restore trampoline — same tool-visible counters,
+ * a fraction of the issue slots.  Callsites that do not match (extra
+ * arguments, IPOINT_AFTER, nvbit_remove_orig) fall back to the
+ * trampoline transparently, as does the whole path when the trace
+ * engine is off.  Null/negative fields disable the respective term.
+ */
+struct nvbit_probe_desc {
+    /** First argument is the guard predicate (added with
+     *  nvbit_add_call_arg_guard_pred_val); P counts guard-passing
+     *  lanes instead of all active lanes. */
+    bool ballot_guard = false;
+    const char *warp_counter = nullptr;   ///< tool global (u64)
+    const char *thread_counter = nullptr; ///< tool global (u64)
+    /** Tool global holding a device *pointer* to a u64 table. */
+    const char *table_ptr = nullptr;
+    int index_arg = -1; ///< arg position of the imm32 table index
+    int scale_arg = -1; ///< arg position of an imm32 count multiplier
+};
+
+/** Declare @p dev_func_name (a tool device function) inlinable with
+ *  the semantics of @p desc.  Call from the tool constructor, after
+ *  exportDeviceFunctions. */
+void nvbit_declare_inline_probe(const char *dev_func_name,
+                                const nvbit_probe_desc &desc);
+
 // --- Tool helpers ------------------------------------------------------------
 
 /**

@@ -122,6 +122,13 @@ nvbit_reset_instrumented(CUcontext ctx, CUfunction func)
     NvbitCore::instance().resetInstrumented(ctx, func);
 }
 
+void
+nvbit_declare_inline_probe(const char *dev_func_name,
+                           const nvbit_probe_desc &desc)
+{
+    NvbitCore::instance().declareInlineProbe(dev_func_name, desc);
+}
+
 CUdeviceptr
 nvbit_tool_global(const char *name)
 {

@@ -161,6 +161,55 @@ struct Instruction {
     std::string toString() const;
 };
 
+/**
+ * Static operand *shape* of one decoded instruction: which operand
+ * roles are live, their widths, and whether predicate state is read
+ * or written.  The trace compiler keys handler specialisation on this
+ * (CuLifter-style "recover the operand pattern once, ahead of time")
+ * so the per-execution path never re-interprets operand descriptors.
+ */
+struct OperandShape {
+    OpFormat format = OpFormat::Nullary;
+    DType dtype = DType::U32; ///< modGetDType (Setp: modGetSetpDType)
+    bool imm_src2 = false;    ///< second source is the immediate field
+    bool guarded = false;     ///< has a non-trivial guard predicate
+    bool reads_preds = false; ///< reads predicate file beyond the guard
+    bool writes_preds = false;///< writes the predicate file
+    bool pair_width = false;  ///< 64-bit operands (register pairs)
+};
+
+/** @return the operand shape of @p in (pure function of its fields). */
+inline OperandShape
+operandShape(const Instruction &in)
+{
+    OperandShape s;
+    s.format = in.info().format;
+    s.guarded = !in.alwaysExecutes();
+    switch (s.format) {
+      case OpFormat::Setp:
+        s.dtype = modGetSetpDType(in.mod);
+        s.imm_src2 = (in.mod & kModSetpImm) != 0;
+        s.writes_preds = true;
+        break;
+      case OpFormat::Shfl:
+        s.dtype = modGetDType(in.mod);
+        s.imm_src2 = (in.mod & kModShflImm) != 0;
+        break;
+      default:
+        s.dtype = modGetDType(in.mod);
+        s.imm_src2 = (in.mod & kModImmSrc2) != 0;
+        break;
+    }
+    if (s.format == OpFormat::AluSel || in.op == Opcode::P2R)
+        s.reads_preds = true;
+    if (in.op == Opcode::R2P)
+        s.writes_preds = true;
+    if (s.format == OpFormat::Vote)
+        s.reads_preds = true;
+    s.pair_width = s.dtype == DType::U64 || (in.mod & kModSize64) != 0;
+    return s;
+}
+
 // --- Convenience builders (used by the compiler, trampoline generator,
 //     save/restore routine builder, and tests) ------------------------------
 

@@ -31,6 +31,8 @@ applyEnvOverrides(GpuConfig &cfg)
     }
     if (const char *p = std::getenv("NVBIT_SIM_PREDECODE"))
         cfg.use_predecode = std::strcmp(p, "0") != 0;
+    if (const char *t = std::getenv("NVBIT_SIM_TRACES"))
+        cfg.use_traces = std::strcmp(t, "0") != 0;
     if (const char *w = std::getenv("NVBIT_SIM_WATCHDOG_CYCLES")) {
         char *end = nullptr;
         unsigned long long v = std::strtoull(w, &end, 0);
@@ -66,11 +68,13 @@ GpuDevice::GpuDevice(const GpuConfig &cfg)
         std::getenv("NVBIT_SIM_PC_SAMPLING") == nullptr)
         cfg_.pc_sample_period = obs::Profiler::instance().requestedPeriod();
     code_cache_ = std::make_unique<CodeCache>(*memory_, cfg_.family);
+    trace_cache_ = std::make_unique<TraceCache>(*memory_, cfg_.family);
     pool_ = std::make_unique<ThreadPool>();
     // Host-side writes (module loads, trampoline patches, cuMemcpy)
-    // invalidate any stale predecoded pages they overlap.
+    // invalidate any stale predecoded pages and traces they overlap.
     memory_->setWriteObserver([this](mem::DevPtr addr, size_t bytes) {
         code_cache_->invalidateRange(addr, bytes);
+        trace_cache_->invalidateRange(addr, bytes);
     });
 }
 
@@ -84,12 +88,26 @@ GpuDevice::invalidateCaches()
 {
     caches_.invalidateAll();
     code_cache_->invalidateAll();
+    trace_cache_->invalidateAll();
 }
 
 void
 GpuDevice::invalidateCodeRange(mem::DevPtr addr, size_t bytes)
 {
     code_cache_->invalidateRange(addr, bytes);
+    trace_cache_->invalidateRange(addr, bytes);
+}
+
+void
+GpuDevice::registerInlineProbe(const InlineProbe &p)
+{
+    trace_cache_->registerProbe(p);
+}
+
+void
+GpuDevice::clearInlineProbes(mem::DevPtr addr, size_t bytes)
+{
+    trace_cache_->clearProbesInRange(addr, bytes);
 }
 
 void
@@ -119,6 +137,7 @@ GpuDevice::launch(const LaunchParams &lp)
     // No execution threads exist between launches: safe to reclaim
     // pages invalidated since the previous launch.
     code_cache_->collectRetired();
+    trace_cache_->collectRetired();
 
     // Enumerate the grid and assign CTAs round-robin over SMs.
     std::vector<CtaWork> all;
@@ -132,11 +151,12 @@ GpuDevice::launch(const LaunchParams &lp)
 
     const unsigned nsm = cfg_.num_sms;
     CodeCache *cc = cfg_.use_predecode ? code_cache_.get() : nullptr;
+    TraceCache *tc = cfg_.use_traces ? trace_cache_.get() : nullptr;
     std::vector<std::unique_ptr<SmExecutor>> execs;
     execs.reserve(nsm);
     for (unsigned sm = 0; sm < nsm; ++sm)
         execs.push_back(std::make_unique<SmExecutor>(
-            sm, cfg_, *memory_, caches_, cc));
+            sm, cfg_, *memory_, caches_, cc, tc));
 
     std::vector<std::vector<CtaWork>> per_sm(nsm);
     for (const CtaWork &w : all)

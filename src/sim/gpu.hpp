@@ -45,6 +45,7 @@
 #include "sim/launch.hpp"
 #include "sim/predecode.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace_cache.hpp"
 
 namespace nvbit::sim {
 
@@ -96,6 +97,22 @@ class GpuDevice
     /** The shared predecode cache (stats/inspection). */
     const CodeCache &codeCache() const { return *code_cache_; }
 
+    /** The shared trace cache (stats/inspection).  Always present —
+     *  probes can be registered before the engine is switched on. */
+    const TraceCache &traceCache() const { return *trace_cache_; }
+
+    /**
+     * Register an inlinable instrumentation callsite (called by the
+     * NVBit core after patching the jump-to-trampoline).  The trace
+     * engine executes the probe's ballot/popc/atomic-add semantics
+     * directly instead of interpreting the trampoline.
+     */
+    void registerInlineProbe(const InlineProbe &p);
+
+    /** Drop inline probes registered in [addr, addr+bytes) — called on
+     *  re-instrumentation, reset and module unload. */
+    void clearInlineProbes(mem::DevPtr addr, size_t bytes);
+
   private:
     /** Publish the launch's merged stats + per-SM shards to the
      *  obs::MetricsRegistry (one LaunchRecord per successful launch). */
@@ -108,6 +125,7 @@ class GpuDevice
     std::unique_ptr<mem::DeviceMemory> memory_;
     CacheHierarchy caches_;
     std::unique_ptr<CodeCache> code_cache_;
+    std::unique_ptr<TraceCache> trace_cache_;
     std::unique_ptr<ThreadPool> pool_;
     LaunchStats totals_;
 };

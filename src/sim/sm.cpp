@@ -1,5 +1,6 @@
 #include "sim/sm.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <iterator>
 
@@ -10,13 +11,17 @@ namespace nvbit::sim {
 
 SmExecutor::SmExecutor(unsigned sm, const GpuConfig &cfg,
                        mem::DeviceMemory &mem, CacheHierarchy &caches,
-                       CodeCache *code_cache)
+                       CodeCache *code_cache, TraceCache *trace_cache)
     : sm_(sm), cfg_(cfg), mem_(mem), caches_(caches),
-      code_cache_(code_cache), ib_(isa::instrBytes(cfg.family)),
+      code_cache_(code_cache), trace_cache_(trace_cache),
+      ib_(isa::instrBytes(cfg.family)),
       ib_shift_(std::countr_zero(ib_)),
       sample_period_(cfg.pc_sample_period),
       next_sample_(cfg.pc_sample_period)
-{}
+{
+    if (trace_cache_)
+        strip_regs_.resize(TraceCompiler::kMaxSlots * kWarpSize);
+}
 
 const isa::Instruction *
 SmExecutor::byteDecode(uint64_t pc, isa::Instruction &scratch)
@@ -255,8 +260,10 @@ SmExecutor::addReplayCycles(uint64_t c, uint64_t pc, uint32_t warp,
 }
 
 SmExecutor::StepResult
-SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
+SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w,
+                     unsigned budget, unsigned &consumed)
 {
+    consumed = 1;
     WarpScheduler::IssueSlot slot;
     switch (sched.pick(w, slot)) {
       case WarpScheduler::Pick::AllExited:
@@ -272,6 +279,17 @@ SmExecutor::stepWarp(WarpScheduler &sched, Interpreter &interp, unsigned w)
       case WarpScheduler::Pick::Issue:
         noteWarpReadiness(w, true);
         break;
+    }
+    // Trace engine: under the convergence guard, replay a compiled
+    // superblock instead of dispatching one instruction.  Requires
+    // budget for at least two slots so traces always pay for
+    // themselves; traps are annotated inside runTrace.
+    if (trace_cache_ && slot.converged && budget > 1) {
+        if (const Trace *tr = lookupTrace(slot.pc)) {
+            consumed = runTrace(sched, interp, w, *tr, slot.active_mask,
+                                budget);
+            return StepResult::Progress;
+        }
     }
     const uint64_t minpc = slot.pc;
     const uint32_t active_mask = slot.active_mask;
@@ -396,11 +414,18 @@ SmExecutor::runCta(const LaunchParams &lp, const CtaWork &w,
             bool progressed = false;
             bool any_live = false;
             for (unsigned wi = 0; wi < sched.numWarps(); ++wi) {
-                for (unsigned q = 0; q < kQuantum; ++q) {
-                    StepResult r = stepWarp(sched, interp, wi);
+                // Issue up to kQuantum slots per warp per round.  The
+                // per-instruction path consumes one slot per step, so
+                // with traces off this is the classic 128-step loop.
+                unsigned budget = kQuantum;
+                while (budget > 0) {
+                    unsigned consumed = 1;
+                    StepResult r =
+                        stepWarp(sched, interp, wi, budget, consumed);
                     if (r == StepResult::Progress) {
                         progressed = true;
                         any_live = true;
+                        budget -= std::min(consumed, budget);
                     } else {
                         if (r == StepResult::Blocked)
                             any_live = true;

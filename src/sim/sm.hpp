@@ -40,6 +40,7 @@
 #include "sim/launch.hpp"
 #include "sim/predecode.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace_cache.hpp"
 #include "sim/warp_scheduler.hpp"
 
 namespace nvbit::sim {
@@ -121,7 +122,8 @@ class SmExecutor : public MemModel
     };
 
     SmExecutor(unsigned sm, const GpuConfig &cfg, mem::DeviceMemory &mem,
-               CacheHierarchy &caches, CodeCache *code_cache);
+               CacheHierarchy &caches, CodeCache *code_cache,
+               TraceCache *trace_cache = nullptr);
 
     /**
      * Run one thread block to completion (serial orchestration).
@@ -187,8 +189,27 @@ class SmExecutor : public MemModel
   private:
     enum class StepResult { Progress, Blocked, AllExited };
 
+    /**
+     * Issue one warp scheduling slot.  Normally executes a single
+     * instruction (@p consumed = 1); with the trace engine on and a
+     * compiled superblock at the issue pc, replays the whole trace and
+     * reports the number of issue slots it consumed (<= @p budget).
+     */
     StepResult stepWarp(WarpScheduler &sched, Interpreter &interp,
-                        unsigned w);
+                        unsigned w, unsigned budget, unsigned &consumed);
+
+    /**
+     * Replay one compiled trace for warp @p w (trace_exec.cpp).
+     * Entered only under the convergence guard (active set == every
+     * live thread) with @p budget > 1.  @return issue slots consumed.
+     */
+    unsigned runTrace(WarpScheduler &sched, Interpreter &interp,
+                      unsigned w, const Trace &tr, uint32_t active_mask,
+                      unsigned budget);
+
+    /** Memoised TraceCache::acquire (invalidated by generation()). */
+    const Trace *lookupTrace(uint64_t pc);
+
     const isa::Instruction *fetch(uint64_t pc, isa::Instruction &scratch);
     const isa::Instruction *byteDecode(uint64_t pc,
                                        isa::Instruction &scratch);
@@ -238,6 +259,7 @@ class SmExecutor : public MemModel
     mem::DeviceMemory &mem_;
     CacheHierarchy &caches_;
     CodeCache *code_cache_; ///< nullptr in byte-decode mode
+    TraceCache *trace_cache_; ///< nullptr when the trace engine is off
     size_t ib_;
     unsigned ib_shift_; ///< log2(ib_): page index by shift, not div
 
@@ -274,6 +296,13 @@ class SmExecutor : public MemModel
 
     /** Fast path: the page the last fetch came from. */
     const PredecodedImage *cached_page_ = nullptr;
+
+    /** Trace-lookup memo, valid for generation trace_gen_. */
+    uint64_t trace_gen_ = UINT64_MAX;
+    std::unordered_map<uint64_t, const Trace *> trace_memo_;
+    /** SoA scratch for strip execution: kMaxSlots x kWarpSize lanes. */
+    std::vector<uint32_t> strip_regs_;
+    std::array<uint8_t, kWarpSize> strip_preds_{};
 
     /** Current CTA context (valid while runCta is on the stack). */
     const CtaWork *cur_cta_ = nullptr;

@@ -1,0 +1,551 @@
+#include "sim/trace_compiler.hpp"
+
+#include <cstring>
+#include <set>
+#include <unordered_map>
+
+namespace nvbit::sim {
+
+using isa::DType;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Ends the superblock after executing (state/PC can change). */
+bool
+isTerminal(const Instruction &in)
+{
+    return in.isControlFlow() || in.op == Opcode::EXIT ||
+           in.op == Opcode::BAR;
+}
+
+/**
+ * Operand descriptor produced by shape analysis: either an
+ * architectural register or a build-time constant (immediates and
+ * LUI-style materialisations become splatted constant slots, so every
+ * strip handler is a pure register-register operation).
+ */
+struct SrcDesc {
+    bool used = false;
+    bool is_const = false;
+    uint8_t reg = isa::kRegZ;
+    uint32_t cval = 0;
+};
+
+/** Result of shape analysis for one strip-eligible instruction. */
+struct OpShape {
+    StripHandler h = StripHandler::Mov;
+    uint8_t aux = 0;
+    SrcDesc a, b, c;
+    bool d_is_pred = false;
+    uint8_t d = isa::kRegZ; ///< dst reg, or predicate index
+    bool reads_preds = false;
+    bool writes_preds = false;
+};
+
+SrcDesc
+srcReg(uint8_t r)
+{
+    SrcDesc s;
+    s.used = true;
+    s.reg = r;
+    return s;
+}
+
+SrcDesc
+srcConst(uint32_t v)
+{
+    SrcDesc s;
+    s.used = true;
+    s.is_const = true;
+    s.cval = v;
+    return s;
+}
+
+/** Second ALU source: immediate constant or Rb. */
+SrcDesc
+srcAlu2(const Instruction &in)
+{
+    return (in.mod & isa::kModImmSrc2)
+               ? srcConst(static_cast<uint32_t>(in.imm))
+               : srcReg(in.rb);
+}
+
+uint32_t
+f32Bits(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+/**
+ * Shape analysis: can @p in run as a strip op, and with which
+ * pre-bound handler?  Only always-executing, non-control-flow,
+ * 32-bit-operand instructions qualify; everything else falls back to
+ * the generic per-instruction entry.
+ */
+bool
+stripShape(const Instruction &in, OpShape &s)
+{
+    if (!in.alwaysExecutes())
+        return false;
+    const DType dt = isa::modGetDType(in.mod);
+    s = OpShape{};
+    s.d = in.rd;
+    switch (in.op) {
+      case Opcode::MOV:
+        if (dt == DType::U64)
+            return false;
+        s.h = StripHandler::Mov;
+        // Alu1 form: the register source is ra.
+        s.a = (in.mod & isa::kModImmSrc2)
+                  ? srcConst(static_cast<uint32_t>(in.imm))
+                  : srcReg(in.ra);
+        return true;
+      case Opcode::LUI:
+        s.h = StripHandler::Mov;
+        s.a = srcConst(static_cast<uint32_t>(in.imm) << 16);
+        return true;
+      case Opcode::SEL:
+        s.h = StripHandler::Sel;
+        s.aux = static_cast<uint8_t>(
+            isa::modGetSelPred(in.mod) |
+            (isa::modGetSelPredNeg(in.mod) ? 0x08u : 0u));
+        s.a = srcReg(in.ra);
+        s.b = srcReg(in.rb);
+        s.reads_preds = true;
+        return true;
+      case Opcode::SHL:
+        if (dt == DType::U64)
+            return false;
+        s.h = StripHandler::Shl;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::SHR:
+        if (dt == DType::U64)
+            return false;
+        s.h = dt == DType::S32 ? StripHandler::ShrS : StripHandler::ShrU;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+        s.h = in.op == Opcode::AND  ? StripHandler::And
+              : in.op == Opcode::OR ? StripHandler::Or
+                                    : StripHandler::Xor;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::NOT:
+        s.h = StripHandler::Not;
+        s.a = srcReg(in.ra);
+        return true;
+      case Opcode::IADD:
+      case Opcode::ISUB:
+      case Opcode::IMUL:
+        if (dt == DType::U64)
+            return false;
+        s.h = in.op == Opcode::IADD   ? StripHandler::IAdd
+              : in.op == Opcode::ISUB ? StripHandler::ISub
+                                      : StripHandler::IMul;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::IMAD:
+        if (dt == DType::U64)
+            return false;
+        s.h = StripHandler::IMad;
+        s.a = srcReg(in.ra);
+        s.b = srcReg(in.rb);
+        s.c = srcReg(in.rc);
+        return true;
+      case Opcode::IMNMX:
+        s.h = dt == DType::S32 ? StripHandler::MnmxS
+                               : StripHandler::MnmxU;
+        s.aux = (in.mod & isa::kModMnmxMax) ? 1 : 0;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::POPC:
+        s.h = StripHandler::Popc;
+        s.a = srcReg(in.ra);
+        return true;
+      case Opcode::FADD:
+      case Opcode::FMUL:
+        s.h = in.op == Opcode::FADD ? StripHandler::FAdd
+                                    : StripHandler::FMul;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::FFMA:
+        s.h = StripHandler::FFma;
+        s.a = srcReg(in.ra);
+        s.b = srcReg(in.rb);
+        s.c = srcReg(in.rc);
+        return true;
+      case Opcode::FMNMX:
+        s.h = StripHandler::FMnmx;
+        s.aux = (in.mod & isa::kModMnmxMax) ? 1 : 0;
+        s.a = srcReg(in.ra);
+        s.b = srcAlu2(in);
+        return true;
+      case Opcode::MUFU:
+        s.h = StripHandler::Mufu;
+        s.aux = static_cast<uint8_t>(isa::modGetMufu(in.mod));
+        s.a = srcReg(in.ra);
+        return true;
+      case Opcode::I2F:
+        s.h = dt == DType::S32 ? StripHandler::I2FS
+                               : StripHandler::I2FU;
+        s.a = srcReg(in.ra);
+        return true;
+      case Opcode::F2I:
+        s.h = dt == DType::S32 ? StripHandler::F2IS
+                               : StripHandler::F2IU;
+        s.a = srcReg(in.ra);
+        return true;
+      case Opcode::ISETP: {
+        const DType sdt = isa::modGetSetpDType(in.mod);
+        if (sdt == DType::U64)
+            return false;
+        if ((in.rd & 0x7) == isa::kPredT)
+            return false; // PT destination: write is discarded
+        s.d_is_pred = true;
+        s.d = in.rd & 0x7;
+        s.aux = static_cast<uint8_t>(isa::modGetCmp(in.mod));
+        s.writes_preds = true;
+        s.a = srcReg(in.ra);
+        if (sdt == DType::S32) {
+            s.h = StripHandler::ISetpS;
+            if (in.mod & isa::kModSetpImm) {
+                // The interpreter compares the full signed imm; a
+                // 32-bit constant slot can only represent it exactly
+                // when it fits.
+                if (in.imm !=
+                    static_cast<int64_t>(static_cast<int32_t>(in.imm)))
+                    return false;
+                s.b = srcConst(static_cast<uint32_t>(in.imm));
+            } else {
+                s.b = srcReg(in.rb);
+            }
+        } else {
+            s.h = StripHandler::ISetpU;
+            s.b = (in.mod & isa::kModSetpImm)
+                      ? srcConst(static_cast<uint32_t>(in.imm))
+                      : srcReg(in.rb);
+        }
+        return true;
+      }
+      case Opcode::FSETP:
+        if ((in.rd & 0x7) == isa::kPredT)
+            return false;
+        s.d_is_pred = true;
+        s.d = in.rd & 0x7;
+        s.aux = static_cast<uint8_t>(isa::modGetCmp(in.mod));
+        s.writes_preds = true;
+        s.h = StripHandler::FSetp;
+        s.a = srcReg(in.ra);
+        s.b = (in.mod & isa::kModSetpImm)
+                  ? srcConst(f32Bits(static_cast<float>(in.imm)))
+                  : srcReg(in.rb);
+        return true;
+      case Opcode::P2R:
+        s.h = StripHandler::P2R;
+        s.reads_preds = true;
+        return true;
+      case Opcode::R2P:
+        s.h = StripHandler::R2P;
+        s.a = srcReg(in.ra);
+        s.writes_preds = true;
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One decoded superblock instruction before entry formation. */
+struct RawInstr {
+    Instruction in;
+    uint64_t pc = 0;
+    const InlineProbe *probe = nullptr;
+    bool shaped = false;
+    OpShape shape;
+};
+
+/**
+ * Incrementally allocates strip slots for one run.  Constant slots
+ * are numbered after the variable slots, which are only known once
+ * the run closes, so constants use a provisional 0x80|k encoding that
+ * finalise() rewrites (kMaxSlots < 0x80, no collision).
+ */
+class SlotAlloc
+{
+  public:
+    bool
+    wouldFit(const OpShape &s) const
+    {
+        unsigned nv = vars_.size(), nc = consts_.size();
+        auto addSrc = [&](const SrcDesc &d) {
+            if (!d.used)
+                return;
+            if (d.is_const) {
+                if (cmap_.find(d.cval) == cmap_.end())
+                    ++nc;
+            } else if (d.reg != isa::kRegZ &&
+                       vmap_.find(d.reg) == vmap_.end()) {
+                ++nv;
+            }
+        };
+        addSrc(s.a);
+        addSrc(s.b);
+        addSrc(s.c);
+        if (!s.d_is_pred && s.d != isa::kRegZ &&
+            vmap_.find(s.d) == vmap_.end())
+            ++nv;
+        return StripRun::kFirstVarSlot + nv + nc <=
+               TraceCompiler::kMaxSlots;
+    }
+
+    uint8_t
+    srcSlot(const SrcDesc &d)
+    {
+        if (!d.used)
+            return StripRun::kZeroSlot;
+        if (d.is_const) {
+            auto [it, fresh] = cmap_.try_emplace(
+                d.cval, static_cast<uint8_t>(0x80u | consts_.size()));
+            if (fresh)
+                consts_.push_back(d.cval);
+            return it->second;
+        }
+        return varSlot(d.reg);
+    }
+
+    uint8_t
+    dstSlot(uint8_t reg)
+    {
+        if (reg == isa::kRegZ)
+            return StripRun::kSinkSlot;
+        uint8_t s = varSlot(reg);
+        dirty_.insert(s);
+        return s;
+    }
+
+    void
+    finalize(StripRun &run)
+    {
+        const uint8_t cbase =
+            static_cast<uint8_t>(StripRun::kFirstVarSlot + vars_.size());
+        for (StripOp &op : run.ops) {
+            auto fix = [&](uint8_t &slot) {
+                if (slot & 0x80u)
+                    slot = static_cast<uint8_t>(cbase + (slot & 0x7Fu));
+            };
+            fix(op.a);
+            fix(op.b);
+            fix(op.c);
+            if (op.h != StripHandler::ISetpU &&
+                op.h != StripHandler::ISetpS &&
+                op.h != StripHandler::FSetp)
+                fix(op.d);
+        }
+        run.gather = vars_;
+        run.consts = consts_;
+        for (uint8_t s : dirty_)
+            run.scatter.emplace_back(
+                s, vars_[s - StripRun::kFirstVarSlot]);
+        run.nslots = static_cast<uint8_t>(cbase + consts_.size());
+    }
+
+  private:
+    uint8_t
+    varSlot(uint8_t reg)
+    {
+        if (reg == isa::kRegZ)
+            return StripRun::kZeroSlot;
+        auto [it, fresh] = vmap_.try_emplace(
+            reg,
+            static_cast<uint8_t>(StripRun::kFirstVarSlot + vars_.size()));
+        if (fresh)
+            vars_.push_back(reg);
+        return it->second;
+    }
+
+    std::unordered_map<uint8_t, uint8_t> vmap_;
+    std::unordered_map<uint32_t, uint8_t> cmap_;
+    std::vector<uint8_t> vars_;
+    std::vector<uint32_t> consts_;
+    std::set<uint8_t> dirty_;
+};
+
+} // namespace
+
+TraceCompiler::TraceCompiler(const mem::DeviceMemory &mem,
+                             isa::ArchFamily fam)
+    : mem_(mem), fam_(fam), ib_(isa::instrBytes(fam))
+{}
+
+std::unique_ptr<Trace>
+TraceCompiler::compile(uint64_t pc, const ProbeLookup &probe_at) const
+{
+    if ((pc & (ib_ - 1)) != 0)
+        return nullptr; // misaligned: per-instruction path only
+    const uint64_t page_end =
+        (pc & ~static_cast<uint64_t>(kPageBytes - 1)) + kPageBytes;
+
+    // --- Pass 1: decode the superblock -------------------------------
+    std::vector<RawInstr> raw;
+    bool has_probe = false;
+    for (uint64_t p = pc; p < page_end && raw.size() < kMaxInstrs;
+         p += ib_) {
+        RawInstr r;
+        r.pc = p;
+        try {
+            auto bytes = mem_.view(p, ib_);
+            if (!isa::decode(fam_, bytes.data(), r.in))
+                break; // illegal encoding: side-exit, trap untraced
+        } catch (const mem::DeviceMemory::MemFault &) {
+            break; // unmapped: side-exit
+        }
+        if (r.in.op == Opcode::JMP && r.in.alwaysExecutes()) {
+            if (const InlineProbe *pr = probe_at(p, r.in)) {
+                // A barrier parks threads at their post-advance pc.
+                // Inlined, that is the callsite; through the
+                // trampoline, it is inside the trampoline — and warps
+                // of the same block may take either path (divergent
+                // warps fall back per-instruction), which the
+                // divergent-barrier detector would flag as two
+                // distinct barriers.  Never inline a BAR callsite.
+                if (pr->orig.op == Opcode::BAR)
+                    break;
+                r.probe = pr;
+                raw.push_back(r);
+                has_probe = true;
+                if (isTerminal(pr->orig))
+                    break;
+                continue;
+            }
+        }
+        // S2R of an out-of-range special register throws with the
+        // thread's (post-advance) pc; the trace engine defers PC
+        // updates, so leave that case to the per-instruction path.
+        if (r.in.op == Opcode::S2R &&
+            (r.in.imm < 0 ||
+             r.in.imm >=
+                 static_cast<int64_t>(isa::SpecialReg::NumSpecialRegs)))
+            break;
+        r.shaped = stripShape(r.in, r.shape);
+        raw.push_back(r);
+        if (isTerminal(r.in))
+            break;
+    }
+    if (raw.empty() || (raw.size() < 2 && !has_probe))
+        return nullptr;
+
+    // --- Pass 2: entry formation with strip runs ---------------------
+    auto tr = std::make_unique<Trace>();
+    tr->entry_pc = pc;
+    tr->first_in = raw.front().in;
+    uint8_t prev_dst = isa::kRegZ; // entry 0's stall is dynamic
+    bool first = true;
+    auto rawStall = [&](const Instruction &in) {
+        bool st = !first && prev_dst != isa::kRegZ && in.readsGpr(prev_dst);
+        first = false;
+        return st;
+    };
+
+    size_t i = 0;
+    const size_t n = raw.size();
+    while (i < n) {
+        const RawInstr &r = raw[i];
+        if (r.probe) {
+            TraceEntry e;
+            e.kind = isTerminal(r.probe->orig)
+                         ? TraceEntryKind::ProbeTerminal
+                         : TraceEntryKind::Probe;
+            e.raw_stall = rawStall(r.in); // the JMP reads no GPR
+            e.idx = static_cast<uint16_t>(tr->probes.size());
+            e.in = r.in;
+            e.pc = r.pc;
+            tr->probes.push_back(*r.probe);
+            tr->entries.push_back(e);
+            // JMP writes nothing; the displaced original chains next.
+            prev_dst = r.probe->orig.writesGpr() ? r.probe->orig.rd
+                                                 : isa::kRegZ;
+            tr->n_instrs += 2;
+            ++i;
+            continue;
+        }
+        if (r.shaped && !isTerminal(r.in)) {
+            // Greedy maximal run under the slot budget.
+            StripRun run;
+            SlotAlloc alloc;
+            size_t j = i;
+            while (j < n && raw[j].shaped && !raw[j].probe &&
+                   !isTerminal(raw[j].in) &&
+                   alloc.wouldFit(raw[j].shape)) {
+                const OpShape &s = raw[j].shape;
+                StripOp op;
+                op.h = s.h;
+                op.op = raw[j].in.op;
+                op.a = alloc.srcSlot(s.a);
+                op.b = alloc.srcSlot(s.b);
+                op.c = alloc.srcSlot(s.c);
+                op.d = s.d_is_pred ? s.d : alloc.dstSlot(s.d);
+                op.aux = s.aux;
+                op.arch_dst =
+                    raw[j].in.writesGpr() ? raw[j].in.rd : isa::kRegZ;
+                op.raw_stall = rawStall(raw[j].in);
+                op.pc = raw[j].pc;
+                run.preds = run.preds || s.reads_preds || s.writes_preds;
+                run.ops.push_back(op);
+                prev_dst = op.arch_dst;
+                ++j;
+            }
+            if (run.ops.size() >= kMinStripRun) {
+                alloc.finalize(run);
+                TraceEntry e;
+                e.kind = TraceEntryKind::Strip;
+                e.raw_stall = run.ops.front().raw_stall;
+                e.idx = static_cast<uint16_t>(tr->strips.size());
+                e.pc = raw[i].pc;
+                tr->n_instrs += static_cast<uint32_t>(run.ops.size());
+                tr->strips.push_back(std::move(run));
+                tr->entries.push_back(e);
+                i = j;
+                continue;
+            }
+            // Short run: fall through as generic entries, reusing the
+            // stall chain already computed above.
+            for (size_t k = i; k < j; ++k) {
+                TraceEntry e;
+                e.kind = TraceEntryKind::Op;
+                e.raw_stall = run.ops[k - i].raw_stall;
+                e.in = raw[k].in;
+                e.pc = raw[k].pc;
+                tr->entries.push_back(e);
+                ++tr->n_instrs;
+            }
+            i = j;
+            continue;
+        }
+        TraceEntry e;
+        e.kind = isTerminal(r.in) ? TraceEntryKind::OpTerminal
+                                  : TraceEntryKind::Op;
+        e.raw_stall = rawStall(r.in);
+        e.is_cf = r.in.isControlFlow();
+        e.in = r.in;
+        e.pc = r.pc;
+        tr->entries.push_back(e);
+        ++tr->n_instrs;
+        prev_dst = r.in.writesGpr() ? r.in.rd : isa::kRegZ;
+        ++i;
+    }
+    return tr;
+}
+
+} // namespace nvbit::sim

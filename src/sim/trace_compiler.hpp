@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Trace compiler: superblock discovery and handler pre-binding.
+ *
+ * The per-instruction engine re-derives everything about an
+ * instruction on every dynamic execution: fetch, guard-predicate
+ * evaluation, operand-shape interpretation inside the big interpreter
+ * switch, and strided register-file access through ThreadCtx.  The
+ * trace compiler applies the paper's amortisation lesson one level up
+ * from the predecode cache: a straight-line *superblock* (entry pc up
+ * to and including the first control-flow / barrier / exit
+ * instruction) is compiled once into an array of pre-bound entries
+ * that the SM replays with computed-goto threaded dispatch
+ * (sim/trace_exec.cpp).
+ *
+ * Three entry kinds exist:
+ *
+ *  - Op: one instruction executed through the regular interpreter,
+ *    but with fetch, shape checks and the RAW-stall test resolved at
+ *    build time.
+ *  - Strip: a run of simple always-executing ALU instructions whose
+ *    register operands are gathered into SoA lane strips (contiguous
+ *    32-lane arrays, CuLifter-style operand-shape specialisation into
+ *    one StripHandler per opcode+shape) and written back once at the
+ *    end of the run.
+ *  - Probe: an NVBit instrumentation callsite (the patched
+ *    jump-to-trampoline) whose tool function matches a declared
+ *    inline-probe shape; the ballot/leader/atomic-add semantics are
+ *    executed directly by the SM instead of interpreting the whole
+ *    save/marshal/call/restore trampoline (paper Figures 5/8).
+ *
+ * Traces never span a code page (invalidation stays page-grained,
+ * mirroring CodeCache) and contain no instruction that can change a
+ * thread's PC or state except as their final entry, so the entry
+ * guard "every live lane is Ready and converged at the entry pc"
+ * holds for the whole trace.
+ */
+#ifndef NVBIT_SIM_TRACE_COMPILER_HPP
+#define NVBIT_SIM_TRACE_COMPILER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "isa/arch.hpp"
+#include "isa/instruction.hpp"
+#include "mem/device_memory.hpp"
+
+namespace nvbit::sim {
+
+/**
+ * Pre-bound handler for one strip op: opcode + operand shape resolved
+ * at build time (immediates become constant slots, dtype picks the
+ * signed/unsigned/float variant), so execution is a direct dispatch.
+ */
+enum class StripHandler : uint8_t {
+    Mov,   ///< d = a                      (MOV reg/imm, LUI)
+    IAdd,  ///< d = a + b                  (u32 wraparound)
+    ISub,  ///< d = a - b
+    IMul,  ///< d = low32(a * b)
+    IMad,  ///< d = a * b + c
+    And,   ///< d = a & b
+    Or,    ///< d = a | b
+    Xor,   ///< d = a ^ b
+    Not,   ///< d = ~a
+    Shl,   ///< d = a << (b & 31)
+    ShrU,  ///< d = a >> (b & 31)
+    ShrS,  ///< d = (u32)((s32)a >> (b & 31))
+    MnmxU, ///< d = aux ? max(a,b) : min(a,b), unsigned
+    MnmxS, ///< signed min/max
+    Popc,  ///< d = popcount(a)
+    FAdd,  ///< f32
+    FMul,  ///< f32
+    FFma,  ///< d = fma(a, b, c)
+    FMnmx, ///< aux ? fmax : fmin
+    Mufu,  ///< multi-function unit, sub-op in aux
+    I2FU,  ///< d = (f32)(u32)a
+    I2FS,  ///< d = (f32)(s32)a
+    F2IU,  ///< saturating f32 -> u32
+    F2IS,  ///< saturating f32 -> s32
+    ISetpU,///< P[d] = cmp_aux(a, b) zero-extended
+    ISetpS,///< P[d] = cmp_aux((s32)a, (s32)b) sign-extended
+    FSetp, ///< P[d] = cmp_aux(f32(a), f32(b))
+    Sel,   ///< d = P[aux&7]^neg ? a : b
+    P2R,   ///< d = predicate byte
+    R2P,   ///< predicate byte = a & 0x7F
+    NumHandlers
+};
+
+/** One pre-specialised strip operation over SoA lane strips. */
+struct StripOp {
+    StripHandler h = StripHandler::Mov;
+    isa::Opcode op = isa::Opcode::NOP; ///< stats attribution
+    uint8_t d = 0;  ///< dst slot (Setp: predicate index 0..6)
+    uint8_t a = 0;  ///< src slot
+    uint8_t b = 0;  ///< src slot
+    uint8_t c = 0;  ///< src slot (IMad/FFma)
+    /** Mnmx/FMnmx: want-max flag; Mufu: MufuOp; Setp: CmpOp;
+     *  Sel: pred index | (neg << 3). */
+    uint8_t aux = 0;
+    /** GPR this op architecturally writes (kRegZ when none); the RAW
+     *  stall chain and WarpScheduler::lastDst are maintained from it. */
+    uint8_t arch_dst = isa::kRegZ;
+    /** Reads the previous issue slot's destination (precomputed). */
+    bool raw_stall = false;
+    uint64_t pc = 0;
+};
+
+/**
+ * A run of strip ops plus its register-file interface.
+ *
+ * Slot layout: slot 0 always reads zero (RZ sources), slot 1 is a
+ * write sink (RZ destinations), variable slots follow (one per
+ * architectural register the run touches, gathered before the first
+ * op and scattered after the last), then constant slots (immediates
+ * splatted across lanes at gather time, never written).
+ */
+struct StripRun {
+    static constexpr uint8_t kZeroSlot = 0;
+    static constexpr uint8_t kSinkSlot = 1;
+    static constexpr uint8_t kFirstVarSlot = 2;
+
+    std::vector<StripOp> ops;
+    /** Architectural register of each variable slot, in slot order. */
+    std::vector<uint8_t> gather;
+    /** (slot, arch reg) written back when the run exits or faults. */
+    std::vector<std::pair<uint8_t, uint8_t>> scatter;
+    /** Constant-slot values, in slot order after the variable slots. */
+    std::vector<uint32_t> consts;
+    uint8_t nslots = 0;  ///< zero + sink + vars + consts
+    bool preds = false;  ///< gather/scatter the predicate strip
+};
+
+/**
+ * One inlined instrumentation callsite, registered by the NVBit core
+ * when a tool's probe matches a declared inline shape
+ * (nvbit_declare_inline_probe).  Executed by the trace engine as:
+ *
+ *   P = popcount(ballot_guard ? ballot(orig guard, active) : active)
+ *   warp_counter   += scale                        (always)
+ *   thread_counter += P * scale                    (when P != 0)
+ *   [*table_ptr + index * 8] += P * scale          (when P != 0)
+ *
+ * which is exactly what the leader-elected popc/atomic-add trampoline
+ * bodies of instr_count / bbv_profiler compute, so tool-visible
+ * counter values are identical to the trampoline path.
+ */
+struct InlineProbe {
+    uint64_t jmp_pc = 0;        ///< pc of the patched JMP
+    uint64_t tramp_target = 0;  ///< its target (staleness check)
+    isa::Instruction orig{};    ///< the displaced original instruction
+    bool ballot_guard = false;  ///< P counts guard-passing lanes
+    uint64_t warp_counter = 0;  ///< device address of a u64 (0 = none)
+    uint64_t thread_counter = 0;///< device address of a u64 (0 = none)
+    uint64_t table_ptr = 0;     ///< address of a u64 *pointer* to a
+                                ///< u64 table (0 = none)
+    uint32_t index = 0;         ///< table index (captured imm arg)
+    uint64_t scale = 1;         ///< multiplier (captured imm arg or 1)
+};
+
+enum class TraceEntryKind : uint8_t {
+    Op,            ///< one interpreter-executed instruction
+    OpTerminal,    ///< ditto, ends the trace (control flow/EXIT/BAR)
+    Strip,         ///< StripRun (index in `idx`)
+    Probe,         ///< inline probe + its original instruction
+    ProbeTerminal, ///< ditto, original is control flow/EXIT/BAR
+};
+
+struct TraceEntry {
+    TraceEntryKind kind = TraceEntryKind::Op;
+    /** First instruction of the entry reads the previous issue slot's
+     *  destination (entry 0: evaluated dynamically at trace entry). */
+    bool raw_stall = false;
+    /** Charge a BranchResolve cycle after executing (Op kinds). */
+    bool is_cf = false;
+    uint16_t idx = 0; ///< strip / probe index
+    isa::Instruction in{};
+    uint64_t pc = 0;
+};
+
+/** One compiled superblock. */
+struct Trace {
+    uint64_t entry_pc = 0;
+    /** Issue slots the full trace consumes (strip ops and probe
+     *  originals included; quantum-budget accounting). */
+    uint32_t n_instrs = 0;
+    /** First instruction (the entry probe's JMP for probe-led traces);
+     *  the executor evaluates the trace's first RAW stall dynamically
+     *  against WarpScheduler::lastDst with it. */
+    isa::Instruction first_in{};
+    std::vector<TraceEntry> entries;
+    std::vector<StripRun> strips;
+    std::vector<InlineProbe> probes;
+};
+
+/**
+ * Compiles superblocks from device memory.  Stateless apart from its
+ * references; thread-safe (TraceCache serialises builds anyway).
+ */
+class TraceCompiler
+{
+  public:
+    /** Traces never cross a page: invalidation stays page-grained. */
+    static constexpr size_t kPageBytes = 4096;
+    /** Upper bound on instructions per trace. */
+    static constexpr unsigned kMaxInstrs = 256;
+    /** Minimum eligible-op run length worth strip formation. */
+    static constexpr unsigned kMinStripRun = 4;
+    /** Slot budget per strip run (zero/sink/vars/consts). */
+    static constexpr unsigned kMaxSlots = 64;
+
+    /** Looks up a *valid* inline probe at a pc; null when absent. */
+    using ProbeLookup =
+        std::function<const InlineProbe *(uint64_t pc,
+                                          const isa::Instruction &in)>;
+
+    TraceCompiler(const mem::DeviceMemory &mem, isa::ArchFamily fam);
+
+    /**
+     * Compile the superblock starting at @p pc.  @return nullptr when
+     * no worthwhile trace starts there (unmapped/misaligned pc,
+     * immediate terminator, or fewer than two instructions with no
+     * probe to inline).
+     */
+    std::unique_ptr<Trace> compile(uint64_t pc,
+                                   const ProbeLookup &probe_at) const;
+
+  private:
+    const mem::DeviceMemory &mem_;
+    isa::ArchFamily fam_;
+    size_t ib_;
+};
+
+} // namespace nvbit::sim
+
+#endif // NVBIT_SIM_TRACE_COMPILER_HPP

@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Trace execution: threaded-code replay of compiled superblocks.
+ *
+ * The replay contract is bit-identity with the per-instruction engine
+ * on uninstrumented code: results, LaunchStats, cycles_by_reason, the
+ * PC-sample stream and EventSet counters are all identical, because
+ * every issue slot performs the same charges, counter increments and
+ * watchdog checks in the same order as SmExecutor::stepWarp.  What the
+ * trace engine elides is re-derivation work that has no observable
+ * effect: per-instruction fetch (the head is fetched for real, the
+ * rest tick the decode counters the way a same-page fetch would),
+ * guard evaluation for always-executing instructions, per-slot PC
+ * advance (deferred — intermediate advances overwrite the same lanes
+ * of a converged warp and nothing reads thread PCs mid-trace), and the
+ * interpreter's operand-shape dispatch for strip runs.
+ *
+ * Inline probes intentionally relax the stats contract: an
+ * instrumented callsite costs two issue slots (the patched JMP plus
+ * the displaced original) instead of the dozens the save/marshal/call/
+ * restore trampoline would execute — that elision is the paper's
+ * Figure 5/8 speedup.  Tool-visible counters stay exactly equal to the
+ * trampoline path because the probe body reproduces the trampoline's
+ * ballot/popc/atomic-add arithmetic, grid-order serialised through the
+ * same AtomicGate fence the ATOM instruction uses.
+ */
+#include "sim/sm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace nvbit::sim {
+
+namespace {
+
+// Float helpers mirror interpreter.cpp's (anonymous there) exactly;
+// the strip handlers must be bit-identical to the interpreter switch.
+
+float
+asF32(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+int64_t
+f2iClamp(float f, bool is_signed)
+{
+    if (std::isnan(f))
+        return 0;
+    if (is_signed) {
+        if (f >= 2147483647.0f)
+            return 2147483647;
+        if (f <= -2147483648.0f)
+            return -2147483648ll;
+        return static_cast<int64_t>(f);
+    }
+    if (f >= 4294967295.0f)
+        return 4294967295ll;
+    if (f <= 0.0f)
+        return 0;
+    return static_cast<int64_t>(f);
+}
+
+bool
+cmpApply(isa::CmpOp c, uint64_t a, uint64_t b)
+{
+    switch (c) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::NE: return a != b;
+      case isa::CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+bool
+cmpApplySigned(isa::CmpOp c, int64_t a, int64_t b)
+{
+    switch (c) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::NE: return a != b;
+      case isa::CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+/** FSETP compares in float (NaN semantics differ from integer casts). */
+bool
+fcmpApply(isa::CmpOp c, float a, float b)
+{
+    switch (c) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::NE: return a != b;
+      case isa::CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+float
+mufuApply(isa::MufuOp op, float a)
+{
+    float r = 0.0f;
+    switch (op) {
+      case isa::MufuOp::RCP: r = 1.0f / a; break;
+      case isa::MufuOp::SQRT: r = std::sqrt(a); break;
+      case isa::MufuOp::RSQ: r = 1.0f / std::sqrt(a); break;
+      case isa::MufuOp::EX2: r = std::exp2(a); break;
+      case isa::MufuOp::LG2: r = std::log2(a); break;
+      case isa::MufuOp::SIN: r = std::sin(a); break;
+      case isa::MufuOp::COS: r = std::cos(a); break;
+    }
+    return r;
+}
+
+inline void
+setPredBit(uint8_t &preds, uint8_t p, bool v)
+{
+    if (v)
+        preds |= static_cast<uint8_t>(1u << p);
+    else
+        preds &= static_cast<uint8_t>(~(1u << p));
+}
+
+/** SEL's source predicate: index in aux[2:0] (7 = PT), neg in aux[3]. */
+inline bool
+selPred(uint8_t preds, uint8_t aux)
+{
+    const uint8_t idx = aux & 0x7u;
+    bool v = idx == isa::kPredT ? true : ((preds >> idx) & 1) != 0;
+    return (aux & 0x08u) ? !v : v;
+}
+
+/**
+ * Handler table: one entry per StripHandler, in enum order.  Each body
+ * is the per-lane statement; D/A/B/C are the SoA strips of the current
+ * op's slots and `preds` the per-lane predicate bytes.
+ */
+#define NVBIT_STRIP_OPS(X)                                                 \
+    X(Mov, D[l] = A[l])                                                    \
+    X(IAdd, D[l] = A[l] + B[l])                                            \
+    X(ISub, D[l] = A[l] - B[l])                                            \
+    X(IMul, D[l] = A[l] * B[l])                                            \
+    X(IMad, D[l] = A[l] * B[l] + C[l])                                     \
+    X(And, D[l] = A[l] & B[l])                                             \
+    X(Or, D[l] = A[l] | B[l])                                              \
+    X(Xor, D[l] = A[l] ^ B[l])                                             \
+    X(Not, D[l] = ~A[l])                                                   \
+    X(Shl, D[l] = A[l] << (B[l] & 31))                                     \
+    X(ShrU, D[l] = A[l] >> (B[l] & 31))                                    \
+    X(ShrS, D[l] = static_cast<uint32_t>(static_cast<int32_t>(A[l]) >>     \
+                                         (B[l] & 31)))                     \
+    X(MnmxU, D[l] = o->aux ? std::max(A[l], B[l]) : std::min(A[l], B[l]))  \
+    X(MnmxS,                                                               \
+      D[l] = static_cast<uint32_t>(                                        \
+          o->aux ? std::max(static_cast<int32_t>(A[l]),                    \
+                            static_cast<int32_t>(B[l]))                    \
+                 : std::min(static_cast<int32_t>(A[l]),                    \
+                            static_cast<int32_t>(B[l]))))                  \
+    X(Popc, D[l] = static_cast<uint32_t>(std::popcount(A[l])))             \
+    X(FAdd, D[l] = asBits(asF32(A[l]) + asF32(B[l])))                      \
+    X(FMul, D[l] = asBits(asF32(A[l]) * asF32(B[l])))                      \
+    X(FFma, D[l] = asBits(std::fma(asF32(A[l]), asF32(B[l]),               \
+                                   asF32(C[l]))))                          \
+    X(FMnmx, D[l] = asBits(o->aux ? std::fmax(asF32(A[l]), asF32(B[l]))    \
+                                  : std::fmin(asF32(A[l]), asF32(B[l])))) \
+    X(Mufu, D[l] = asBits(mufuApply(static_cast<isa::MufuOp>(o->aux),      \
+                                    asF32(A[l]))))                         \
+    X(I2FU, D[l] = asBits(static_cast<float>(A[l])))                       \
+    X(I2FS,                                                                \
+      D[l] = asBits(static_cast<float>(static_cast<int32_t>(A[l]))))       \
+    X(F2IU, D[l] = static_cast<uint32_t>(f2iClamp(asF32(A[l]), false)))    \
+    X(F2IS, D[l] = static_cast<uint32_t>(f2iClamp(asF32(A[l]), true)))     \
+    X(ISetpU, setPredBit(preds[l], o->d,                                   \
+                         cmpApply(static_cast<isa::CmpOp>(o->aux), A[l],   \
+                                  B[l])))                                  \
+    X(ISetpS,                                                              \
+      setPredBit(preds[l], o->d,                                           \
+                 cmpApplySigned(static_cast<isa::CmpOp>(o->aux),           \
+                                static_cast<int32_t>(A[l]),                \
+                                static_cast<int32_t>(B[l]))))              \
+    X(FSetp, setPredBit(preds[l], o->d,                                    \
+                        fcmpApply(static_cast<isa::CmpOp>(o->aux),         \
+                                  asF32(A[l]), asF32(B[l]))))              \
+    X(Sel, D[l] = selPred(preds[l], o->aux) ? A[l] : B[l])                 \
+    X(P2R, D[l] = preds[l])                                                \
+    X(R2P, preds[l] = static_cast<uint8_t>(A[l] & 0x7F))
+
+/**
+ * Execute [o, end) strip ops over the SoA strips @p S.  All 32 lanes
+ * run unconditionally: the trace entry guard makes every non-exited
+ * lane active, and exited lanes' registers are dead (never gathered
+ * into anything observable again), so computing garbage for them is
+ * free and keeps the lane loops branchless.
+ *
+ * Dispatch is computed-goto threaded code where the compiler supports
+ * `&&label` (each handler jumps straight to the next op's handler); a
+ * switch loop otherwise.
+ */
+void
+execStripOps(const StripOp *o, const StripOp *end, uint32_t *S,
+             uint8_t *preds)
+{
+    if (o == end)
+        return;
+    constexpr size_t kLanes = kWarpSize;
+    uint32_t *D = S + o->d * kLanes;
+    const uint32_t *A = S + o->a * kLanes;
+    const uint32_t *B = S + o->b * kLanes;
+    const uint32_t *C = S + o->c * kLanes;
+    (void)C;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NVBIT_H_ADDR(name, body) &&h_##name,
+    static const void *const kDispatch[] = {NVBIT_STRIP_OPS(NVBIT_H_ADDR)};
+#undef NVBIT_H_ADDR
+    static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                      static_cast<size_t>(StripHandler::NumHandlers),
+                  "dispatch table out of sync with StripHandler");
+    goto *kDispatch[static_cast<size_t>(o->h)];
+#define NVBIT_H(name, body)                                                \
+    h_##name:                                                              \
+    for (unsigned l = 0; l < kLanes; ++l) {                                \
+        body;                                                              \
+    }                                                                      \
+    if (++o == end)                                                        \
+        return;                                                            \
+    D = S + o->d * kLanes;                                                 \
+    A = S + o->a * kLanes;                                                 \
+    B = S + o->b * kLanes;                                                 \
+    C = S + o->c * kLanes;                                                 \
+    goto *kDispatch[static_cast<size_t>(o->h)];
+    NVBIT_STRIP_OPS(NVBIT_H)
+#undef NVBIT_H
+#else
+    for (;;) {
+        switch (o->h) {
+#define NVBIT_H(name, body)                                                \
+    case StripHandler::name:                                               \
+        for (unsigned l = 0; l < kLanes; ++l) {                            \
+            body;                                                          \
+        }                                                                  \
+        break;
+            NVBIT_STRIP_OPS(NVBIT_H)
+#undef NVBIT_H
+          case StripHandler::NumHandlers:
+            break;
+        }
+        if (++o == end)
+            return;
+        D = S + o->d * kLanes;
+        A = S + o->a * kLanes;
+        B = S + o->b * kLanes;
+        C = S + o->c * kLanes;
+    }
+#endif
+}
+
+#undef NVBIT_STRIP_OPS
+
+} // namespace
+
+const Trace *
+SmExecutor::lookupTrace(uint64_t pc)
+{
+    const uint64_t gen = trace_cache_->generation();
+    if (gen != trace_gen_) {
+        trace_memo_.clear();
+        trace_gen_ = gen;
+    }
+    auto [it, fresh] = trace_memo_.try_emplace(pc, nullptr);
+    if (fresh)
+        it->second = trace_cache_->acquire(pc);
+    return it->second;
+}
+
+unsigned
+SmExecutor::runTrace(WarpScheduler &sched, Interpreter &interp, unsigned w,
+                     const Trace &tr, uint32_t active_mask, unsigned budget)
+{
+    ThreadCtx *warp = sched.warp(w);
+    const unsigned n_active =
+        static_cast<unsigned>(std::popcount(active_mask));
+    unsigned consumed = 0;
+    uint64_t last_pc = tr.entry_pc;
+    uint8_t last_dst = sched.lastDst(w);
+    bool first_slot = true;
+    uint32_t exec_mask = active_mask; // for trap annotation
+    using obs::HwEvent;
+    obs::EventSet &ev = shard_.events;
+
+    // The trace's first issue slot tests its RAW stall against the
+    // live lastDst; later slots use the compiler's precomputed flags.
+    auto takeRaw = [&](bool precomputed) {
+        if (!first_slot)
+            return precomputed;
+        first_slot = false;
+        return last_dst != isa::kRegZ && tr.first_in.readsGpr(last_dst);
+    };
+
+    // Per-issue-slot bookkeeping, charge-for-charge identical to
+    // stepWarp (same order, same messages, same attribution pcs).
+    auto issueSlot = [&](isa::Opcode op, uint64_t pc, uint32_t exec,
+                         bool raw) {
+        if (raw)
+            chargeCycles(1, obs::StallReason::ExecDependency, pc, w);
+        ++shard_.warp_instrs;
+        chargeCycles(1, obs::StallReason::None, pc, w);
+        shard_.thread_instrs += std::popcount(exec);
+        shard_.warp_instrs_by_op[static_cast<size_t>(op)] += 1;
+        shard_.thread_instrs_by_op[static_cast<size_t>(op)] +=
+            std::popcount(exec);
+        ev.add(HwEvent::InstExecuted, 1);
+        ev.add(HwEvent::ThreadInstExecuted, n_active);
+        ev.add(HwEvent::ThreadInstNotPredicatedOff, std::popcount(exec));
+        ev.add(HwEvent::EligibleWarpsSum, eligible_warps_);
+        if (shard_.warp_instrs > cfg_.max_warp_instrs_per_launch) {
+            throw DeviceException(
+                TrapCode::WatchdogTimeout,
+                "launch exceeded the warp-instruction watchdog", pc);
+        }
+        if (cycle_total_ + cta_cycles_ > cfg_.watchdog_cycles) {
+            throw DeviceException(
+                TrapCode::WatchdogTimeout,
+                strfmt("launch exceeded the cycle watchdog (%llu cycles)",
+                       static_cast<unsigned long long>(
+                           cfg_.watchdog_cycles)),
+                pc);
+        }
+        ++consumed;
+    };
+
+    auto guardMask = [&](const isa::Instruction &in) -> uint32_t {
+        if (in.alwaysExecutes())
+            return active_mask;
+        uint32_t m = 0;
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            if (((active_mask >> l) & 1) &&
+                readPred(warp[l], in.pred, in.pred_neg))
+                m |= 1u << l;
+        }
+        return m;
+    };
+
+    // Budget or trace-end exit between straight-line entries: flush
+    // the deferred PC advance so every lane resumes after the last
+    // issued instruction (the per-instruction path or a fresh trace
+    // entry picks up there).
+    auto exitHere = [&]() {
+        sched.advance(w, active_mask, last_pc + ib_);
+        sched.setLastDst(w, last_dst);
+        return consumed;
+    };
+
+    try {
+        // Head fetch through the regular path: decode-counter and
+        // cached-page behaviour identical to the baseline's first
+        // fetch of the superblock.
+        isa::Instruction scratch;
+        (void)fetch(tr.entry_pc, scratch);
+        bool head = true;
+        // Later slots fetch from the same (page-bounded) trace: a hit
+        // per slot in predecode mode, a byte-decode miss otherwise.
+        auto fetchTick = [&]() {
+            if (head) {
+                head = false;
+                return;
+            }
+            if (code_cache_)
+                ++shard_.decode_cache_hits;
+            else
+                ++shard_.decode_cache_misses;
+        };
+
+        for (const TraceEntry &e : tr.entries) {
+            switch (e.kind) {
+              case TraceEntryKind::Op:
+              case TraceEntryKind::OpTerminal: {
+                if (consumed >= budget)
+                    return exitHere();
+                const bool terminal =
+                    e.kind == TraceEntryKind::OpTerminal;
+                const uint32_t exec = guardMask(e.in);
+                exec_mask = exec;
+                const uint64_t next_pc = e.pc + ib_;
+                if (terminal)
+                    sched.advance(w, active_mask, next_pc);
+                fetchTick();
+                issueSlot(e.in.op, e.pc, exec, takeRaw(e.raw_stall));
+                cur_pc_ = e.pc;
+                cur_warp_ = w;
+                interp.execute(e.in, warp, active_mask, exec, e.pc,
+                               next_pc);
+                if (e.is_cf)
+                    chargeCycles(1, obs::StallReason::BranchResolve,
+                                 e.pc, w);
+                last_dst = e.in.writesGpr() ? e.in.rd : isa::kRegZ;
+                last_pc = e.pc;
+                if (terminal) {
+                    sched.setLastDst(w, last_dst);
+                    return consumed;
+                }
+                break;
+              }
+
+              case TraceEntryKind::Strip: {
+                const StripRun &run = tr.strips[e.idx];
+                if (consumed >= budget)
+                    return exitHere();
+                const size_t nops =
+                    std::min<size_t>(run.ops.size(), budget - consumed);
+                // Accounting pass first, in program order (charges,
+                // samples and watchdog checks interleave exactly as
+                // per-instruction execution would).  Register effects
+                // of ops "before" a watchdog throw are unobservable —
+                // the CTA is abandoned and strip ops touch no memory —
+                // so the lane work runs afterwards in one threaded
+                // dispatch pass.
+                exec_mask = active_mask;
+                cur_warp_ = w;
+                for (size_t i = 0; i < nops; ++i) {
+                    const StripOp &op = run.ops[i];
+                    fetchTick();
+                    cur_pc_ = op.pc;
+                    issueSlot(op.op, op.pc, active_mask,
+                              takeRaw(op.raw_stall));
+                    last_dst = op.arch_dst;
+                    last_pc = op.pc;
+                }
+                // Gather -> execute -> scatter over SoA lane strips.
+                uint32_t *S = strip_regs_.data();
+                std::memset(S, 0,
+                            kWarpSize * sizeof(uint32_t)); // zero slot
+                for (size_t i = 0; i < run.gather.size(); ++i) {
+                    uint32_t *dst =
+                        S + (StripRun::kFirstVarSlot + i) * kWarpSize;
+                    const uint8_t r = run.gather[i];
+                    for (unsigned l = 0; l < kWarpSize; ++l)
+                        dst[l] = warp[l].regs[r];
+                }
+                uint32_t *cs =
+                    S + (StripRun::kFirstVarSlot + run.gather.size()) *
+                            kWarpSize;
+                for (size_t k = 0; k < run.consts.size(); ++k) {
+                    for (unsigned l = 0; l < kWarpSize; ++l)
+                        cs[k * kWarpSize + l] = run.consts[k];
+                }
+                if (run.preds) {
+                    for (unsigned l = 0; l < kWarpSize; ++l)
+                        strip_preds_[l] = warp[l].preds;
+                }
+                execStripOps(run.ops.data(), run.ops.data() + nops, S,
+                             strip_preds_.data());
+                for (auto [slot, r] : run.scatter) {
+                    const uint32_t *src = S + slot * kWarpSize;
+                    for (unsigned l = 0; l < kWarpSize; ++l)
+                        warp[l].regs[r] = src[l];
+                }
+                if (run.preds) {
+                    for (unsigned l = 0; l < kWarpSize; ++l)
+                        warp[l].preds = strip_preds_[l];
+                }
+                if (nops < run.ops.size())
+                    return exitHere(); // budget ended mid-run
+                break;
+              }
+
+              case TraceEntryKind::Probe:
+              case TraceEntryKind::ProbeTerminal: {
+                if (budget - consumed < 2)
+                    return exitHere();
+                const InlineProbe &pr = tr.probes[e.idx];
+                const bool terminal =
+                    e.kind == TraceEntryKind::ProbeTerminal;
+
+                // 1) The patched JMP's issue slot (always-executing).
+                fetchTick();
+                exec_mask = active_mask;
+                cur_pc_ = e.pc;
+                cur_warp_ = w;
+                issueSlot(isa::Opcode::JMP, e.pc, active_mask,
+                          takeRaw(e.raw_stall));
+                chargeCycles(1, obs::StallReason::BranchResolve, e.pc,
+                             w);
+
+                // 2) Inlined tool body: ballot/popc/atomic-add, the
+                // exact arithmetic of the trampoline's tool function.
+                uint32_t pm = active_mask;
+                if (pr.ballot_guard) {
+                    pm = 0;
+                    for (unsigned l = 0; l < kWarpSize; ++l) {
+                        if (((active_mask >> l) & 1) &&
+                            readPred(warp[l], pr.orig.pred,
+                                     pr.orig.pred_neg))
+                            pm |= 1u << l;
+                    }
+                }
+                const uint64_t P =
+                    static_cast<uint64_t>(std::popcount(pm));
+                // Tool counters are global atomics: commit in grid
+                // order through the same gate ATOM uses.
+                atomicFence();
+                try {
+                    if (pr.warp_counter) {
+                        mem_.write64(pr.warp_counter,
+                                     mem_.read64(pr.warp_counter) +
+                                         pr.scale);
+                    }
+                    if (P != 0) {
+                        if (pr.thread_counter) {
+                            mem_.write64(
+                                pr.thread_counter,
+                                mem_.read64(pr.thread_counter) +
+                                    P * pr.scale);
+                        }
+                        if (pr.table_ptr) {
+                            const uint64_t base =
+                                mem_.read64(pr.table_ptr);
+                            const uint64_t slot =
+                                base +
+                                static_cast<uint64_t>(pr.index) * 8;
+                            mem_.write64(slot, mem_.read64(slot) +
+                                                   P * pr.scale);
+                        }
+                    }
+                } catch (const mem::DeviceMemory::MemFault &) {
+                    throw DeviceException::memFault(
+                        TrapCode::OutOfBoundsGlobal,
+                        "inline probe counter access out of bounds",
+                        e.pc, pr.table_ptr, MemSpace::Global, true);
+                }
+
+                // 3) The displaced original, as a full issue slot at
+                // the callsite pc (the un-relocated decoded original,
+                // so PC-relative semantics match in-place execution).
+                const isa::Instruction &oin = pr.orig;
+                const uint32_t exec = guardMask(oin);
+                exec_mask = exec;
+                const uint64_t next_pc = e.pc + ib_;
+                if (terminal)
+                    sched.advance(w, active_mask, next_pc);
+                fetchTick();
+                issueSlot(oin.op, e.pc, exec, false); // JMP wrote no GPR
+                cur_pc_ = e.pc;
+                cur_warp_ = w;
+                interp.execute(oin, warp, active_mask, exec, e.pc,
+                               next_pc);
+                if (oin.isControlFlow())
+                    chargeCycles(1, obs::StallReason::BranchResolve,
+                                 e.pc, w);
+                last_dst = oin.writesGpr() ? oin.rd : isa::kRegZ;
+                last_pc = e.pc;
+                if (terminal) {
+                    sched.setLastDst(w, last_dst);
+                    return consumed;
+                }
+                break;
+              }
+            }
+        }
+        // Side-exit: the superblock ended without a terminal (page
+        // boundary / size cap / untraceable successor).
+        return exitHere();
+    } catch (DeviceException &e) {
+        // Same first annotation layer as stepWarp: faulting warp,
+        // lanes, and the lowest faulting lane's return stack.
+        e.warp_id = w;
+        e.active_mask = exec_mask ? exec_mask : active_mask;
+        if (e.active_mask && e.ret_stack.empty()) {
+            const ThreadCtx &t = warp[std::countr_zero(e.active_mask)];
+            e.ret_stack.assign(t.ret_stack, t.ret_stack + t.ret_depth);
+        }
+        throw;
+    }
+}
+
+} // namespace nvbit::sim

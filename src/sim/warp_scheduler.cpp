@@ -66,12 +66,17 @@ WarpScheduler::pick(unsigned w, IssueSlot &slot) const
 
     // Active set: live threads converged at min PC.
     uint32_t active_mask = 0;
+    uint32_t live_mask = 0;
     for (unsigned l = 0; l < kWarpSize; ++l) {
+        if (warp[l].state == ThreadCtx::St::Exited)
+            continue;
+        live_mask |= 1u << l;
         if (warp[l].state == ThreadCtx::St::Ready && warp[l].pc == minpc)
             active_mask |= 1u << l;
     }
     slot.pc = minpc;
     slot.active_mask = active_mask;
+    slot.converged = active_mask == live_mask;
     return Pick::Issue;
 }
 

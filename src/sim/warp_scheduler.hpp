@@ -104,6 +104,14 @@ class WarpScheduler
     struct IssueSlot {
         uint64_t pc = 0;
         uint32_t active_mask = 0;
+        /**
+         * True when the active set is *every* non-exited thread of the
+         * warp (no lane parked at a barrier, none diverged to another
+         * PC).  The trace engine only enters a superblock under this
+         * convergence guard; straight-line trace entries cannot change
+         * thread state, so uniformity persists for the whole trace.
+         */
+        bool converged = false;
     };
 
     /** Initialise thread state for one thread block of @p lp. */

@@ -92,6 +92,18 @@ BbvProfiler::BbvProfiler(Options opts) : opts_(std::move(opts))
     if (opts_.interval_launches == 0)
         opts_.interval_launches = 1;
     exportDeviceFunctions(kPtx);
+    // Both probes are leader-elected popc/atomic-add into the bbv_buf
+    // table: declare them inlinable for the trace engine.
+    nvbit_probe_desc block_probe;
+    block_probe.table_ptr = "bbv_buf";
+    block_probe.index_arg = 0; // bbid
+    block_probe.scale_arg = 1; // ninstrs
+    nvbit_declare_inline_probe("bbv_bb", block_probe);
+    nvbit_probe_desc instr_probe;
+    instr_probe.ballot_guard = true;
+    instr_probe.table_ptr = "bbv_buf";
+    instr_probe.index_arg = 1; // bbid (arg 0 is the guard)
+    nvbit_declare_inline_probe("bbv_probe", instr_probe);
 }
 
 void

@@ -67,6 +67,19 @@ SKIP:
 InstrCountTool::InstrCountTool(Mode mode) : mode_(mode)
 {
     exportDeviceFunctions(kPtx);
+    // Both counting functions are the canonical ballot/popc/atomic-add
+    // pattern: declare them inlinable so the trace engine can execute
+    // the counts at the callsite instead of the trampoline.
+    nvbit_probe_desc per_instr;
+    per_instr.ballot_guard = true;
+    per_instr.warp_counter = "icnt_warp";
+    per_instr.thread_counter = "icnt_thread";
+    nvbit_declare_inline_probe("icnt_count", per_instr);
+    nvbit_probe_desc per_bb;
+    per_bb.warp_counter = "icnt_warp";
+    per_bb.thread_counter = "icnt_thread";
+    per_bb.scale_arg = 0; // ninstrs
+    nvbit_declare_inline_probe("icnt_count_bb", per_bb);
 }
 
 void

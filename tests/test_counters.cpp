@@ -88,12 +88,14 @@ struct EventRun {
 };
 
 EventRun
-runForEvents(const std::string &param, sim::ExecMode mode, bool predecode)
+runForEvents(const std::string &param, sim::ExecMode mode, bool predecode,
+             bool traces = false)
 {
     cudrv::resetDriver();
     sim::GpuConfig cfg;
     cfg.exec_mode = mode;
     cfg.use_predecode = predecode;
+    cfg.use_traces = traces;
     cudrv::setDeviceConfig(cfg);
     cudrv::checkCu(cudrv::cuInit(0), "init");
     cudrv::CUcontext ctx = nullptr;
@@ -121,6 +123,7 @@ class EventDeterminismTest : public ::testing::TestWithParam<std::string>
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
     }
     void TearDown() override { cudrv::resetDriver(); }
 };
@@ -133,6 +136,10 @@ TEST_P(EventDeterminismTest, EventsIdenticalAcrossEngineConfigs)
         runForEvents(GetParam(), sim::ExecMode::Parallel, false);
     auto par_pre =
         runForEvents(GetParam(), sim::ExecMode::Parallel, true);
+    auto ser_tr =
+        runForEvents(GetParam(), sim::ExecMode::Serial, true, true);
+    auto par_tr =
+        runForEvents(GetParam(), sim::ExecMode::Parallel, true, true);
 
     EXPECT_FALSE(base.events.empty());
     for (size_t i = 0; i < obs::kNumHwEvents; ++i) {
@@ -140,11 +147,17 @@ TEST_P(EventDeterminismTest, EventsIdenticalAcrossEngineConfigs)
         EXPECT_EQ(base.events.counts[i], ser_pre.events.counts[i]);
         EXPECT_EQ(base.events.counts[i], par_byte.events.counts[i]);
         EXPECT_EQ(base.events.counts[i], par_pre.events.counts[i]);
+        EXPECT_EQ(base.events.counts[i], ser_tr.events.counts[i]);
+        EXPECT_EQ(base.events.counts[i], par_tr.events.counts[i]);
     }
     EXPECT_EQ(base.cycles, ser_pre.cycles);
     EXPECT_EQ(base.cycles, par_byte.cycles);
     EXPECT_EQ(base.cycles, par_pre.cycles);
+    EXPECT_EQ(base.cycles, ser_tr.cycles);
+    EXPECT_EQ(base.cycles, par_tr.cycles);
     EXPECT_EQ(base.mem_hash, par_pre.mem_hash);
+    EXPECT_EQ(base.mem_hash, ser_tr.mem_hash);
+    EXPECT_EQ(base.mem_hash, par_tr.mem_hash);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, EventDeterminismTest,
@@ -162,6 +175,7 @@ class CounterDriverTest : public ::testing::Test
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
         cudrv::resetDriver();
     }
     void TearDown() override { cudrv::resetDriver(); }
@@ -397,6 +411,7 @@ class CounterKernelTest : public ::testing::Test
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
         sim::GpuConfig cfg;
         cfg.num_sms = 4;
         cfg.mem_bytes = 8 << 20;
@@ -613,6 +628,7 @@ class DifferentialAgreementTest
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
         cudrv::resetDriver();
     }
     void TearDown() override { cudrv::resetDriver(); }
@@ -626,16 +642,24 @@ TEST_P(DifferentialAgreementTest, CountersMatchInstrumentation)
         cudrv::checkCu(cudrv::cuCtxCreate(&ctx, 0, 0), "ctx");
         makeWorkload(GetParam())->run(workloads::ProblemSize::Test);
     };
-    for (auto mode : {tools::DifferentialMode::InstrCount,
-                      tools::DifferentialMode::MemDivergence}) {
-        tools::DifferentialResult res =
-            tools::runKprofDifferential(mode, workload);
-        ASSERT_FALSE(res.rows.empty());
-        for (const tools::DifferentialRow &r : res.rows)
-            EXPECT_TRUE(r.match)
-                << r.quantity << ": tool=" << r.tool_value
-                << " counters=" << r.counter_value;
-        EXPECT_TRUE(res.all_match);
+    // The tool-vs-counter agreement must hold on the per-instruction
+    // engine and on the traced engine, where eligible probe callsites
+    // execute as inlined trace entries instead of trampolines.
+    for (const char *traces : {"0", "1"}) {
+        setenv("NVBIT_SIM_TRACES", traces, 1);
+        SCOPED_TRACE(std::string("NVBIT_SIM_TRACES=") + traces);
+        for (auto mode : {tools::DifferentialMode::InstrCount,
+                          tools::DifferentialMode::MemDivergence}) {
+            tools::DifferentialResult res =
+                tools::runKprofDifferential(mode, workload);
+            ASSERT_FALSE(res.rows.empty());
+            for (const tools::DifferentialRow &r : res.rows)
+                EXPECT_TRUE(r.match)
+                    << r.quantity << ": tool=" << r.tool_value
+                    << " counters=" << r.counter_value;
+            EXPECT_TRUE(res.all_match);
+        }
+        unsetenv("NVBIT_SIM_TRACES");
     }
 }
 

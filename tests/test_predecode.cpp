@@ -92,12 +92,13 @@ struct RunResult {
  *  configuration and fingerprint the resulting device state. */
 RunResult
 runWorkload(bool spec, const std::string &name, sim::ExecMode mode,
-            bool predecode)
+            bool predecode, bool traces = false)
 {
     cudrv::resetDriver();
     sim::GpuConfig cfg;
     cfg.exec_mode = mode;
     cfg.use_predecode = predecode;
+    cfg.use_traces = traces;
     cudrv::setDeviceConfig(cfg);
     cudrv::checkCu(cudrv::cuInit(0), "init");
     cudrv::CUcontext ctx = nullptr;
@@ -124,10 +125,12 @@ class EngineDifferentialTest : public ::testing::TestWithParam<std::string>
     void
     SetUp() override
     {
-        // The engine honours NVBIT_SIM_EXEC / NVBIT_SIM_PREDECODE when
-        // set; clear them so setDeviceConfig() fully controls each run.
+        // The engine honours NVBIT_SIM_EXEC / NVBIT_SIM_PREDECODE /
+        // NVBIT_SIM_TRACES when set; clear them so setDeviceConfig()
+        // fully controls each run.
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
     }
     void TearDown() override { cudrv::resetDriver(); }
 };
@@ -142,18 +145,28 @@ TEST_P(EngineDifferentialTest, AllEngineConfigsAgree)
     auto ser_pre = runWorkload(spec, name, sim::ExecMode::Serial, true);
     auto par_byte = runWorkload(spec, name, sim::ExecMode::Parallel, false);
     auto par_pre = runWorkload(spec, name, sim::ExecMode::Parallel, true);
+    auto ser_tr = runWorkload(spec, name, sim::ExecMode::Serial, true,
+                              true);
+    auto par_tr = runWorkload(spec, name, sim::ExecMode::Parallel, true,
+                              true);
 
-    // Memory contents must be bit-identical across all four engines.
+    // Memory contents must be bit-identical across all six engines.
     EXPECT_EQ(base.mem_hash, ser_pre.mem_hash);
     EXPECT_EQ(base.mem_hash, par_byte.mem_hash);
     EXPECT_EQ(base.mem_hash, par_pre.mem_hash);
+    EXPECT_EQ(base.mem_hash, ser_tr.mem_hash);
+    EXPECT_EQ(base.mem_hash, par_tr.mem_hash);
 
     // Architectural + timing stats identical everywhere; decode-cache
     // counters identical between serial/parallel at the same predecode
     // setting (the fetch streams per SM are the same by construction).
+    // The traced engine charges a decode tick per issue slot, so its
+    // counters match the per-instruction predecode engine exactly.
     expectStatsEq(base.totals, ser_pre.totals, false);
     expectStatsEq(base.totals, par_byte.totals, true);
     expectStatsEq(ser_pre.totals, par_pre.totals, true);
+    expectStatsEq(ser_pre.totals, ser_tr.totals, true);
+    expectStatsEq(ser_tr.totals, par_tr.totals, true);
 
     // Every fetch is classified exactly once.
     EXPECT_EQ(base.totals.decode_cache_hits +
@@ -204,6 +217,7 @@ class PredecodeTest : public ::testing::Test
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
         gpu_ = std::make_unique<sim::GpuDevice>(smallConfig());
     }
 
@@ -330,15 +344,19 @@ TEST_F(PredecodeTest, EnvOverridesControlEngine)
 {
     setenv("NVBIT_SIM_EXEC", "serial", 1);
     setenv("NVBIT_SIM_PREDECODE", "0", 1);
+    setenv("NVBIT_SIM_TRACES", "1", 1);
     sim::GpuDevice gpu(smallConfig());
     EXPECT_EQ(gpu.config().exec_mode, sim::ExecMode::Serial);
     EXPECT_FALSE(gpu.config().use_predecode);
+    EXPECT_TRUE(gpu.config().use_traces);
     unsetenv("NVBIT_SIM_EXEC");
     unsetenv("NVBIT_SIM_PREDECODE");
+    unsetenv("NVBIT_SIM_TRACES");
 
     sim::GpuDevice dflt(smallConfig());
     EXPECT_EQ(dflt.config().exec_mode, sim::ExecMode::Parallel);
     EXPECT_TRUE(dflt.config().use_predecode);
+    EXPECT_FALSE(dflt.config().use_traces);
 }
 
 // ---------------------------------------------------------------------

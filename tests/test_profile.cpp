@@ -155,6 +155,7 @@ class ProfileTest : public ::testing::Test
     {
         unsetenv("NVBIT_SIM_EXEC");
         unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
         unsetenv("NVBIT_SIM_PC_SAMPLING");
         unsetenv("NVBIT_SIM_METRICS_HISTORY");
         unsetenv("NVBIT_SIM_METRICS");
@@ -175,15 +176,18 @@ class ProfileTest : public ::testing::Test
     struct EngineCfg {
         sim::ExecMode mode;
         bool predecode;
+        bool traces = false;
     };
 
     static std::vector<EngineCfg>
     allEngines()
     {
-        return {{sim::ExecMode::Serial, false},
-                {sim::ExecMode::Serial, true},
-                {sim::ExecMode::Parallel, false},
-                {sim::ExecMode::Parallel, true}};
+        return {{sim::ExecMode::Serial, false, false},
+                {sim::ExecMode::Serial, true, false},
+                {sim::ExecMode::Parallel, false, false},
+                {sim::ExecMode::Parallel, true, false},
+                {sim::ExecMode::Serial, true, true},
+                {sim::ExecMode::Parallel, true, true}};
     }
 };
 
@@ -199,6 +203,7 @@ TEST_F(ProfileTest, BreakdownSumsToCyclesAcrossEngines)
         sim::GpuConfig cfg;
         cfg.exec_mode = e.mode;
         cfg.use_predecode = e.predecode;
+        cfg.use_traces = e.traces;
         setDeviceConfig(cfg);
 
         std::vector<sim::LaunchStats> per_launch;
@@ -242,6 +247,7 @@ TEST_F(ProfileTest, SampleStreamBitIdenticalAcrossEngines)
         sim::GpuConfig cfg;
         cfg.exec_mode = e.mode;
         cfg.use_predecode = e.predecode;
+        cfg.use_traces = e.traces;
         cfg.pc_sample_period = 16;
         setDeviceConfig(cfg);
         PassiveTool tool;

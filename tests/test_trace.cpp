@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the trace-compiled threaded-code execution engine.
+ *
+ * Four groups:
+ *  1. TraceCache unit tests: superblock compilation, the negative
+ *     ("not worthwhile") sentinel, and pointer stability.
+ *  2. Invalidation protocol: code swaps (the simulator-level analogue
+ *     of nvbit_insert_call re-instrumentation) and probe-registry
+ *     changes retire compiled traces; the registry empties on module
+ *     unload.
+ *  3. Traced-engine differentials on adversarial shapes: superblocks
+ *     longer than the scheduler quantum (side-exit and resume) and
+ *     warps that diverge at the trace terminal.
+ *  4. Probe inlining vs trampoline equivalence through the full NVBit
+ *     stack: identical tool counters with traces on and off.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/api.hpp"
+#include "driver/internal.hpp"
+#include "isa/abi.hpp"
+#include "sim/gpu.hpp"
+#include "sim/trace_cache.hpp"
+#include "tools/instr_count.hpp"
+
+namespace nvbit {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+class TraceTestBase : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        unsetenv("NVBIT_SIM_EXEC");
+        unsetenv("NVBIT_SIM_PREDECODE");
+        unsetenv("NVBIT_SIM_TRACES");
+    }
+    void TearDown() override { cudrv::resetDriver(); }
+
+    sim::GpuConfig
+    smallConfig(bool traces)
+    {
+        sim::GpuConfig cfg;
+        cfg.num_sms = 2;
+        cfg.mem_bytes = 8 << 20;
+        cfg.use_traces = traces;
+        return cfg;
+    }
+
+    uint64_t
+    place(sim::GpuDevice &gpu, const std::vector<Instruction> &prog)
+    {
+        auto bytes = isa::encodeAll(gpu.family(), prog);
+        mem::DevPtr p = gpu.memory().alloc(bytes.size(), 16);
+        gpu.memory().write(p, bytes.data(), bytes.size());
+        return p;
+    }
+
+    /** n IADDs accumulating into R4, then STG the sum and EXIT. */
+    std::vector<Instruction>
+    accumulateProgram(mem::DevPtr buf, unsigned n)
+    {
+        std::vector<Instruction> prog;
+        prog.push_back(isa::makeMovImm(4, 0));
+        for (unsigned i = 0; i < n; ++i)
+            prog.push_back(isa::makeIAddImm(4, 4, 1));
+        isa::emitMaterialize32(prog, 6, static_cast<uint32_t>(buf));
+        isa::emitMaterialize32(prog, 7,
+                               static_cast<uint32_t>(buf >> 32));
+        prog.push_back(isa::makeStore(Opcode::STG, 6, 0, 4));
+        prog.push_back(isa::makeExit());
+        return prog;
+    }
+
+    sim::LaunchParams
+    oneWarp(uint64_t entry)
+    {
+        sim::LaunchParams lp;
+        lp.entry_pc = entry;
+        lp.block[0] = 32;
+        return lp;
+    }
+};
+
+// ---------------------------------------------------------------------
+// 1. TraceCache compilation
+// ---------------------------------------------------------------------
+
+class TraceCacheTest : public TraceTestBase
+{};
+
+TEST_F(TraceCacheTest, CompilesSuperblockAndCachesNegativeResult)
+{
+    sim::GpuDevice gpu(smallConfig(true));
+    mem::DevPtr buf = gpu.memory().alloc(4);
+    std::vector<Instruction> prog = accumulateProgram(buf, 16);
+    uint64_t entry = place(gpu, prog);
+    const size_t ib = isa::instrBytes(gpu.family());
+
+    sim::TraceCache cache(gpu.memory(), gpu.family());
+    const sim::Trace *tr = cache.acquire(entry);
+    ASSERT_NE(tr, nullptr);
+    EXPECT_EQ(tr->entry_pc, entry);
+    EXPECT_GE(tr->n_instrs, 16u);
+    EXPECT_EQ(cache.tracesBuilt(), 1u);
+    EXPECT_EQ(cache.residentTraces(), 1u);
+
+    // Second acquire is a cache hit on the same object.
+    EXPECT_EQ(cache.acquire(entry), tr);
+    EXPECT_EQ(cache.tracesBuilt(), 1u);
+
+    // A lone terminal cannot form a worthwhile trace; the negative
+    // result is cached (no recompile attempt on re-touch).
+    uint64_t exit_pc = entry + (prog.size() - 1) * ib;
+    EXPECT_EQ(cache.acquire(exit_pc), nullptr);
+    EXPECT_EQ(cache.acquire(exit_pc), nullptr);
+    EXPECT_EQ(cache.tracesBuilt(), 1u);
+}
+
+TEST_F(TraceCacheTest, TracedLaunchPopulatesDeviceCache)
+{
+    sim::GpuDevice gpu(smallConfig(true));
+    mem::DevPtr buf = gpu.memory().alloc(4);
+    uint64_t entry = place(gpu, accumulateProgram(buf, 16));
+
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 16u);
+    EXPECT_GE(gpu.traceCache().tracesBuilt(), 1u);
+    EXPECT_GE(gpu.traceCache().residentTraces(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// 2. Invalidation protocol
+// ---------------------------------------------------------------------
+
+TEST_F(TraceCacheTest, CodeSwapInvalidatesCompiledTraces)
+{
+    sim::GpuDevice gpu(smallConfig(true));
+    mem::DevPtr buf = gpu.memory().alloc(4);
+    uint64_t entry = place(gpu, accumulateProgram(buf, 8));
+
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 8u);
+    uint64_t gen0 = gpu.traceCache().generation();
+    uint64_t inv0 = gpu.traceCache().invalidations();
+
+    // Swap the first instruction (MOV R4, 0 -> MOV R4, 100): the exact
+    // write path nvbit_insert_call's trampoline patching uses.  The
+    // write observer must retire the covering trace page.
+    uint8_t enc[16];
+    isa::encode(gpu.family(), isa::makeMovImm(4, 100), enc);
+    gpu.memory().write(entry, enc, isa::instrBytes(gpu.family()));
+    EXPECT_GT(gpu.traceCache().invalidations(), inv0);
+    EXPECT_GT(gpu.traceCache().generation(), gen0);
+
+    // The relaunch recompiles and observes the new code.
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 108u);
+}
+
+TEST_F(TraceCacheTest, ProbeRegistryChangesRetireCoveringTraces)
+{
+    sim::GpuDevice gpu(smallConfig(true));
+    mem::DevPtr buf = gpu.memory().alloc(4);
+    mem::DevPtr counter = gpu.memory().alloc(8);
+    gpu.memory().write32(counter, 0);
+    gpu.memory().write32(counter + 4, 0);
+
+    // Program with a probe-shaped callsite: the IADD at slot 2 is
+    // displaced into a fake trampoline and its callsite patched to a
+    // JMP, exactly as the core's generate() does.
+    std::vector<Instruction> prog = accumulateProgram(buf, 8);
+    const size_t ib = isa::instrBytes(gpu.family());
+    uint64_t entry = place(gpu, prog);
+    uint64_t callsite = entry + 2 * ib;
+
+    // Fake trampoline: the displaced IADD, then JMP back.
+    std::vector<Instruction> tramp;
+    tramp.push_back(isa::makeIAddImm(4, 4, 1));
+    tramp.push_back(isa::makeJmpAbs(callsite + ib));
+    auto tb = isa::encodeAll(gpu.family(), tramp);
+    mem::DevPtr tramp_base =
+        gpu.memory().alloc(tb.size(), isa::kJmpScale);
+    gpu.memory().write(tramp_base, tb.data(), tb.size());
+
+    uint8_t enc[16];
+    isa::encode(gpu.family(), isa::makeJmpAbs(tramp_base), enc);
+    gpu.memory().write(callsite, enc, ib);
+
+    // Baseline traced run through the trampoline.
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 8u);
+
+    // Registering an inline probe at the callsite bumps the generation
+    // and retires covering traces so they recompile inlined.
+    uint64_t gen0 = gpu.traceCache().generation();
+    sim::InlineProbe p;
+    p.jmp_pc = callsite;
+    p.tramp_target = tramp_base;
+    p.orig = isa::makeIAddImm(4, 4, 1);
+    p.warp_counter = counter;
+    gpu.registerInlineProbe(p);
+    EXPECT_GT(gpu.traceCache().generation(), gen0);
+    EXPECT_EQ(gpu.traceCache().probeCount(), 1u);
+
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 8u);
+    // The warp counter advanced once per launch through the inlined
+    // probe body.
+    EXPECT_EQ(gpu.memory().read32(counter), 1u);
+
+    // Module unload / re-instrumentation clears the registry.
+    uint64_t gen1 = gpu.traceCache().generation();
+    gpu.clearInlineProbes(entry, prog.size() * ib);
+    EXPECT_EQ(gpu.traceCache().probeCount(), 0u);
+    EXPECT_GT(gpu.traceCache().generation(), gen1);
+
+    // Back through the trampoline; results unchanged, counter frozen.
+    gpu.launch(oneWarp(entry));
+    EXPECT_EQ(gpu.memory().read32(buf), 8u);
+    EXPECT_EQ(gpu.memory().read32(counter), 1u);
+}
+
+// ---------------------------------------------------------------------
+// 3. Traced-engine differentials on adversarial control shapes
+// ---------------------------------------------------------------------
+
+class TracedEngineTest : public TraceTestBase
+{
+  protected:
+    struct RunOut {
+        uint32_t result = 0;
+        sim::LaunchStats stats;
+    };
+
+    RunOut
+    runBoth(const std::vector<Instruction> &prog_tail, bool traces,
+            uint32_t block = 32)
+    {
+        sim::GpuDevice gpu(smallConfig(traces));
+        mem::DevPtr buf = gpu.memory().alloc(4 * 64);
+        std::vector<Instruction> prog;
+        isa::emitMaterialize32(prog, 6, static_cast<uint32_t>(buf));
+        isa::emitMaterialize32(prog, 7,
+                               static_cast<uint32_t>(buf >> 32));
+        prog.insert(prog.end(), prog_tail.begin(), prog_tail.end());
+        uint64_t entry = place(gpu, prog);
+        sim::LaunchParams lp;
+        lp.entry_pc = entry;
+        lp.block[0] = block;
+        RunOut out;
+        out.stats = gpu.launch(lp);
+        out.result = gpu.memory().read32(buf);
+        return out;
+    }
+
+    void
+    expectIdentical(const RunOut &a, const RunOut &b)
+    {
+        EXPECT_EQ(a.result, b.result);
+        EXPECT_EQ(a.stats.thread_instrs, b.stats.thread_instrs);
+        EXPECT_EQ(a.stats.warp_instrs, b.stats.warp_instrs);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+        EXPECT_EQ(a.stats.decode_cache_hits, b.stats.decode_cache_hits);
+        EXPECT_EQ(a.stats.decode_cache_misses,
+                  b.stats.decode_cache_misses);
+        for (size_t i = 0; i < a.stats.cycles_by_reason.size(); ++i)
+            EXPECT_EQ(a.stats.cycles_by_reason[i],
+                      b.stats.cycles_by_reason[i])
+                << "cycles_by_reason[" << i << "]";
+    }
+};
+
+TEST_F(TracedEngineTest, SideExitResumesAfterQuantumExhaustion)
+{
+    // 200 straight-line IADDs: longer than the scheduler quantum, so
+    // the traced engine must side-exit mid-trace on budget exhaustion,
+    // flush the deferred PC advance, and resume exactly where the
+    // per-instruction engine would.
+    std::vector<Instruction> tail;
+    tail.push_back(isa::makeMovImm(4, 0));
+    for (int i = 0; i < 200; ++i)
+        tail.push_back(isa::makeIAddImm(4, 4, 1));
+    tail.push_back(isa::makeStore(Opcode::STG, 6, 0, 4));
+    tail.push_back(isa::makeExit());
+
+    RunOut base = runBoth(tail, false);
+    RunOut traced = runBoth(tail, true);
+    EXPECT_EQ(traced.result, 200u);
+    expectIdentical(base, traced);
+}
+
+TEST_F(TracedEngineTest, DivergentTerminalRewindsBitIdentically)
+{
+    // Lanes diverge at the trace's terminal branch (odd lanes take
+    // it), re-execute the tail region divergently, and reconverge at
+    // the store.  Traced and per-instruction engines must agree on
+    // results, cycle totals, and the full stall breakdown.
+    const size_t ib = isa::instrBytes(isa::ArchFamily::SM7x);
+    std::vector<Instruction> tail;
+    tail.push_back(isa::makeS2R(4, isa::SpecialReg::LANEID));
+    tail.push_back(isa::makeMovImm(5, 0));
+    for (int i = 0; i < 6; ++i)
+        tail.push_back(isa::makeIAddImm(5, 5, 1));
+    Instruction setp; // P0 = (laneid & 1) != 0 via ISETP on R4
+    setp.op = Opcode::ISETP;
+    setp.mod = isa::modSetSetpDType(
+        isa::modSetCmp(isa::kModSetpImm, isa::CmpOp::GT),
+        isa::DType::U32);
+    setp.rd = 0;
+    setp.ra = 4;
+    setp.imm = 15; // lanes 16..31 take the branch
+    tail.push_back(setp);
+    // Taken lanes skip one extra IADD.
+    tail.push_back(isa::makeBra(static_cast<int64_t>(ib), 0, false));
+    tail.push_back(isa::makeIAddImm(5, 5, 100));
+    tail.push_back(isa::makeStore(Opcode::STG, 6, 0, 5));
+    tail.push_back(isa::makeExit());
+
+    RunOut base = runBoth(tail, false);
+    RunOut traced = runBoth(tail, true);
+    expectIdentical(base, traced);
+}
+
+// ---------------------------------------------------------------------
+// 4. Probe inlining vs trampoline through the full stack
+// ---------------------------------------------------------------------
+
+class ProbeInlineTest : public TraceTestBase
+{};
+
+TEST_F(ProbeInlineTest, InlineCountsMatchTrampolineCounts)
+{
+    const char *kKernel = R"(
+.visible .entry accum(.param .u64 out, .param .u32 n)
+{
+    .reg .u32 %r<8>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, %tid.x;
+    ld.param.u32 %r2, [n];
+    mov.u32 %r3, 0;
+LOOP:
+    add.u32 %r3, %r3, %r1;
+    sub.u32 %r2, %r2, 1;
+    setp.gt.u32 %p1, %r2, 0;
+    @%p1 bra LOOP;
+    ld.param.u64 %rd1, [out];
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r3;
+    exit;
+}
+)";
+    auto app = [&] {
+        using namespace cudrv;
+        checkCu(cuInit(0), "init");
+        CUcontext ctx;
+        checkCu(cuCtxCreate(&ctx, 0, 0), "ctx");
+        CUmodule mod;
+        checkCu(cuModuleLoadData(&mod, kKernel, 0), "load");
+        CUfunction fn;
+        checkCu(cuModuleGetFunction(&fn, mod, "accum"), "get");
+        CUdeviceptr out;
+        checkCu(cuMemAlloc(&out, 64 * 4), "alloc");
+        uint32_t n = 40;
+        void *params[] = {&out, &n};
+        checkCu(cuLaunchKernel(fn, 1, 1, 1, 64, 1, 1, 0, nullptr,
+                               params, nullptr),
+                "launch");
+    };
+
+    auto countsWith = [&](const char *traces, bool per_bb) {
+        setenv("NVBIT_SIM_TRACES", traces, 1);
+        cudrv::resetDriver();
+        tools::InstrCountTool tool(
+            per_bb ? tools::InstrCountTool::Mode::PerBasicBlock
+                   : tools::InstrCountTool::Mode::PerInstruction);
+        uint64_t threads = 0, warps = 0;
+        runApp(tool, [&] {
+            app();
+            threads = tool.threadInstrs();
+            warps = tool.warpInstrs();
+        });
+        unsetenv("NVBIT_SIM_TRACES");
+        cudrv::resetDriver();
+        return std::pair<uint64_t, uint64_t>{threads, warps};
+    };
+
+    for (bool per_bb : {false, true}) {
+        SCOPED_TRACE(per_bb ? "per-basic-block" : "per-instruction");
+        auto tramp = countsWith("0", per_bb);
+        auto inlined = countsWith("1", per_bb);
+        EXPECT_GT(tramp.first, 0u);
+        EXPECT_EQ(tramp.first, inlined.first) << "thread-level count";
+        EXPECT_EQ(tramp.second, inlined.second) << "warp-level count";
+    }
+}
+
+} // namespace
+} // namespace nvbit
